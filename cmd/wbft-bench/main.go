@@ -1,0 +1,137 @@
+// Command wbft-bench regenerates every table and figure of the paper's
+// evaluation section and prints them as text tables.
+//
+// Usage:
+//
+//	wbft-bench [-exp all|table1|fig10a|fig10b|fig10c|fig10d|fig11a|fig11b|fig12a|fig12b|fig13a|fig13b]
+//	           [-seed N] [-epochs N] [-batch N] [-reps N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	epochs := flag.Int("epochs", 1, "epochs per protocol run")
+	batch := flag.Int("batch", 4, "transactions per proposal")
+	reps := flag.Int("reps", 3, "repetitions for crypto microbenchmarks")
+	flag.Parse()
+
+	if err := run(*exp, *seed, *epochs, *batch, *reps); err != nil {
+		fmt.Fprintln(os.Stderr, "wbft-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, seed int64, epochs, batch, reps int) error {
+	w := os.Stdout
+	all := exp == "all"
+	did := false
+	sep := func() { fmt.Fprintln(w) }
+
+	if all || exp == "table1" {
+		did = true
+		rows, err := bench.Table1(seed)
+		if err != nil {
+			return err
+		}
+		bench.PrintTable1(w, rows)
+		sep()
+	}
+	if all || exp == "fig10a" {
+		did = true
+		rows, err := bench.Fig10aThresholdSig(reps)
+		if err != nil {
+			return err
+		}
+		bench.PrintCryptoOps(w, "Fig. 10a — threshold signature operation latency (this machine)", rows)
+		sep()
+	}
+	if all || exp == "fig10b" {
+		did = true
+		rows, err := bench.Fig10bThresholdCoin(reps)
+		if err != nil {
+			return err
+		}
+		bench.PrintCryptoOps(w, "Fig. 10b — threshold coin flipping operation latency (this machine)", rows)
+		sep()
+	}
+	if all || exp == "fig10c" {
+		did = true
+		bench.PrintSizes(w, bench.Fig10cSizes())
+		sep()
+	}
+	if all || exp == "fig10d" {
+		did = true
+		rows, err := bench.Fig10dCryptoImpact(seed, epochs, nil)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig10d(w, rows)
+		sep()
+	}
+	if all || exp == "fig11a" {
+		did = true
+		rows, err := bench.Fig11aBroadcastParallelism(seed)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig11a(w, rows)
+		sep()
+	}
+	if all || exp == "fig11b" {
+		did = true
+		rows, err := bench.Fig11bProposalSize(seed)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig11b(w, rows)
+		sep()
+	}
+	if all || exp == "fig12a" {
+		did = true
+		rows, err := bench.Fig12aParallel(seed)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig12(w, "Fig. 12a — ABA latency vs parallel instances", rows)
+		sep()
+	}
+	if all || exp == "fig12b" {
+		did = true
+		rows, err := bench.Fig12bSerial(seed)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig12(w, "Fig. 12b — ABA latency vs serial instances", rows)
+		sep()
+	}
+	if all || exp == "fig13a" {
+		did = true
+		rows, err := bench.Fig13aSingleHop(seed, epochs, batch)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig13(w, "Fig. 13a — single-hop: 8 consensus configurations", rows)
+		sep()
+	}
+	if all || exp == "fig13b" {
+		did = true
+		rows, err := bench.Fig13bMultiHop(seed, epochs, batch)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig13(w, "Fig. 13b — multi-hop (16 nodes, 4 clusters): 8 configurations", rows)
+		sep()
+	}
+	if !did {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

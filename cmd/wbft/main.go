@@ -1,0 +1,103 @@
+// Command wbft runs one wireless asynchronous BFT consensus simulation
+// from flags and prints the measured results.
+//
+// Usage:
+//
+//	wbft -protocol honeybadger|beat|dumbo -coin LC|SC|CP [-baseline]
+//	     [-epochs N] [-batch N] [-txsize N] [-seed N] [-loss P]
+//	     [-crash 3] [-multihop] [-heavy]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/protocol"
+)
+
+func main() {
+	var (
+		proto    = flag.String("protocol", "honeybadger", "honeybadger | beat | dumbo")
+		coin     = flag.String("coin", "SC", "LC (local) | SC (threshold sig) | CP (coin flipping)")
+		baseline = flag.Bool("baseline", false, "disable ConsensusBatcher (per-instance packets)")
+		epochs   = flag.Int("epochs", 3, "consensus epochs to run")
+		batch    = flag.Int("batch", 4, "transactions per proposal")
+		txsize   = flag.Int("txsize", 64, "bytes per transaction")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		loss     = flag.Float64("loss", 0.02, "per-receiver frame loss probability")
+		crash    = flag.String("crash", "", "comma-separated node ids to crash")
+		multihop = flag.Bool("multihop", false, "16 nodes in 4 clusters instead of single-hop")
+		heavy    = flag.Bool("heavy", false, "heavy crypto parameter set (BN254-equivalent)")
+	)
+	flag.Parse()
+
+	kind := protocol.Kind(*proto)
+	switch kind {
+	case protocol.HoneyBadger, protocol.BEAT, protocol.DumboKind:
+	default:
+		fmt.Fprintf(os.Stderr, "wbft: unknown protocol %q\n", *proto)
+		os.Exit(2)
+	}
+
+	opts := protocol.DefaultOptions(kind, protocol.CoinKind(*coin))
+	opts.Batched = !*baseline
+	opts.Epochs = *epochs
+	opts.BatchSize = *batch
+	opts.TxSize = *txsize
+	opts.Seed = *seed
+	opts.Net.LossProb = *loss
+	opts.Deadline = 8 * time.Hour
+	if *heavy {
+		opts.Crypto = crypto.HeavyConfig()
+	}
+	if *crash != "" {
+		for _, part := range strings.Split(*crash, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wbft: bad -crash value %q\n", part)
+				os.Exit(2)
+			}
+			opts.Faults.Crash = append(opts.Faults.Crash, id)
+		}
+	}
+
+	if *multihop {
+		mh := protocol.DefaultMultihopOptions(kind, protocol.CoinKind(*coin))
+		mh.Single = opts
+		res, err := protocol.RunMultihop(mh)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wbft:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("protocol        %s-%s (multihop, batched=%v)\n", kind, *coin, opts.Batched)
+		printCommon(res.Result)
+		fmt.Printf("local accesses  %d\nglobal accesses %d\n", res.LocalAccesses, res.GlobalAccesses)
+		return
+	}
+
+	res, err := protocol.Run(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wbft:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("protocol        %s-%s (single-hop, batched=%v)\n", kind, *coin, opts.Batched)
+	printCommon(*res)
+}
+
+func printCommon(res protocol.Result) {
+	fmt.Printf("epochs          %d\n", len(res.EpochLatencies))
+	for i, l := range res.EpochLatencies {
+		fmt.Printf("  epoch %d       %v\n", i, l.Round(time.Millisecond))
+	}
+	fmt.Printf("mean latency    %v\n", res.MeanLatency.Round(time.Millisecond))
+	fmt.Printf("throughput      %.1f TPM\n", res.TPM)
+	fmt.Printf("delivered txs   %d\n", res.DeliveredTxs)
+	fmt.Printf("chan accesses   %d (collisions %d)\n", res.Accesses, res.Collisions)
+	fmt.Printf("bytes on air    %d\n", res.BytesOnAir)
+	fmt.Printf("signed packets  %d (sign ops %d, verify ops %d)\n", res.LogicalSent, res.SignOps, res.VerifyOps)
+}

@@ -1,0 +1,22 @@
+// Package repro reproduces "Asynchronous BFT Consensus Made Wireless"
+// (ICDCS 2025): the ConsensusBatcher packet-batching protocol, wireless
+// adaptations of HoneyBadgerBFT, BEAT and Dumbo, the lightweight threshold
+// cryptography they need, and a deterministic wireless-network simulator
+// that stands in for the paper's LoRa/STM32 testbed.
+//
+// Layout:
+//
+//	internal/sim        deterministic discrete-event scheduler + CPU model
+//	internal/wireless   shared-medium CSMA channel (airtime, loss, clusters)
+//	internal/packet     ConsensusBatcher wire format (sections, NACK bitmaps)
+//	internal/core       the batching transport (the paper's contribution)
+//	internal/crypto     threshold signatures / coin / encryption, PK schemes
+//	internal/component  RBC, PRBC, CBC, Bracha ABA, Cachin ABA, decryptor
+//	internal/protocol   HoneyBadgerBFT, BEAT, Dumbo; single- and multi-hop
+//	internal/bench      per-table/figure experiment harness
+//	cmd/...             CLI tools; examples/... runnable demos
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,36 @@
+// Lossy-channel study: sweep frame-loss probability and watch the
+// NACK-based reliability machinery (Sec. IV-B1) hold latency together.
+// Asynchronous BFT never relies on timeouts for safety, so consensus
+// completes at every loss level — it just takes longer.
+//
+//	go run ./examples/lossy
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+func main() {
+	fmt.Println("wireless HoneyBadgerBFT-SC vs frame loss (4 nodes, batch 4)")
+	fmt.Printf("%8s %14s %12s %12s\n", "loss", "latency", "TPM", "accesses")
+	for _, loss := range []float64{0, 0.05, 0.10, 0.20} {
+		opts := protocol.DefaultOptions(protocol.HoneyBadger, protocol.CoinSig)
+		opts.Epochs = 1
+		opts.BatchSize = 4
+		opts.Seed = 5
+		opts.Net.LossProb = loss
+		opts.Deadline = 8 * time.Hour
+		res, err := protocol.Run(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%7.0f%% %14v %12.1f %12d\n",
+			loss*100, res.MeanLatency.Round(time.Millisecond), res.TPM, res.Accesses)
+	}
+	fmt.Println("\nhigher loss -> more NACK retransmissions -> more channel accesses")
+	fmt.Println("and higher latency, but consensus always completes (no timing assumptions).")
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBroadcastLatencyAllKinds(t *testing.T) {
+	for _, k := range AllBroadcastKinds() {
+		k := k
+		t.Run(string(k), func(t *testing.T) {
+			t.Parallel()
+			lat, err := BroadcastLatency(k, 2, 1, true, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lat <= 0 {
+				t.Error("zero latency")
+			}
+		})
+	}
+}
+
+func TestBroadcastLatencyGrowsWithProposalSize(t *testing.T) {
+	small, err := BroadcastLatency(BRBC, 4, 1, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := BroadcastLatency(BRBC, 4, 4, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large <= small {
+		t.Errorf("4-packet proposal (%v) not slower than 1-packet (%v)", large, small)
+	}
+}
+
+func TestABAParallelAllVariants(t *testing.T) {
+	for _, v := range AllABAVariants() {
+		v := v
+		t.Run(string(v), func(t *testing.T) {
+			t.Parallel()
+			lat, err := ABAParallelLatency(v, 2, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lat <= 0 {
+				t.Error("zero latency")
+			}
+		})
+	}
+}
+
+func TestABASerial(t *testing.T) {
+	lat1, err := ABASerialLatency(ABASC, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat2, err := ABASerialLatency(ABASC, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat2 <= lat1 {
+		t.Errorf("2 serial ABAs (%v) not slower than 1 (%v)", lat2, lat1)
+	}
+}
+
+func TestTable1ShapesHold(t *testing.T) {
+	rows, err := Table1(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Wired <= r.BaselineWireless || r.BaselineWireless < r.Batcher {
+			t.Errorf("%s: analytic columns not monotone: %d %d %d",
+				r.Component, r.Wired, r.BaselineWireless, r.Batcher)
+		}
+		if r.MeasuredBatched >= r.MeasuredBaseline {
+			t.Errorf("%s: measured batched (%0.1f) not below baseline (%0.1f)",
+				r.Component, r.MeasuredBatched, r.MeasuredBaseline)
+		}
+	}
+}
+
+func TestFig10cSizesMonotone(t *testing.T) {
+	rows := Fig10cSizes()
+	if len(rows) != 11 {
+		t.Fatalf("got %d size rows, want 11 (5 pk + 6 threshold)", len(rows))
+	}
+}
+
+func TestFig10CryptoOpsFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real crypto measurements")
+	}
+	rows, err := Fig10bThresholdCoin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape: heavier sets slower to sign (compare lightest vs heaviest).
+	bySet := map[string]time.Duration{}
+	for _, r := range rows {
+		if r.Op == "sign" {
+			bySet[r.Set] = r.Latency
+		}
+	}
+	if bySet["SG-3072"] <= bySet["SG-512"] {
+		t.Errorf("SG-3072 sign (%v) not slower than SG-512 (%v)", bySet["SG-3072"], bySet["SG-512"])
+	}
+}

@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/crypto/group"
+	"repro/internal/crypto/threshcoin"
+	"repro/internal/crypto/threshsig"
+	"repro/internal/protocol"
+)
+
+// CryptoOpRow is one (parameter set, operation) measurement for
+// Fig. 10a/10b: the real wall-clock latency of our implementations on this
+// machine. The paper measures MIRACL on an STM32F767; the *ordering* of
+// parameter sets and of operations is the reproducible shape.
+type CryptoOpRow struct {
+	Set     string
+	PaperEq string
+	Op      string
+	Latency time.Duration
+}
+
+// Fig10aThresholdSig measures dealer/sign/verify-share/combine/verify for
+// every embedded parameter set (reps repetitions, mean reported).
+func Fig10aThresholdSig(reps int) ([]CryptoOpRow, error) {
+	if reps <= 0 {
+		reps = 3
+	}
+	var rows []CryptoOpRow
+	paperEq := paperNames()
+	for _, fix := range threshsig.Fixtures() {
+		rng := rand.New(rand.NewSource(7))
+		var key *threshsig.Key
+		dealT := measure(reps, func() {
+			var err error
+			key, err = threshsig.Deal(fix.Name, fix.P, fix.Q, 2, 4, rng)
+			if err != nil {
+				panic(err)
+			}
+		})
+		msg := []byte("fig10a")
+		var share *threshsig.SigShare
+		signT := measure(reps, func() {
+			var err error
+			share, err = key.Public.Sign(key.Shares[0], msg, rng)
+			if err != nil {
+				panic(err)
+			}
+		})
+		verifyShareT := measure(reps, func() {
+			if err := key.Public.VerifyShare(msg, share); err != nil {
+				panic(err)
+			}
+		})
+		share2, err := key.Public.Sign(key.Shares[1], msg, rng)
+		if err != nil {
+			return nil, err
+		}
+		var sig *threshsig.Signature
+		combineT := measure(reps, func() {
+			var err error
+			sig, err = key.Public.Combine(msg, []*threshsig.SigShare{share, share2})
+			if err != nil {
+				panic(err)
+			}
+		})
+		verifyT := measure(reps, func() {
+			if err := key.Public.Verify(msg, sig); err != nil {
+				panic(err)
+			}
+		})
+		for _, p := range []struct {
+			op string
+			d  time.Duration
+		}{
+			{"dealer", dealT}, {"sign", signT}, {"verifyshare", verifyShareT},
+			{"combineshare", combineT}, {"verifysignature", verifyT},
+		} {
+			rows = append(rows, CryptoOpRow{Set: fix.Name, PaperEq: paperEq[fix.Name], Op: p.op, Latency: p.d})
+		}
+	}
+	return rows, nil
+}
+
+// Fig10bThresholdCoin measures dealer/sign/verify-share/combine for the
+// DH-based coin across group sizes.
+func Fig10bThresholdCoin(reps int) ([]CryptoOpRow, error) {
+	if reps <= 0 {
+		reps = 3
+	}
+	var rows []CryptoOpRow
+	groupToSig := map[string]string{
+		"SG-512": "TS-512", "SG-768": "TS-768", "SG-1024": "TS-1024",
+		"SG-1536": "TS-1536", "SG-2048": "TS-2048", "SG-3072": "TS-3072",
+	}
+	paperEq := paperNames()
+	for _, g := range group.All() {
+		rng := rand.New(rand.NewSource(7))
+		var key *threshcoin.Key
+		dealT := measure(reps, func() {
+			var err error
+			key, err = threshcoin.Deal(g, 2, 4, rng)
+			if err != nil {
+				panic(err)
+			}
+		})
+		name := []byte("fig10b")
+		var share *threshcoin.CoinShare
+		signT := measure(reps, func() {
+			var err error
+			share, err = key.Public.Share(key.Shares[0], name, rng)
+			if err != nil {
+				panic(err)
+			}
+		})
+		verifyT := measure(reps, func() {
+			if err := key.Public.VerifyShare(name, share); err != nil {
+				panic(err)
+			}
+		})
+		share2, err := key.Public.Share(key.Shares[1], name, rng)
+		if err != nil {
+			return nil, err
+		}
+		combineT := measure(reps, func() {
+			if _, err := key.Public.Combine(name, []*threshcoin.CoinShare{share, share2}); err != nil {
+				panic(err)
+			}
+		})
+		for _, p := range []struct {
+			op string
+			d  time.Duration
+		}{
+			{"dealer", dealT}, {"sign", signT}, {"verifyshare", verifyT}, {"combineshare", combineT},
+		} {
+			rows = append(rows, CryptoOpRow{Set: g.Name, PaperEq: paperEq[groupToSig[g.Name]], Op: p.op, Latency: p.d})
+		}
+	}
+	return rows, nil
+}
+
+func paperNames() map[string]string {
+	out := map[string]string{}
+	for _, r := range crypto.ParamSetNames() {
+		out[r.Ours] = r.Paper
+	}
+	return out
+}
+
+func measure(reps int, fn func()) time.Duration {
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	return time.Since(start) / time.Duration(reps)
+}
+
+// SizeRow is a Fig. 10c bar: signature size per scheme.
+type SizeRow struct {
+	Name  string
+	Kind  string // "public-key" or "threshold"
+	Bytes int
+}
+
+// Fig10cSizes reports the signature-size bars.
+func Fig10cSizes() []SizeRow {
+	pk, thr := crypto.SignatureSizes()
+	var rows []SizeRow
+	for _, p := range pk {
+		rows = append(rows, SizeRow{Name: p.Name, Kind: "public-key", Bytes: p.Size})
+	}
+	for _, t := range thr {
+		rows = append(rows, SizeRow{Name: t.Name, Kind: "threshold", Bytes: t.Size})
+	}
+	return rows
+}
+
+// Fig10dPoint is one (throughput, latency) point of the crypto-impact plot.
+type Fig10dPoint struct {
+	Config    string
+	BatchSize int
+	Latency   time.Duration
+	TPM       float64
+}
+
+// Fig10dCryptoImpact runs HoneyBadgerBFT-SC with the light and heavy
+// crypto configurations over a batch-size sweep (Fig. 10d: lighter curves
+// give lower latency and higher throughput).
+func Fig10dCryptoImpact(seed int64, epochs int, batches []int) ([]Fig10dPoint, error) {
+	if len(batches) == 0 {
+		batches = []int{2, 4, 8, 16}
+	}
+	var out []Fig10dPoint
+	for _, cfgRow := range []struct {
+		name string
+		cfg  crypto.Config
+	}{
+		{"light(BN158-eq)", crypto.LightConfig()},
+		{"heavy(BN254-eq)", crypto.HeavyConfig()},
+	} {
+		for _, b := range batches {
+			opts := protocol.DefaultOptions(protocol.HoneyBadger, protocol.CoinSig)
+			opts.Crypto = cfgRow.cfg
+			opts.BatchSize = b
+			opts.Epochs = epochs
+			opts.Seed = seed
+			res, err := protocol.Run(opts)
+			if err != nil {
+				return nil, fmt.Errorf("bench: fig10d %s b=%d: %w", cfgRow.name, b, err)
+			}
+			out = append(out, Fig10dPoint{
+				Config: cfgRow.name, BatchSize: b,
+				Latency: res.MeanLatency, TPM: res.TPM,
+			})
+		}
+	}
+	return out, nil
+}
+
+// PrintCryptoOps renders Fig. 10a/10b rows.
+func PrintCryptoOps(w io.Writer, title string, rows []CryptoOpRow) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-9s %-9s %-16s %12s\n", "set", "paper-eq", "op", "latency")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s %-9s %-16s %12s\n", r.Set, r.PaperEq, r.Op, r.Latency.Round(time.Microsecond))
+	}
+}
+
+// PrintSizes renders Fig. 10c rows.
+func PrintSizes(w io.Writer, rows []SizeRow) {
+	fmt.Fprintln(w, "Fig. 10c — signature sizes")
+	fmt.Fprintf(w, "%-12s %-11s %6s\n", "scheme", "kind", "bytes")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-11s %6d\n", r.Name, r.Kind, r.Bytes)
+	}
+}
+
+// PrintFig10d renders the crypto-impact points.
+func PrintFig10d(w io.Writer, rows []Fig10dPoint) {
+	fmt.Fprintln(w, "Fig. 10d — HoneyBadgerBFT-SC latency/throughput vs crypto weight")
+	fmt.Fprintf(w, "%-16s %6s %12s %10s\n", "config", "batch", "latency", "TPM")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %6d %12s %10.1f\n", r.Config, r.BatchSize, r.Latency.Round(time.Millisecond), r.TPM)
+	}
+}

@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// Fig11aPoint is one (variant, parallelism) latency measurement.
+type Fig11aPoint struct {
+	Kind     BroadcastKind
+	Parallel int
+	Latency  time.Duration
+}
+
+// figSeeds is how many seeds each figure point averages over: common-coin
+// round counts are luck-driven, so single-seed points are noisy.
+const figSeeds = 5
+
+func meanOverSeeds(base int64, f func(seed int64) (time.Duration, error)) (time.Duration, error) {
+	var sum time.Duration
+	for s := int64(0); s < figSeeds; s++ {
+		lat, err := f(base + s*1009)
+		if err != nil {
+			return 0, err
+		}
+		sum += lat
+	}
+	return sum / figSeeds, nil
+}
+
+// Fig11aBroadcastParallelism sweeps parallelism 1..4 for the five
+// broadcast variants (Fig. 11a: PRBC > CBC > RBC; -small variants flatter).
+func Fig11aBroadcastParallelism(seed int64) ([]Fig11aPoint, error) {
+	var out []Fig11aPoint
+	for _, k := range AllBroadcastKinds() {
+		for par := 1; par <= 4; par++ {
+			k, par := k, par
+			lat, err := meanOverSeeds(seed, func(s int64) (time.Duration, error) {
+				return BroadcastLatency(k, par, 1, true, s)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: fig11a %s par=%d: %w", k, par, err)
+			}
+			out = append(out, Fig11aPoint{Kind: k, Parallel: par, Latency: lat})
+		}
+	}
+	return out, nil
+}
+
+// Fig11bPoint is one (variant, proposal size) latency measurement.
+type Fig11bPoint struct {
+	Kind    BroadcastKind
+	Packets int
+	Latency time.Duration
+}
+
+// Fig11bProposalSize sweeps proposal sizes of 1..4 packets at full
+// parallelism for RBC/PRBC/CBC (Fig. 11b: the CBC-RBC gap grows with
+// proposal size).
+func Fig11bProposalSize(seed int64) ([]Fig11bPoint, error) {
+	var out []Fig11bPoint
+	for _, k := range []BroadcastKind{BRBC, BPRBC, BCBC} {
+		for pk := 1; pk <= 4; pk++ {
+			k, pk := k, pk
+			lat, err := meanOverSeeds(seed, func(s int64) (time.Duration, error) {
+				return BroadcastLatency(k, 4, pk, true, s)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: fig11b %s packets=%d: %w", k, pk, err)
+			}
+			out = append(out, Fig11bPoint{Kind: k, Packets: pk, Latency: lat})
+		}
+	}
+	return out, nil
+}
+
+// Fig12Point is one ABA latency measurement.
+type Fig12Point struct {
+	Variant ABAVariant
+	Count   int // parallel or serial instances
+	Latency time.Duration
+}
+
+// Fig12aParallel sweeps 1..4 parallel instances for the three ABA variants.
+func Fig12aParallel(seed int64) ([]Fig12Point, error) {
+	var out []Fig12Point
+	for _, v := range AllABAVariants() {
+		for par := 1; par <= 4; par++ {
+			v, par := v, par
+			lat, err := meanOverSeeds(seed, func(s int64) (time.Duration, error) {
+				return ABAParallelLatency(v, par, s)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: fig12a %s par=%d: %w", v, par, err)
+			}
+			out = append(out, Fig12Point{Variant: v, Count: par, Latency: lat})
+		}
+	}
+	return out, nil
+}
+
+// Fig12bSerial sweeps 1..4 serial instances for ABA-LC and ABA-SC.
+func Fig12bSerial(seed int64) ([]Fig12Point, error) {
+	var out []Fig12Point
+	for _, v := range []ABAVariant{ABALC, ABASC} {
+		for ser := 1; ser <= 4; ser++ {
+			v, ser := v, ser
+			lat, err := meanOverSeeds(seed, func(s int64) (time.Duration, error) {
+				return ABASerialLatency(v, ser, s)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: fig12b %s serial=%d: %w", v, ser, err)
+			}
+			out = append(out, Fig12Point{Variant: v, Count: ser, Latency: lat})
+		}
+	}
+	return out, nil
+}
+
+// ProtocolPoint is one protocol's (latency, throughput) measurement for
+// Fig. 13a/13b.
+type ProtocolPoint struct {
+	Name    string
+	Latency time.Duration
+	TPM     float64
+}
+
+// fig13Configs enumerates the paper's 8 protocol configurations: five
+// ConsensusBatcher-based and three baselines (shared-coin versions only,
+// as the paper does for baselines).
+func fig13Configs() []struct {
+	Name    string
+	Kind    protocol.Kind
+	Coin    protocol.CoinKind
+	Batched bool
+} {
+	return []struct {
+		Name    string
+		Kind    protocol.Kind
+		Coin    protocol.CoinKind
+		Batched bool
+	}{
+		{"HoneyBadgerBFT-SC", protocol.HoneyBadger, protocol.CoinSig, true},
+		{"HoneyBadgerBFT-LC", protocol.HoneyBadger, protocol.CoinLocal, true},
+		{"Dumbo-SC", protocol.DumboKind, protocol.CoinSig, true},
+		{"Dumbo-LC", protocol.DumboKind, protocol.CoinLocal, true},
+		{"BEAT", protocol.BEAT, protocol.CoinFlip, true},
+		{"HoneyBadgerBFT-SC-baseline", protocol.HoneyBadger, protocol.CoinSig, false},
+		{"Dumbo-SC-baseline", protocol.DumboKind, protocol.CoinSig, false},
+		{"BEAT-baseline", protocol.BEAT, protocol.CoinFlip, false},
+	}
+}
+
+// Fig13aSingleHop measures all eight configurations on the 4-node
+// single-hop network.
+func Fig13aSingleHop(seed int64, epochs, batch int) ([]ProtocolPoint, error) {
+	var out []ProtocolPoint
+	for _, c := range fig13Configs() {
+		c := c
+		var tpmSum float64
+		lat, err := meanOverSeeds(seed, func(s int64) (time.Duration, error) {
+			opts := protocol.DefaultOptions(c.Kind, c.Coin)
+			opts.Batched = c.Batched
+			opts.Epochs = epochs
+			opts.BatchSize = batch
+			opts.Seed = s
+			opts.Deadline = 4 * time.Hour
+			res, err := protocol.Run(opts)
+			if err != nil {
+				return 0, err
+			}
+			tpmSum += res.TPM
+			return res.MeanLatency, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig13a %s: %w", c.Name, err)
+		}
+		out = append(out, ProtocolPoint{Name: c.Name, Latency: lat, TPM: tpmSum / figSeeds})
+	}
+	return out, nil
+}
+
+// Fig13bMultiHop measures all eight configurations on the 16-node,
+// 4-cluster network.
+func Fig13bMultiHop(seed int64, epochs, batch int) ([]ProtocolPoint, error) {
+	var out []ProtocolPoint
+	for _, c := range fig13Configs() {
+		c := c
+		var tpmSum float64
+		lat, err := meanOverSeeds(seed, func(s int64) (time.Duration, error) {
+			opts := protocol.DefaultMultihopOptions(c.Kind, c.Coin)
+			opts.Single.Batched = c.Batched
+			opts.Single.Epochs = epochs
+			opts.Single.BatchSize = batch
+			opts.Single.Seed = s
+			opts.Single.Deadline = 8 * time.Hour
+			res, err := protocol.RunMultihop(opts)
+			if err != nil {
+				return 0, err
+			}
+			tpmSum += res.TPM
+			return res.MeanLatency, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig13b %s: %w", c.Name, err)
+		}
+		out = append(out, ProtocolPoint{Name: c.Name, Latency: lat, TPM: tpmSum / figSeeds})
+	}
+	return out, nil
+}
+
+// PrintFig11a renders the broadcast-parallelism series.
+func PrintFig11a(w io.Writer, rows []Fig11aPoint) {
+	fmt.Fprintln(w, "Fig. 11a — broadcast latency vs parallel instances")
+	fmt.Fprintf(w, "%-10s %9s %12s\n", "variant", "parallel", "latency")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %9d %12s\n", r.Kind, r.Parallel, r.Latency.Round(time.Millisecond))
+	}
+}
+
+// PrintFig11b renders the proposal-size series.
+func PrintFig11b(w io.Writer, rows []Fig11bPoint) {
+	fmt.Fprintln(w, "Fig. 11b — broadcast latency vs proposal size (packets)")
+	fmt.Fprintf(w, "%-10s %8s %12s\n", "variant", "packets", "latency")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %8d %12s\n", r.Kind, r.Packets, r.Latency.Round(time.Millisecond))
+	}
+}
+
+// PrintFig12 renders an ABA series.
+func PrintFig12(w io.Writer, title string, rows []Fig12Point) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-8s %6s %12s\n", "variant", "count", "latency")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %6d %12s\n", r.Variant, r.Count, r.Latency.Round(time.Millisecond))
+	}
+}
+
+// PrintFig13 renders a protocol comparison.
+func PrintFig13(w io.Writer, title string, rows []ProtocolPoint) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-28s %12s %10s\n", "protocol", "latency", "TPM")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s %12s %10.1f\n", r.Name, r.Latency.Round(time.Millisecond), r.TPM)
+	}
+}

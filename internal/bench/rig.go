@@ -1,0 +1,85 @@
+// Package bench is the experiment harness: for every table and figure in
+// the paper's evaluation (Table I, Fig. 10a–d, Fig. 11a–b, Fig. 12a–b,
+// Fig. 13a–b) it provides a function that runs the corresponding workload
+// on the simulator and returns the series the paper plots. cmd/wbft-bench
+// prints them as tables; the root bench_test.go exposes each as a Go
+// benchmark. EXPERIMENTS.md records paper-vs-measured shapes.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/component"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/sim"
+	"repro/internal/wireless"
+)
+
+// ComponentRig is a 4-node single-hop network for component-level
+// experiments (broadcast protocols and ABA in isolation, as in Fig. 11/12).
+type ComponentRig struct {
+	Sched *sim.Scheduler
+	Ch    *wireless.Channel
+	Envs  []*component.Env
+}
+
+// NewComponentRig builds the rig. Batched selects the transport mode.
+func NewComponentRig(seed int64, batched bool, cfg crypto.Config, net wireless.Config) (*ComponentRig, error) {
+	const n, f = 4, 1
+	sched := sim.New(seed)
+	ch := wireless.NewChannel(sched, net)
+	suites, err := crypto.Deal(n, f, cfg, rand.New(rand.NewSource(seed^0xbe)))
+	if err != nil {
+		return nil, err
+	}
+	rig := &ComponentRig{Sched: sched, Ch: ch}
+	for i := 0; i < n; i++ {
+		cpu := sim.NewCPU(sched)
+		auth := &core.SizedAuth{
+			Len:        suites[i].Signer.Scheme().SignatureLen(),
+			CostSign:   suites[i].Cost.PKSign,
+			CostVerify: suites[i].Cost.PKVerify,
+		}
+		tr := core.New(sched, cpu, nil, auth, core.DefaultConfig(batched))
+		st := ch.Attach(wireless.NodeID(i), tr)
+		tr.BindStation(st)
+		rig.Envs = append(rig.Envs, &component.Env{
+			N: n, F: f, Me: i,
+			Suite: suites[i],
+			T:     tr,
+			CPU:   cpu,
+			Sched: sched,
+			Rand:  rand.New(rand.NewSource(seed + int64(i)*337)),
+		})
+	}
+	return rig, nil
+}
+
+// RunUntil drives the simulation until done() or the virtual deadline,
+// returning the completion time.
+func (r *ComponentRig) RunUntil(deadline time.Duration, done func() bool) (time.Duration, error) {
+	for r.Sched.Now() < deadline {
+		if done() {
+			return r.Sched.Now(), nil
+		}
+		if !r.Sched.Step() {
+			break
+		}
+	}
+	if done() {
+		return r.Sched.Now(), nil
+	}
+	return 0, fmt.Errorf("bench: experiment did not converge by %v", deadline)
+}
+
+// LogicalPerNode returns the mean signed logical packets sent per node.
+func (r *ComponentRig) LogicalPerNode() float64 {
+	var total uint64
+	for _, env := range r.Envs {
+		total += env.T.Stats().LogicalSent
+	}
+	return float64(total) / float64(len(r.Envs))
+}

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/component"
+	"repro/internal/crypto"
+	"repro/internal/wireless"
+)
+
+// Table1Row is one row of Table I: message overhead per node for an
+// N-component parallel protocol, analytic columns plus our measured
+// logical-packet counts per node in both transport modes.
+type Table1Row struct {
+	Component        string
+	Wired            int // analytic, per paper
+	BaselineWireless int // analytic
+	Batcher          int // analytic
+	MeasuredBaseline float64
+	MeasuredBatched  float64
+}
+
+// Table1 computes the paper's Table I for N=4: the analytic columns use
+// the paper's formulas; the measured columns run each component with N
+// parallel instances on the simulator and count signed logical packets per
+// node (retransmissions make measured values slightly exceed the analytic
+// ideal).
+func Table1(seed int64) ([]Table1Row, error) {
+	const n = 4
+	rows := []Table1Row{
+		{Component: "RBC", Wired: (n - 1) * (1 + 2*n), BaselineWireless: 1 + 2*n, Batcher: 1 + 2},
+		{Component: "CBC", Wired: 3 * (n - 1), BaselineWireless: 1 + (n - 1) + 1, Batcher: 3},
+		{Component: "PRBC", Wired: (n - 1) * (1 + 3*n), BaselineWireless: 1 + 3*n, Batcher: 1 + 3},
+		{Component: "Bracha's ABA", Wired: 3 * n * (n - 1) * (1 + 2*n), BaselineWireless: 3 * n * (1 + 2*n), Batcher: 3 * 3},
+		{Component: "Cachin's ABA", Wired: 3 * n * (n - 1), BaselineWireless: 3 * n, Batcher: 3},
+	}
+	for i := range rows {
+		for _, batched := range []bool{false, true} {
+			got, err := measureComponentPackets(rows[i].Component, batched, seed)
+			if err != nil {
+				return nil, fmt.Errorf("bench: table1 %s batched=%v: %w", rows[i].Component, batched, err)
+			}
+			if batched {
+				rows[i].MeasuredBatched = got
+			} else {
+				rows[i].MeasuredBaseline = got
+			}
+		}
+	}
+	return rows, nil
+}
+
+func measureComponentPackets(name string, batched bool, seed int64) (float64, error) {
+	net := wireless.DefaultConfig()
+	net.LossProb = 0 // analytic comparison wants the loss-free ideal
+	rig, err := NewComponentRig(seed, batched, crypto.LightConfig(), net)
+	if err != nil {
+		return 0, err
+	}
+	var done func() bool
+	switch name {
+	case "RBC":
+		rbcs := make([]*component.RBC, 4)
+		for i, env := range rig.Envs {
+			rbcs[i] = component.NewRBC(env, component.RBCOptions{Slots: 4})
+		}
+		for i := range rig.Envs {
+			rbcs[i].Propose(i, bytes.Repeat([]byte{byte(i)}, 64))
+		}
+		done = func() bool {
+			for _, r := range rbcs {
+				if r.DeliveredCount() < 4 {
+					return false
+				}
+			}
+			return true
+		}
+	case "CBC":
+		cbcs := make([]*component.CBC, 4)
+		for i, env := range rig.Envs {
+			cbcs[i] = component.NewCBC(env, component.CBCOptions{Kind: 3, Slots: 4})
+		}
+		for i := range rig.Envs {
+			cbcs[i].Propose(i, bytes.Repeat([]byte{byte(i)}, 64))
+		}
+		done = func() bool {
+			for _, c := range cbcs {
+				if c.DeliveredCount() < 4 {
+					return false
+				}
+			}
+			return true
+		}
+	case "PRBC":
+		prbcs := make([]*component.PRBC, 4)
+		for i, env := range rig.Envs {
+			prbcs[i] = component.NewPRBC(env, component.PRBCOptions{Slots: 4})
+		}
+		for i := range rig.Envs {
+			prbcs[i].Propose(i, bytes.Repeat([]byte{byte(i)}, 64))
+		}
+		done = func() bool {
+			for _, p := range prbcs {
+				if p.ProvenCount() < 4 {
+					return false
+				}
+			}
+			return true
+		}
+	case "Bracha's ABA":
+		abas := make([]*component.BrachaABA, 4)
+		for i, env := range rig.Envs {
+			abas[i] = component.NewBrachaABA(env, component.BrachaOptions{Slots: 4})
+		}
+		for i := range rig.Envs {
+			for s := 0; s < 4; s++ {
+				abas[i].Input(s, true)
+			}
+		}
+		done = func() bool {
+			for _, a := range abas {
+				if a.DecidedCount() < 4 {
+					return false
+				}
+			}
+			return true
+		}
+	case "Cachin's ABA":
+		abas := make([]*component.CachinABA, 4)
+		for i, env := range rig.Envs {
+			env := env
+			abas[i] = component.NewCachinABA(env, component.CachinOptions{
+				Slots: 4, SharedCoin: batched,
+				Coin: &component.SigCoin{PK: env.Suite.TSLow, Share: env.Suite.TSLowShare, Env: env},
+			})
+		}
+		for i := range rig.Envs {
+			for s := 0; s < 4; s++ {
+				abas[i].Input(s, true)
+			}
+		}
+		done = func() bool {
+			for _, a := range abas {
+				if a.DecidedCount() < 4 {
+					return false
+				}
+			}
+			return true
+		}
+	default:
+		return 0, fmt.Errorf("bench: unknown component %q", name)
+	}
+	if _, err := rig.RunUntil(8*time.Hour, done); err != nil {
+		return 0, err
+	}
+	return rig.LogicalPerNode(), nil
+}
+
+// PrintTable1 renders Table I.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "Table I — message overhead per node, N=4 parallel components\n")
+	fmt.Fprintf(w, "%-14s %8s %10s %9s | %12s %11s\n",
+		"component", "wired", "baseline", "batcher", "measured-bl", "measured-cb")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %8d %10d %9d | %12.1f %11.1f\n",
+			r.Component, r.Wired, r.BaselineWireless, r.Batcher, r.MeasuredBaseline, r.MeasuredBatched)
+	}
+}

@@ -1,0 +1,383 @@
+package component
+
+import (
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+// BrachaABA runs k parallel (or serial) instances of Bracha's
+// local-coin binary agreement (Fig. 1c): each round has three voting
+// phases, and each phase's votes are themselves reliably broadcast (the
+// source of the O(N^3) wired message complexity the paper cites). Votes
+// are tiny (0/1/⊥), so the vote-RBC rides the RBC-small packet shape
+// (Fig. 5a), and the whole per-round state batches per Fig. 6a.
+//
+// Wire form: one entry per (slot, phase) carrying the node's full
+// vote-RBC view — its own vote plus its echo and ready vectors over all
+// voters — so a single batched frame carries everything the paper's
+// Nack_RBC_1..3 fields do.
+//
+// Termination uses the same DECIDED-claim gadget as CachinABA.
+type BrachaABA struct {
+	env      *Env
+	slots    []*brachaSlot
+	onDecide func(slot int, value bool)
+	roundCap int
+}
+
+const (
+	voteZero = 0
+	voteOne  = 1
+	voteBot  = 2
+)
+
+type brachaSlot struct {
+	started bool
+	round   uint16
+	est     uint8 // voteZero or voteOne
+	decided *bool
+	halted  bool
+	claims  map[int]bool
+	rounds  map[uint16]*brachaRound
+}
+
+type brachaRound struct {
+	phases [3]*brachaPhase
+}
+
+type brachaPhase struct {
+	myVote    uint8   // voteNone until cast
+	votes     []uint8 // voter -> claimed vote (voteNone if unknown)
+	myEcho    []uint8 // voter -> value I echoed (voteNone if none)
+	myReady   []uint8
+	echoes    []map[int]uint8 // voter -> {echoer -> value}
+	readies   []map[int]uint8
+	delivered []uint8 // voter -> delivered vote (voteNone if not yet)
+	nDeliv    int
+	resolved  bool // phase threshold reached and consumed
+}
+
+// BrachaOptions configures the component.
+type BrachaOptions struct {
+	Slots    int
+	RoundCap int
+	OnDecide func(slot int, value bool)
+}
+
+// NewBrachaABA creates the component and registers it on the transport.
+func NewBrachaABA(env *Env, opts BrachaOptions) *BrachaABA {
+	if opts.RoundCap <= 0 {
+		opts.RoundCap = 64
+	}
+	a := &BrachaABA{env: env, onDecide: opts.OnDecide, roundCap: opts.RoundCap}
+	for i := 0; i < opts.Slots; i++ {
+		a.slots = append(a.slots, &brachaSlot{
+			rounds: make(map[uint16]*brachaRound),
+			claims: make(map[int]bool),
+		})
+	}
+	env.T.Register(packet.KindABA, a)
+	return a
+}
+
+// Input starts an instance with an initial estimate.
+func (a *BrachaABA) Input(slot int, v bool) {
+	s := a.slots[slot]
+	if s.started {
+		return
+	}
+	s.started = true
+	s.est = uint8(b2i(v))
+	s.round = 1
+	a.castVote(slot, s.round, 0, s.est)
+}
+
+// Decided returns the decision for a slot, or nil.
+func (a *BrachaABA) Decided(slot int) *bool { return a.slots[slot].decided }
+
+// DecidedCount returns how many instances decided.
+func (a *BrachaABA) DecidedCount() int {
+	n := 0
+	for _, s := range a.slots {
+		if s.decided != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func (a *BrachaABA) phase(slot int, round uint16, ph int) *brachaPhase {
+	s := a.slots[slot]
+	rd := s.rounds[round]
+	if rd == nil {
+		rd = &brachaRound{}
+		s.rounds[round] = rd
+	}
+	if rd.phases[ph] == nil {
+		n := a.env.N
+		p := &brachaPhase{
+			myVote:    voteNone,
+			votes:     filled(n, voteNone),
+			myEcho:    filled(n, voteNone),
+			myReady:   filled(n, voteNone),
+			delivered: filled(n, voteNone),
+			echoes:    make([]map[int]uint8, n),
+			readies:   make([]map[int]uint8, n),
+		}
+		for i := 0; i < n; i++ {
+			p.echoes[i] = make(map[int]uint8)
+			p.readies[i] = make(map[int]uint8)
+		}
+		rd.phases[ph] = p
+	}
+	return rd.phases[ph]
+}
+
+func filled(n int, v uint8) []uint8 {
+	s := make([]uint8, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// castVote sets this node's vote for (slot, round, phase) and publishes
+// the updated vote-RBC view.
+func (a *BrachaABA) castVote(slot int, round uint16, ph int, v uint8) {
+	p := a.phase(slot, round, ph)
+	if p.myVote != voteNone {
+		return
+	}
+	p.myVote = v
+	a.publish(slot, round, ph)
+	a.applyView(slot, round, ph, a.env.Me, a.viewData(slot, round, ph))
+}
+
+// viewData serializes my vote-RBC view: [myVote | echo[N] | ready[N]].
+func (a *BrachaABA) viewData(slot int, round uint16, ph int) []byte {
+	p := a.phase(slot, round, ph)
+	data := make([]byte, 0, 1+2*a.env.N)
+	data = append(data, p.myVote)
+	data = append(data, p.myEcho...)
+	data = append(data, p.myReady...)
+	return data
+}
+
+func (a *BrachaABA) publish(slot int, round uint16, ph int) {
+	a.env.T.Update(core.Intent{
+		IntentKey: core.IntentKey{
+			Kind:  packet.KindABA,
+			Phase: packet.PhaseVote1 + packet.Phase(ph),
+			Slot:  uint8(slot),
+			Round: round,
+		},
+		Data: a.viewData(slot, round, ph),
+	})
+}
+
+// HandleSection implements core.Handler.
+func (a *BrachaABA) HandleSection(from uint16, sec packet.Section) {
+	w := int(from)
+	switch {
+	case sec.Phase >= packet.PhaseVote1 && sec.Phase <= packet.PhaseVote3:
+		ph := int(sec.Phase - packet.PhaseVote1)
+		for _, e := range sec.Entries {
+			if int(e.Slot) >= len(a.slots) {
+				continue
+			}
+			a.applyView(int(e.Slot), e.Round, ph, w, e.Data)
+		}
+	case sec.Phase == packet.PhaseDecided:
+		for _, e := range sec.Entries {
+			if int(e.Slot) >= len(a.slots) || len(e.Data) < 1 {
+				continue
+			}
+			a.applyDecided(int(e.Slot), w, e.Data[0] == 1)
+		}
+	}
+}
+
+// applyView merges a peer's vote-RBC view into local state, advancing the
+// embedded per-vote reliable broadcasts.
+func (a *BrachaABA) applyView(slot int, round uint16, ph int, w int, data []byte) {
+	s := a.slots[slot]
+	n := a.env.N
+	if !s.started || s.halted || int(round) > a.roundCap || len(data) < 1+2*n {
+		return
+	}
+	p := a.phase(slot, round, ph)
+	changed := false
+
+	// w's own vote: treat as the INITIAL of w's vote-RBC.
+	if v := data[0]; v <= voteBot && p.votes[w] == voteNone {
+		p.votes[w] = v
+		if p.myEcho[w] == voteNone {
+			p.myEcho[w] = v
+			changed = true
+		}
+	}
+	// w's echo vector.
+	for u := 0; u < n; u++ {
+		v := data[1+u]
+		if v > voteBot {
+			continue
+		}
+		if _, dup := p.echoes[u][w]; dup {
+			continue
+		}
+		p.echoes[u][w] = v
+		if cnt := countByte(p.echoes[u], v); cnt >= a.env.Quorum() && p.myReady[u] == voteNone {
+			p.myReady[u] = v
+			changed = true
+		}
+	}
+	// w's ready vector.
+	for u := 0; u < n; u++ {
+		v := data[1+n+u]
+		if v > voteBot {
+			continue
+		}
+		if _, dup := p.readies[u][w]; dup {
+			continue
+		}
+		p.readies[u][w] = v
+		cnt := countByte(p.readies[u], v)
+		if cnt >= a.env.Weak() && p.myReady[u] == voteNone {
+			p.myReady[u] = v
+			changed = true
+		}
+		if cnt >= a.env.Quorum() && p.delivered[u] == voteNone {
+			p.delivered[u] = v
+			p.nDeliv++
+		}
+	}
+	if changed {
+		a.publish(slot, round, ph)
+		a.applyView(slot, round, ph, a.env.Me, a.viewData(slot, round, ph))
+	}
+	a.checkPhase(slot, round, ph)
+}
+
+// checkPhase fires when N-f votes of a phase have been vote-RBC-delivered.
+func (a *BrachaABA) checkPhase(slot int, round uint16, ph int) {
+	s := a.slots[slot]
+	if s.halted || round != s.round {
+		return
+	}
+	p := a.phase(slot, round, ph)
+	if p.resolved || p.myVote == voteNone || p.nDeliv < a.env.N-a.env.F {
+		return
+	}
+	p.resolved = true
+	counts := [3]int{}
+	for _, v := range p.delivered {
+		if v != voteNone {
+			counts[v]++
+		}
+	}
+	switch ph {
+	case 0:
+		// Phase 2 vote = majority of delivered phase-1 votes.
+		m := voteZero
+		if counts[voteOne] > counts[voteZero] {
+			m = voteOne
+		}
+		a.castVote(slot, round, 1, uint8(m))
+	case 1:
+		// Phase 3 vote = v if > N/2 delivered phase-2 votes agree, else ⊥.
+		x := uint8(voteBot)
+		for _, v := range []uint8{voteZero, voteOne} {
+			if counts[v] > a.env.N/2 {
+				x = v
+			}
+		}
+		a.castVote(slot, round, 2, x)
+	case 2:
+		a.finishRound(slot, round, counts)
+	}
+}
+
+func (a *BrachaABA) finishRound(slot int, round uint16, counts [3]int) {
+	s := a.slots[slot]
+	v, c := voteZero, counts[voteZero]
+	if counts[voteOne] > c {
+		v, c = voteOne, counts[voteOne]
+	}
+	switch {
+	case c >= a.env.Quorum():
+		s.est = uint8(v)
+		a.decide(slot, v == voteOne)
+	case c >= a.env.Weak():
+		s.est = uint8(v)
+	default:
+		// Local coin: private randomness, the paper's ABA-LC.
+		s.est = uint8(a.env.Rand.Intn(2))
+	}
+	if s.halted {
+		return
+	}
+	if int(round)+1 > a.roundCap {
+		panic("component: bracha ABA exceeded round cap (liveness bug)")
+	}
+	s.round = round + 1
+	if s.round >= 2 {
+		cutoff := s.round - 1
+		a.env.T.RemoveWhere(func(k core.IntentKey) bool {
+			return k.Kind == packet.KindABA && int(k.Slot) == slot &&
+				k.Phase >= packet.PhaseVote1 && k.Phase <= packet.PhaseVote3 &&
+				k.Round != 0 && k.Round < cutoff
+		})
+	}
+	a.castVote(slot, s.round, 0, s.est)
+}
+
+func (a *BrachaABA) decide(slot int, v bool) {
+	s := a.slots[slot]
+	if s.decided != nil {
+		return
+	}
+	dec := v
+	s.decided = &dec
+	a.env.T.Update(core.Intent{
+		IntentKey: core.IntentKey{Kind: packet.KindABA, Phase: packet.PhaseDecided, Slot: uint8(slot)},
+		Data:      []byte{uint8(b2i(v))},
+	})
+	a.applyDecided(slot, a.env.Me, v)
+	if a.onDecide != nil {
+		a.onDecide(slot, v)
+	}
+}
+
+func (a *BrachaABA) applyDecided(slot, w int, v bool) {
+	s := a.slots[slot]
+	if _, seen := s.claims[w]; seen {
+		return
+	}
+	s.claims[w] = v
+	matching := 0
+	for _, cv := range s.claims {
+		if cv == v {
+			matching++
+		}
+	}
+	if matching >= a.env.Weak() && s.decided == nil {
+		a.decide(slot, v)
+	}
+	if matching >= a.env.N-a.env.F && !s.halted {
+		s.halted = true
+		a.env.T.RemoveWhere(func(k core.IntentKey) bool {
+			return k.Kind == packet.KindABA && int(k.Slot) == slot &&
+				k.Phase >= packet.PhaseVote1 && k.Phase <= packet.PhaseVote3
+		})
+	}
+}
+
+func countByte(m map[int]uint8, v uint8) int {
+	n := 0
+	for _, x := range m {
+		if x == v {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,506 @@
+package component
+
+import (
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+// CachinABA runs k parallel (or serial) instances of the shared-coin
+// binary-agreement protocol the paper calls "Cachin's ABA" (the
+// BVAL/AUX/SHARE round structure of Fig. 1d, packets per Fig. 6b).
+//
+// Wireless adaptations from Sec. V-A:
+//   - batched parallel instances share one coin per round (SharedCoin);
+//   - serial execution releases coin shares only for the active instance,
+//     so Byzantine nodes cannot learn future coins early.
+type CachinABA struct {
+	env        *Env
+	coin       CoinSource
+	sharedCoin bool
+	slots      []*abaSlot
+	coins      map[coinKey]*coinState
+
+	onDecide func(slot int, value bool)
+
+	roundCap int
+}
+
+type coinKey struct {
+	slot  uint8 // sharedSlot when the coin is shared across instances
+	round uint16
+}
+
+type coinState struct {
+	released bool
+	shares   map[int][]byte
+	verified int
+	value    *bool
+	waiting  []func(bool)
+	combined bool
+}
+
+type abaSlot struct {
+	started bool
+	round   uint16
+	est     bool
+	decided *bool
+	halted  bool
+	claims  map[int]bool // DECIDED claims by peer
+	rounds  map[uint16]*abaRound
+}
+
+type abaRound struct {
+	bvalSent  [2]bool
+	bvalRecv  [2]map[int]bool
+	binValues [2]bool
+	auxSent   bool
+	auxVal    bool
+	auxRecv   map[int]*bool
+	valsReady bool
+	advanced  bool
+}
+
+// CachinOptions configures the component.
+type CachinOptions struct {
+	Slots      int
+	Coin       CoinSource
+	SharedCoin bool // one coin per round across all instances (batched mode)
+	RoundCap   int  // safety bound on rounds (default 64)
+	OnDecide   func(slot int, value bool)
+}
+
+// NewCachinABA creates the component and registers it on the transport.
+func NewCachinABA(env *Env, opts CachinOptions) *CachinABA {
+	if opts.RoundCap <= 0 {
+		opts.RoundCap = 64
+	}
+	a := &CachinABA{
+		env:        env,
+		coin:       opts.Coin,
+		sharedCoin: opts.SharedCoin,
+		coins:      make(map[coinKey]*coinState),
+		onDecide:   opts.OnDecide,
+		roundCap:   opts.RoundCap,
+	}
+	for i := 0; i < opts.Slots; i++ {
+		a.slots = append(a.slots, &abaSlot{
+			rounds: make(map[uint16]*abaRound),
+			claims: make(map[int]bool),
+		})
+	}
+	env.T.Register(packet.KindABA, a)
+	return a
+}
+
+// Input starts an instance with an initial estimate. The wireless rule of
+// Sec. V-A (all parallel instances start simultaneously once 2f+1 RBCs
+// finish) is enforced by the protocol layer calling Input for all slots in
+// the same event.
+func (a *CachinABA) Input(slot int, v bool) {
+	s := a.slots[slot]
+	if s.started {
+		return
+	}
+	s.started = true
+	s.est = v
+	s.round = 1
+	a.startRound(slot)
+}
+
+// Decided returns the decision for a slot, or nil.
+func (a *CachinABA) Decided(slot int) *bool { return a.slots[slot].decided }
+
+// DecidedCount returns how many instances have decided.
+func (a *CachinABA) DecidedCount() int {
+	n := 0
+	for _, s := range a.slots {
+		if s.decided != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func (a *CachinABA) round(slot int, r uint16) *abaRound {
+	s := a.slots[slot]
+	rd := s.rounds[r]
+	if rd == nil {
+		rd = &abaRound{
+			bvalRecv: [2]map[int]bool{{}, {}},
+			auxRecv:  make(map[int]*bool),
+		}
+		s.rounds[r] = rd
+	}
+	return rd
+}
+
+func (a *CachinABA) startRound(slot int) {
+	s := a.slots[slot]
+	if s.halted {
+		return
+	}
+	if int(s.round) > a.roundCap {
+		panic("component: cachin ABA exceeded round cap (liveness bug)")
+	}
+	a.sendBval(slot, s.round, s.est)
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func (a *CachinABA) sendBval(slot int, round uint16, v bool) {
+	rd := a.round(slot, round)
+	if rd.bvalSent[b2i(v)] {
+		return
+	}
+	rd.bvalSent[b2i(v)] = true
+	var bits uint8
+	if rd.bvalSent[0] {
+		bits |= 1
+	}
+	if rd.bvalSent[1] {
+		bits |= 2
+	}
+	a.env.T.Update(core.Intent{
+		IntentKey: core.IntentKey{Kind: packet.KindABA, Phase: packet.PhaseBval, Slot: uint8(slot), Round: round},
+		Data:      []byte{bits},
+	})
+	a.applyBval(slot, round, a.env.Me, v)
+}
+
+func (a *CachinABA) sendAux(slot int, round uint16, v bool) {
+	rd := a.round(slot, round)
+	if rd.auxSent {
+		return
+	}
+	rd.auxSent = true
+	rd.auxVal = v
+	a.env.T.Update(core.Intent{
+		IntentKey: core.IntentKey{Kind: packet.KindABA, Phase: packet.PhaseAux, Slot: uint8(slot), Round: round},
+		Data:      []byte{uint8(b2i(v))},
+	})
+	a.applyAux(slot, round, a.env.Me, v)
+}
+
+// HandleSection implements core.Handler.
+func (a *CachinABA) HandleSection(from uint16, sec packet.Section) {
+	w := int(from)
+	switch sec.Phase {
+	case packet.PhaseBval:
+		for _, e := range sec.Entries {
+			if int(e.Slot) >= len(a.slots) || len(e.Data) < 1 {
+				continue
+			}
+			if e.Data[0]&1 != 0 {
+				a.applyBval(int(e.Slot), e.Round, w, false)
+			}
+			if e.Data[0]&2 != 0 {
+				a.applyBval(int(e.Slot), e.Round, w, true)
+			}
+		}
+	case packet.PhaseAux:
+		for _, e := range sec.Entries {
+			if int(e.Slot) >= len(a.slots) || len(e.Data) < 1 {
+				continue
+			}
+			a.applyAux(int(e.Slot), e.Round, w, e.Data[0] == 1)
+		}
+	case packet.PhaseShare:
+		for _, e := range sec.Entries {
+			a.handleCoinShare(e.Slot, e.Round, w, e.Data)
+		}
+	case packet.PhaseDecided:
+		for _, e := range sec.Entries {
+			if int(e.Slot) >= len(a.slots) || len(e.Data) < 1 {
+				continue
+			}
+			a.applyDecided(int(e.Slot), w, e.Data[0] == 1)
+		}
+	}
+}
+
+// decide records the local decision and broadcasts a DECIDED claim. The
+// node keeps participating in rounds (deterministically, est = v) until
+// N-f claims confirm that every honest node can terminate — the standard
+// termination gadget for common-coin ABA.
+func (a *CachinABA) decide(slot int, v bool) {
+	s := a.slots[slot]
+	if s.decided != nil {
+		return
+	}
+	dec := v
+	s.decided = &dec
+	a.env.T.Update(core.Intent{
+		IntentKey: core.IntentKey{Kind: packet.KindABA, Phase: packet.PhaseDecided, Slot: uint8(slot)},
+		Data:      []byte{uint8(b2i(v))},
+	})
+	a.applyDecided(slot, a.env.Me, v)
+	if a.onDecide != nil {
+		a.onDecide(slot, v)
+	}
+}
+
+func (a *CachinABA) applyDecided(slot, w int, v bool) {
+	s := a.slots[slot]
+	if _, seen := s.claims[w]; seen {
+		return
+	}
+	s.claims[w] = v
+	matching := 0
+	for _, cv := range s.claims {
+		if cv == v {
+			matching++
+		}
+	}
+	// f+1 matching claims contain one honest decider: adopt.
+	if matching >= a.env.Weak() && s.decided == nil {
+		a.decide(slot, v)
+	}
+	// N-f claims: every honest node can now terminate from claims alone.
+	if matching >= a.env.N-a.env.F && !s.halted {
+		s.halted = true
+		a.env.T.RemoveWhere(func(k core.IntentKey) bool {
+			if k.Kind != packet.KindABA || int(k.Slot) != slot {
+				return false
+			}
+			return k.Phase == packet.PhaseBval || k.Phase == packet.PhaseAux ||
+				(k.Phase == packet.PhaseShare && !a.sharedCoin)
+		})
+	}
+}
+
+func (a *CachinABA) applyBval(slot int, round uint16, w int, v bool) {
+	s := a.slots[slot]
+	if !s.started || s.halted || int(round) > a.roundCap {
+		return
+	}
+	rd := a.round(slot, round)
+	if rd.bvalRecv[b2i(v)][w] {
+		return
+	}
+	rd.bvalRecv[b2i(v)][w] = true
+	n := len(rd.bvalRecv[b2i(v)])
+	if n >= a.env.Weak() && !rd.bvalSent[b2i(v)] && round == s.round {
+		a.sendBval(slot, round, v) // BVAL amplification
+	}
+	if n >= a.env.Quorum() && !rd.binValues[b2i(v)] {
+		rd.binValues[b2i(v)] = true
+		if !rd.auxSent && round == s.round {
+			a.sendAux(slot, round, v)
+		}
+		a.checkRound(slot, round)
+	}
+}
+
+func (a *CachinABA) applyAux(slot int, round uint16, w int, v bool) {
+	s := a.slots[slot]
+	if !s.started || s.halted || int(round) > a.roundCap {
+		return
+	}
+	rd := a.round(slot, round)
+	if _, seen := rd.auxRecv[w]; seen {
+		return
+	}
+	val := v
+	rd.auxRecv[w] = &val
+	a.checkRound(slot, round)
+}
+
+// checkRound fires when N-f AUX votes carrying bin_values have arrived:
+// release the coin share, and once the coin is known, advance.
+func (a *CachinABA) checkRound(slot int, round uint16) {
+	s := a.slots[slot]
+	if round != s.round || s.rounds[round].advanced {
+		return
+	}
+	rd := s.rounds[round]
+	count := 0
+	vals := [2]bool{}
+	for _, v := range rd.auxRecv {
+		if rd.binValues[b2i(*v)] {
+			count++
+			vals[b2i(*v)] = true
+		}
+	}
+	if count < a.env.N-a.env.F {
+		return
+	}
+	rd.valsReady = true
+	a.releaseCoinShare(slot, round)
+	a.withCoin(slot, round, func(coin bool) {
+		a.advance(slot, round, vals, coin)
+	})
+}
+
+// coinKeyFor returns the coin identity for (slot, round) under the
+// configured sharing mode.
+func (a *CachinABA) coinKeyFor(slot int, round uint16) coinKey {
+	if a.sharedCoin {
+		return coinKey{slot: sharedSlot, round: round}
+	}
+	return coinKey{slot: uint8(slot), round: round}
+}
+
+func (a *CachinABA) coinState(k coinKey) *coinState {
+	cs := a.coins[k]
+	if cs == nil {
+		cs = &coinState{shares: make(map[int][]byte)}
+		a.coins[k] = cs
+	}
+	return cs
+}
+
+func (a *CachinABA) releaseCoinShare(slot int, round uint16) {
+	k := a.coinKeyFor(slot, round)
+	cs := a.coinState(k)
+	if cs.released {
+		return
+	}
+	cs.released = true
+	name := coinName(a.env.Session, a.env.Epoch, k.slot, k.round)
+	shareCost, _, _ := a.coin.Costs()
+	env := a.env
+	env.Exec(shareCost, func() {
+		data, err := a.coin.ShareData(name)
+		if err != nil {
+			panic("component: coin share generation failed: " + err.Error())
+		}
+		env.T.Update(core.Intent{
+			IntentKey: core.IntentKey{Kind: packet.KindABA, Phase: packet.PhaseShare, Slot: k.slot, Sub: uint8(env.Me), Round: round},
+			Data:      data,
+		})
+		a.acceptCoinShare(k, env.Me, data)
+	})
+}
+
+func (a *CachinABA) handleCoinShare(slot uint8, round uint16, w int, data []byte) {
+	k := coinKey{slot: slot, round: round}
+	if a.sharedCoin && slot != sharedSlot {
+		return // batched mode only uses the shared coin
+	}
+	if !a.sharedCoin && slot == sharedSlot {
+		return
+	}
+	cs := a.coinState(k)
+	if _, dup := cs.shares[w]; dup || cs.value != nil {
+		return
+	}
+	name := coinName(a.env.Session, a.env.Epoch, k.slot, k.round)
+	_, verifyCost, _ := a.coin.Costs()
+	data = append([]byte(nil), data...)
+	env := a.env
+	env.Exec(verifyCost, func() {
+		if _, dup := cs.shares[w]; dup || cs.value != nil {
+			return
+		}
+		if err := a.coin.VerifyShare(name, data); err != nil {
+			return // Byzantine share
+		}
+		a.acceptCoinShare(k, w, data)
+	})
+}
+
+func (a *CachinABA) acceptCoinShare(k coinKey, w int, data []byte) {
+	cs := a.coinState(k)
+	if _, dup := cs.shares[w]; dup || cs.combined {
+		return
+	}
+	cs.shares[w] = data
+	if len(cs.shares) < a.coin.Threshold() {
+		return
+	}
+	cs.combined = true
+	name := coinName(a.env.Session, a.env.Epoch, k.slot, k.round)
+	raw := make([][]byte, 0, len(cs.shares))
+	for _, d := range cs.shares {
+		raw = append(raw, d)
+	}
+	_, _, combineCost := a.coin.Costs()
+	env := a.env
+	env.Exec(combineCost, func() {
+		v, err := a.coin.Combine(name, raw)
+		if err != nil {
+			// A bad share slipped through (possible only if verification
+			// was skipped); reset and wait for more shares.
+			cs.combined = false
+			cs.shares = make(map[int][]byte)
+			return
+		}
+		cs.value = &v
+		for _, fn := range cs.waiting {
+			fn(v)
+		}
+		cs.waiting = nil
+	})
+}
+
+func (a *CachinABA) withCoin(slot int, round uint16, fn func(bool)) {
+	cs := a.coinState(a.coinKeyFor(slot, round))
+	if cs.value != nil {
+		fn(*cs.value)
+		return
+	}
+	cs.waiting = append(cs.waiting, fn)
+}
+
+// advance applies the round decision rule and moves to the next round.
+func (a *CachinABA) advance(slot int, round uint16, vals [2]bool, coin bool) {
+	s := a.slots[slot]
+	if round != s.round {
+		return
+	}
+	rd := s.rounds[round]
+	if rd.advanced || !rd.valsReady {
+		return
+	}
+	rd.advanced = true
+	switch {
+	case vals[0] != vals[1]: // single value v
+		v := vals[1]
+		s.est = v
+		if v == coin {
+			a.decide(slot, v)
+		}
+	default: // both values present
+		s.est = coin
+	}
+	s.round++
+	a.pruneRounds(slot, s.round)
+	a.startRound(slot)
+}
+
+// pruneRounds drops outbound state older than the previous round: a
+// lagging honest peer can be at most one coin exchange behind, and beyond
+// that the DECIDED gadget carries it over the line.
+func (a *CachinABA) pruneRounds(slot int, current uint16) {
+	if current < 2 {
+		return
+	}
+	cutoff := current - 1
+	a.env.T.RemoveWhere(func(k core.IntentKey) bool {
+		if k.Kind != packet.KindABA || k.Round >= cutoff || k.Round == 0 {
+			return false
+		}
+		switch k.Phase {
+		case packet.PhaseBval, packet.PhaseAux:
+			return int(k.Slot) == slot
+		case packet.PhaseShare:
+			// Shared-coin shares are pruned only when every slot has left
+			// the round; per-slot coins prune with their slot.
+			if a.sharedCoin {
+				for _, s := range a.slots {
+					if s.started && !s.halted && s.round <= k.Round {
+						return false
+					}
+				}
+				return true
+			}
+			return int(k.Slot) == slot
+		}
+		return false
+	})
+}

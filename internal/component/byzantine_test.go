@@ -1,0 +1,182 @@
+package component
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+// TestRBCEquivocatingLeader has the leader broadcast two different
+// proposals for the same slot (the strongest equivocation a broadcast
+// channel admits: conflicting frames at different times). Honest nodes
+// must never deliver conflicting values.
+func TestRBCEquivocatingLeader(t *testing.T) {
+	tn := newTestNet(t, 21, 0, true)
+	rbcs := make([]*RBC, 4)
+	for i, env := range tn.envs {
+		rbcs[i] = NewRBC(env, RBCOptions{Slots: 4})
+	}
+	// Leader 0 equivocates: proposes A, then immediately overwrites its
+	// INITIAL intent with B (so different receivers may assemble either).
+	rbcs[0].Propose(0, []byte("value-A"))
+	tn.envs[0].T.Update(core.Intent{
+		IntentKey: core.IntentKey{Kind: packet.KindRBC, Phase: packet.PhaseInitial, Slot: 0},
+		Flags:     1,
+		Data:      []byte("value-B"),
+	})
+	// Honest proposers for the other slots.
+	for i := 1; i < 4; i++ {
+		rbcs[i].Propose(i, []byte{byte(i)})
+	}
+	tn.run(t, 30*time.Minute, func() bool {
+		// Wait for the honest slots everywhere; slot 0 may or may not
+		// deliver depending on which value wins the quorum.
+		for i := 0; i < 4; i++ {
+			for s := 1; s < 4; s++ {
+				if !rbcs[i].Delivered(s) {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	// Agreement on slot 0: any two nodes that delivered must agree.
+	var ref []byte
+	for i := 0; i < 4; i++ {
+		if !rbcs[i].Delivered(0) {
+			continue
+		}
+		v := rbcs[i].Value(0)
+		if ref == nil {
+			ref = v
+			continue
+		}
+		if !bytes.Equal(ref, v) {
+			t.Fatalf("equivocation broke agreement: %q vs %q", ref, v)
+		}
+	}
+}
+
+// byzantineShareInjector corrupts PRBC DONE shares from node 3.
+func TestPRBCByzantineShareRejected(t *testing.T) {
+	tn := newTestNet(t, 22, 0, true)
+	prbcs := make([]*PRBC, 4)
+	for i, env := range tn.envs {
+		prbcs[i] = NewPRBC(env, PRBCOptions{Slots: 4})
+	}
+	for i := range tn.envs {
+		prbcs[i].Propose(i, []byte(fmt.Sprintf("p-%d", i)))
+	}
+	// Node 3 additionally injects garbage DONE shares for every slot under
+	// its own sub id — they must be discarded by share verification, and
+	// proofs must still form from the honest shares.
+	for s := 0; s < 4; s++ {
+		tn.envs[3].T.Update(core.Intent{
+			IntentKey: core.IntentKey{Kind: packet.KindPRBC, Phase: packet.PhaseDone, Slot: uint8(s), Sub: 3},
+			Data:      bytes.Repeat([]byte{0xFF}, 90),
+		})
+	}
+	tn.run(t, 30*time.Minute, func() bool {
+		for i := 0; i < 3; i++ { // honest nodes
+			if prbcs[i].ProvenCount() < 4 {
+				return false
+			}
+		}
+		return true
+	})
+	for slot := 0; slot < 4; slot++ {
+		h := HashValue(prbcs[0].RBC().Value(slot))
+		if err := prbcs[0].VerifyProof(slot, h, prbcs[0].Proof(slot)); err != nil {
+			t.Errorf("slot %d proof invalid despite honest quorum: %v", slot, err)
+		}
+	}
+}
+
+// TestCachinABAByzantineCoinShares injects garbage coin shares; agreement
+// and termination must be unaffected (DLEQ/proof verification drops them).
+func TestCachinABAByzantineCoinShares(t *testing.T) {
+	tn := newTestNet(t, 23, 0, true)
+	abas := make([]*CachinABA, 4)
+	for i, env := range tn.envs {
+		env := env
+		abas[i] = NewCachinABA(env, CachinOptions{
+			Slots:      2,
+			SharedCoin: true,
+			Coin:       &SigCoin{PK: env.Suite.TSLow, Share: env.Suite.TSLowShare, Env: env},
+		})
+	}
+	// Node 3 spams forged coin shares for rounds 1..3.
+	for r := uint16(1); r <= 3; r++ {
+		tn.envs[3].T.Update(core.Intent{
+			IntentKey: core.IntentKey{Kind: packet.KindABA, Phase: packet.PhaseShare, Slot: 0xFF, Sub: 3, Round: r},
+			Data:      bytes.Repeat([]byte{0xAB}, 100),
+		})
+	}
+	for i := range tn.envs {
+		abas[i].Input(0, i%2 == 0)
+		abas[i].Input(1, true)
+	}
+	tn.run(t, 60*time.Minute, func() bool {
+		for _, a := range abas {
+			if a.DecidedCount() < 2 {
+				return false
+			}
+		}
+		return true
+	})
+	for slot := 0; slot < 2; slot++ {
+		want := *abas[0].Decided(slot)
+		for i := 1; i < 4; i++ {
+			if *abas[i].Decided(slot) != want {
+				t.Fatalf("agreement violated on slot %d with Byzantine coin shares", slot)
+			}
+		}
+	}
+	if v := abas[0].Decided(1); v == nil || !*v {
+		t.Error("unanimous-1 instance decided 0 (validity)")
+	}
+}
+
+// TestForgedFrameRejectedByRealAuth shows real signature verification
+// drops frames whose signature does not match the claimed sender.
+func TestForgedFrameRejectedByRealAuth(t *testing.T) {
+	tn := newTestNet(t, 24, 0, true)
+	// Swap in real authentication on the receiving side and a mismatched
+	// signer on the sending side.
+	var peers []struct{}
+	_ = peers
+	rbc1 := NewRBC(tn.envs[1], RBCOptions{Slots: 4})
+	_ = rbc1
+	// Build a frame signed by node 2's key but claiming sender 0.
+	auth := &core.RealAuth{
+		Signer: tn.envs[2].Suite.Signer,
+		Peers:  tn.envs[2].Suite.Verify,
+	}
+	frame := &packet.Frame{
+		Sender:  0, // lie
+		Session: 0,
+		Epoch:   0,
+		Sections: []packet.Section{{
+			Kind: packet.KindRBC, Phase: packet.PhaseInitial,
+			Entries: []packet.Entry{{Slot: 0, Flags: 1, Data: []byte("forged")}},
+		}},
+	}
+	body, err := frame.AppendBody(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := auth.Sign(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := auth.Verify(0, body, sig); err == nil {
+		t.Fatal("forged frame (signed by node 2, claiming node 0) verified")
+	}
+	if err := auth.Verify(2, body, sig); err != nil {
+		t.Fatalf("honest verification failed: %v", err)
+	}
+}

@@ -1,0 +1,447 @@
+package component
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/big"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crypto/threshsig"
+	"repro/internal/packet"
+)
+
+func bigFromBytes(b []byte) *big.Int { return new(big.Int).SetBytes(b) }
+
+// CBC runs N parallel consistent-broadcast instances (Fig. 1b): the leader
+// disseminates its proposal (INITIAL), every node returns a 2f+1-threshold
+// signature share over it (ECHO, the paper's N-to-1 round), and the leader
+// combines and broadcasts the quorum certificate (FINISH). Delivery of
+// (value, certificate) proves 2f+1 nodes received the value.
+//
+// The -small variant (Fig. 5b) inlines tiny proposals (Dumbo's CBC-commit
+// carries a 2f+1-sized node-ID list).
+type CBC struct {
+	env   *Env
+	kind  packet.Kind
+	small bool
+	frag  int
+	slots []*cbcSlot
+
+	onDeliver func(slot int, value []byte, cert []byte)
+
+	finDone packet.BitSet
+}
+
+type cbcSlot struct {
+	leader int
+
+	value     []byte
+	frags     [][]byte
+	fragTotal int
+	assembled bool
+
+	sentShare bool
+	shares    map[int]*threshsig.SigShare // leader only
+	combining bool
+
+	cert      []byte
+	certHash  Hash8
+	delivered bool
+
+	needRepair bool
+	repairAt   time.Duration
+}
+
+// CBCOptions configures a CBC component.
+type CBCOptions struct {
+	Kind      packet.Kind // KindCBCValue or KindCBCCommit
+	Slots     int
+	Small     bool
+	FragSize  int
+	OnDeliver func(slot int, value []byte, cert []byte)
+}
+
+// NewCBC creates the component and registers it on the transport.
+func NewCBC(env *Env, opts CBCOptions) *CBC {
+	if opts.FragSize <= 0 {
+		opts.FragSize = 160
+	}
+	c := &CBC{
+		env:       env,
+		kind:      opts.Kind,
+		small:     opts.Small,
+		frag:      opts.FragSize,
+		onDeliver: opts.OnDeliver,
+		finDone:   packet.NewBitSet(opts.Slots),
+	}
+	for i := 0; i < opts.Slots; i++ {
+		c.slots = append(c.slots, &cbcSlot{
+			leader: i % env.N,
+			shares: make(map[int]*threshsig.SigShare),
+		})
+	}
+	env.T.Register(opts.Kind, c)
+	return c
+}
+
+// Delivered reports whether a slot completed.
+func (c *CBC) Delivered(slot int) bool { return c.slots[slot].delivered }
+
+// DeliveredCount returns the number of completed slots.
+func (c *CBC) DeliveredCount() int {
+	n := 0
+	for _, s := range c.slots {
+		if s.delivered {
+			n++
+		}
+	}
+	return n
+}
+
+// Value returns a delivered slot's value (nil before delivery).
+func (c *CBC) Value(slot int) []byte {
+	if !c.slots[slot].delivered {
+		return nil
+	}
+	return c.slots[slot].value
+}
+
+// shareMessage is the string the ECHO threshold shares sign.
+func (c *CBC) shareMessage(slot int, h Hash8) []byte {
+	msg := make([]byte, 0, 32)
+	msg = append(msg, "cbc-echo"...)
+	msg = append(msg, byte(c.kind))
+	msg = binary.BigEndian.AppendUint32(msg, c.env.Session)
+	msg = binary.BigEndian.AppendUint16(msg, c.env.Epoch)
+	msg = append(msg, byte(slot))
+	return append(msg, h[:]...)
+}
+
+// Propose starts instance slot with this node as leader.
+func (c *CBC) Propose(slot int, value []byte) {
+	s := c.slots[slot]
+	if s.leader != c.env.Me {
+		panic(fmt.Sprintf("component: node %d proposing CBC slot %d led by %d", c.env.Me, slot, s.leader))
+	}
+	if c.small {
+		c.env.T.Update(core.Intent{
+			IntentKey: core.IntentKey{Kind: c.kind, Phase: packet.PhaseInitial, Slot: uint8(slot)},
+			Data:      append([]byte(nil), value...),
+		})
+	} else {
+		total := (len(value) + c.frag - 1) / c.frag
+		if total == 0 {
+			total = 1
+		}
+		for i := 0; i < total; i++ {
+			lo, hi := i*c.frag, (i+1)*c.frag
+			if hi > len(value) {
+				hi = len(value)
+			}
+			c.env.T.Update(core.Intent{
+				IntentKey: core.IntentKey{Kind: c.kind, Phase: packet.PhaseInitial, Slot: uint8(slot), Sub: uint8(i)},
+				Flags:     uint8(total),
+				Data:      append([]byte(nil), value[lo:hi]...),
+			})
+		}
+	}
+	c.acceptValue(slot, value)
+}
+
+func (c *CBC) acceptValue(slot int, value []byte) {
+	s := c.slots[slot]
+	if s.assembled {
+		return
+	}
+	s.assembled = true
+	s.value = value
+	if !s.sentShare {
+		s.sentShare = true
+		h := HashValue(value)
+		msg := c.shareMessage(slot, h)
+		env := c.env
+		env.Exec(env.Suite.Cost.TSSign, func() {
+			share, err := env.Suite.TSHigh.Sign(env.Suite.TSHighShare, msg, env.Rand)
+			if err != nil {
+				panic(fmt.Sprintf("component: cbc share signing: %v", err))
+			}
+			env.T.Update(core.Intent{
+				IntentKey: core.IntentKey{Kind: c.kind, Phase: packet.PhaseEcho, Slot: uint8(slot), Sub: uint8(env.Me)},
+				Data:      EncodeSigShare(share),
+			})
+			if s.leader == env.Me {
+				c.applyShare(slot, env.Me, share)
+			}
+		})
+	}
+	c.deliver(slot)
+}
+
+// HandleSection implements core.Handler.
+func (c *CBC) HandleSection(from uint16, sec packet.Section) {
+	w := int(from)
+	switch sec.Phase {
+	case packet.PhaseInitial:
+		for _, e := range sec.Entries {
+			c.handleInitial(w, e)
+		}
+	case packet.PhaseEcho:
+		for _, e := range sec.Entries {
+			slot := int(e.Slot)
+			if slot >= len(c.slots) {
+				continue
+			}
+			// Only the slot's leader combines shares.
+			if c.slots[slot].leader != c.env.Me {
+				continue
+			}
+			c.handleShareData(slot, w, e.Data)
+		}
+	case packet.PhaseFinish:
+		for _, e := range sec.Entries {
+			c.handleFinish(int(e.Slot), w, e.Data)
+		}
+	case packet.PhaseRepair:
+		for _, e := range sec.Entries {
+			c.handleRepairRequest(int(e.Slot), e.Data)
+		}
+	}
+}
+
+func (c *CBC) handleInitial(w int, e packet.Entry) {
+	slot := int(e.Slot)
+	if slot >= len(c.slots) {
+		return
+	}
+	s := c.slots[slot]
+	// After a repair request any peer may supply the value; delivery
+	// re-checks the hash against the quorum certificate.
+	if s.assembled || (w != s.leader && !s.needRepair) {
+		return
+	}
+	if c.small {
+		c.acceptValue(slot, append([]byte(nil), e.Data...))
+		return
+	}
+	total := int(e.Flags)
+	if total == 0 {
+		return
+	}
+	if s.frags == nil {
+		s.frags = make([][]byte, total)
+		s.fragTotal = total
+	}
+	if total != s.fragTotal || int(e.Sub) >= total || s.frags[e.Sub] != nil {
+		return
+	}
+	s.frags[e.Sub] = append([]byte(nil), e.Data...)
+	for _, f := range s.frags {
+		if f == nil {
+			return
+		}
+	}
+	var value []byte
+	for _, f := range s.frags {
+		value = append(value, f...)
+	}
+	c.acceptValue(slot, value)
+}
+
+func (c *CBC) handleShareData(slot, w int, raw []byte) {
+	s := c.slots[slot]
+	if _, dup := s.shares[w]; dup || s.cert != nil || !s.assembled {
+		return
+	}
+	share, err := DecodeSigShare(raw)
+	if err != nil {
+		return
+	}
+	msg := c.shareMessage(slot, HashValue(s.value))
+	env := c.env
+	env.Exec(env.Suite.Cost.TSVerifyShare, func() {
+		if _, dup := s.shares[w]; dup || s.cert != nil {
+			return
+		}
+		if err := env.Suite.TSHigh.VerifyShare(msg, share); err != nil {
+			return
+		}
+		c.applyShare(slot, w, share)
+	})
+}
+
+func (c *CBC) applyShare(slot, w int, share *threshsig.SigShare) {
+	s := c.slots[slot]
+	if _, dup := s.shares[w]; dup || s.cert != nil {
+		return
+	}
+	s.shares[w] = share
+	if len(s.shares) < c.env.Quorum() || s.combining {
+		return
+	}
+	s.combining = true
+	shares := make([]*threshsig.SigShare, 0, len(s.shares))
+	for _, sh := range s.shares {
+		shares = append(shares, sh)
+	}
+	h := HashValue(s.value)
+	msg := c.shareMessage(slot, h)
+	env := c.env
+	env.Exec(env.Suite.Cost.TSCombine, func() {
+		sig, err := env.Suite.TSHigh.Combine(msg, shares)
+		if err != nil {
+			s.combining = false
+			s.shares = make(map[int]*threshsig.SigShare)
+			return
+		}
+		s.cert = sig.Bytes()
+		s.certHash = h
+		env.T.Update(core.Intent{
+			IntentKey: core.IntentKey{Kind: c.kind, Phase: packet.PhaseFinish, Slot: uint8(slot)},
+			Data:      EncodeFinish(h, s.cert),
+		})
+		c.deliver(slot)
+	})
+}
+
+func (c *CBC) handleFinish(slot, w int, raw []byte) {
+	if slot >= len(c.slots) {
+		return
+	}
+	s := c.slots[slot]
+	if s.delivered {
+		return
+	}
+	h, cert, err := DecodeFinish(raw)
+	if err != nil {
+		return
+	}
+	msg := c.shareMessage(slot, h)
+	env := c.env
+	env.Exec(env.Suite.Cost.TSVerify, func() {
+		if s.delivered {
+			return
+		}
+		if err := env.Suite.TSHigh.Verify(msg, &threshsig.Signature{S: bigFromBytes(cert)}); err != nil {
+			return
+		}
+		s.cert = cert
+		s.certHash = h
+		if !s.assembled {
+			c.requestRepair(slot)
+			return
+		}
+		if HashValue(s.value) != h {
+			// A certificate for a different value than we assembled: the
+			// certificate wins (2f+1 nodes vouched for it).
+			s.assembled = false
+			s.value = nil
+			s.frags = nil
+			c.requestRepair(slot)
+			return
+		}
+		c.deliver(slot)
+	})
+}
+
+func (c *CBC) deliver(slot int) {
+	s := c.slots[slot]
+	if s.delivered || s.cert == nil || !s.assembled {
+		return
+	}
+	if HashValue(s.value) != s.certHash {
+		// Repair supplied a value that does not match the certificate.
+		s.assembled = false
+		s.value = nil
+		s.frags = nil
+		s.needRepair = false
+		c.requestRepair(slot)
+		return
+	}
+	s.delivered = true
+	c.finDone.Set(slot)
+	c.env.T.SetNack(c.kind, packet.PhaseFinish, c.finDone)
+	c.env.T.Remove(core.IntentKey{Kind: c.kind, Phase: packet.PhaseEcho, Slot: uint8(slot), Sub: uint8(c.env.Me)})
+	if s.needRepair {
+		c.env.T.Remove(core.IntentKey{Kind: c.kind, Phase: packet.PhaseRepair, Slot: uint8(slot)})
+	}
+	if c.onDeliver != nil {
+		c.onDeliver(slot, s.value, s.cert)
+	}
+}
+
+func (c *CBC) requestRepair(slot int) {
+	s := c.slots[slot]
+	if s.needRepair {
+		return
+	}
+	s.needRepair = true
+	have := packet.NewBitSet(256)
+	for i, f := range s.frags {
+		if f != nil {
+			have.Set(i)
+		}
+	}
+	c.env.T.Update(core.Intent{
+		IntentKey: core.IntentKey{Kind: c.kind, Phase: packet.PhaseRepair, Slot: uint8(slot)},
+		Data:      have,
+	})
+}
+
+// Fetch requests a slot's value and certificate from peers (Dumbo calls
+// this when a serial ABA accepts a candidate whose CBC this node missed;
+// CBC has no totality guarantee of its own).
+func (c *CBC) Fetch(slot int) { c.requestRepair(slot) }
+
+func (c *CBC) handleRepairRequest(slot int, have packet.BitSet) {
+	if slot >= len(c.slots) {
+		return
+	}
+	s := c.slots[slot]
+	if !s.assembled {
+		return
+	}
+	now := c.env.Sched.Now()
+	if s.repairAt != 0 && now-s.repairAt < 2*time.Second {
+		return
+	}
+	s.repairAt = now
+	delay := time.Duration(float64(300*time.Millisecond) * (0.5 + c.env.Rand.Float64()))
+	value := s.value
+	if s.cert != nil {
+		// Anyone holding the certificate can re-publish FINISH; it
+		// verifies under the threshold key regardless of the sender.
+		cert, h := s.cert, s.certHash
+		c.env.T.Update(core.Intent{
+			IntentKey: core.IntentKey{Kind: c.kind, Phase: packet.PhaseFinish, Slot: uint8(slot)},
+			Data:      EncodeFinish(h, cert),
+		})
+	}
+	c.env.Sched.After(delay, func() {
+		if c.small {
+			c.env.T.Update(core.Intent{
+				IntentKey: core.IntentKey{Kind: c.kind, Phase: packet.PhaseInitial, Slot: uint8(slot)},
+				Data:      append([]byte(nil), value...),
+			})
+			return
+		}
+		total := (len(value) + c.frag - 1) / c.frag
+		if total == 0 {
+			total = 1
+		}
+		for i := 0; i < total; i++ {
+			if have.Get(i) {
+				continue
+			}
+			lo, hi := i*c.frag, (i+1)*c.frag
+			if hi > len(value) {
+				hi = len(value)
+			}
+			c.env.T.Update(core.Intent{
+				IntentKey: core.IntentKey{Kind: c.kind, Phase: packet.PhaseInitial, Slot: uint8(slot), Sub: uint8(i)},
+				Flags:     uint8(total),
+				Data:      append([]byte(nil), value[lo:hi]...),
+			})
+		}
+	})
+}

@@ -1,0 +1,156 @@
+package component
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/big"
+
+	"repro/internal/crypto/dleq"
+	"repro/internal/crypto/threshcoin"
+	"repro/internal/crypto/threshenc"
+	"repro/internal/crypto/threshsig"
+)
+
+// Share payloads on the wire are a 1-byte index followed by three
+// length-prefixed big integers; threshold-signature shares, coin shares,
+// and decryption shares all fit this shape.
+
+var errShortShare = errors.New("component: truncated share encoding")
+
+func appendBig(buf []byte, v *big.Int) []byte {
+	b := v.Bytes()
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(b)))
+	return append(buf, b...)
+}
+
+func readBig(buf []byte) (*big.Int, []byte, error) {
+	if len(buf) < 2 {
+		return nil, nil, errShortShare
+	}
+	n := int(binary.BigEndian.Uint16(buf))
+	buf = buf[2:]
+	if len(buf) < n {
+		return nil, nil, errShortShare
+	}
+	return new(big.Int).SetBytes(buf[:n]), buf[n:], nil
+}
+
+func encodeShare(index int, ints ...*big.Int) []byte {
+	buf := []byte{byte(index)}
+	for _, v := range ints {
+		buf = appendBig(buf, v)
+	}
+	return buf
+}
+
+func decodeShare(buf []byte, n int) (int, []*big.Int, error) {
+	if len(buf) < 1 {
+		return 0, nil, errShortShare
+	}
+	idx := int(buf[0])
+	buf = buf[1:]
+	ints := make([]*big.Int, n)
+	for i := 0; i < n; i++ {
+		var err error
+		ints[i], buf, err = readBig(buf)
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+	return idx, ints, nil
+}
+
+// EncodeSigShare serializes a threshold-signature share.
+func EncodeSigShare(sh *threshsig.SigShare) []byte {
+	return encodeShare(sh.Index, sh.X, sh.C, sh.Z)
+}
+
+// DecodeSigShare parses a threshold-signature share.
+func DecodeSigShare(buf []byte) (*threshsig.SigShare, error) {
+	idx, ints, err := decodeShare(buf, 3)
+	if err != nil {
+		return nil, err
+	}
+	return &threshsig.SigShare{Index: idx, X: ints[0], C: ints[1], Z: ints[2]}, nil
+}
+
+// EncodeCoinShare serializes a threshold-coin share.
+func EncodeCoinShare(sh *threshcoin.CoinShare) []byte {
+	return encodeShare(sh.Index, sh.Sigma, sh.Proof.C, sh.Proof.Z)
+}
+
+// DecodeCoinShare parses a threshold-coin share.
+func DecodeCoinShare(buf []byte) (*threshcoin.CoinShare, error) {
+	idx, ints, err := decodeShare(buf, 3)
+	if err != nil {
+		return nil, err
+	}
+	return &threshcoin.CoinShare{Index: idx, Sigma: ints[0], Proof: &dleq.Proof{C: ints[1], Z: ints[2]}}, nil
+}
+
+// EncodeDecShare serializes a threshold-decryption share.
+func EncodeDecShare(sh *threshenc.DecShare) []byte {
+	return encodeShare(sh.Index, sh.D, sh.Proof.C, sh.Proof.Z)
+}
+
+// DecodeDecShare parses a threshold-decryption share.
+func DecodeDecShare(buf []byte) (*threshenc.DecShare, error) {
+	idx, ints, err := decodeShare(buf, 3)
+	if err != nil {
+		return nil, err
+	}
+	return &threshenc.DecShare{Index: idx, D: ints[0], Proof: &dleq.Proof{C: ints[1], Z: ints[2]}}, nil
+}
+
+// EncodeCiphertext serializes a threshold ciphertext for RBC dissemination.
+func EncodeCiphertext(ct *threshenc.Ciphertext) []byte {
+	buf := appendBig(nil, ct.C1)
+	buf = append(buf, ct.Tag[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(ct.Body)))
+	return append(buf, ct.Body...)
+}
+
+// DecodeCiphertext parses a threshold ciphertext.
+func DecodeCiphertext(buf []byte) (*threshenc.Ciphertext, error) {
+	c1, rest, err := readBig(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 32+4 {
+		return nil, errShortShare
+	}
+	var ct threshenc.Ciphertext
+	ct.C1 = c1
+	copy(ct.Tag[:], rest[:32])
+	rest = rest[32:]
+	n := int(binary.BigEndian.Uint32(rest))
+	rest = rest[4:]
+	if len(rest) < n {
+		return nil, errShortShare
+	}
+	ct.Body = append([]byte(nil), rest[:n]...)
+	return &ct, nil
+}
+
+// EncodeFinish packs a CBC FINISH payload (hash + combined signature).
+func EncodeFinish(h Hash8, sig []byte) []byte {
+	buf := make([]byte, 0, 8+2+len(sig))
+	buf = append(buf, h[:]...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(sig)))
+	return append(buf, sig...)
+}
+
+// DecodeFinish unpacks a CBC FINISH payload.
+func DecodeFinish(buf []byte) (Hash8, []byte, error) {
+	var h Hash8
+	if len(buf) < 10 {
+		return h, nil, errShortShare
+	}
+	copy(h[:], buf[:8])
+	n := int(binary.BigEndian.Uint16(buf[8:]))
+	buf = buf[10:]
+	if len(buf) < n {
+		return h, nil, errShortShare
+	}
+	return h, append([]byte(nil), buf[:n]...), nil
+}

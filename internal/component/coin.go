@@ -1,0 +1,156 @@
+package component
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/crypto/threshcoin"
+	"repro/internal/crypto/threshsig"
+)
+
+// CoinSource abstracts the common-coin implementations the paper compares:
+// threshold signatures (ABA-SC, HoneyBadgerBFT/Dumbo) and threshold coin
+// flipping (ABA-CP, BEAT). Bracha's ABA (ABA-LC) needs no CoinSource — its
+// coin is local randomness.
+type CoinSource interface {
+	// ShareData returns this node's encoded share of the named coin.
+	ShareData(name []byte) ([]byte, error)
+	// VerifyShare checks a peer's encoded share.
+	VerifyShare(name []byte, data []byte) error
+	// Combine folds threshold verified shares into the coin bit.
+	Combine(name []byte, shares [][]byte) (bool, error)
+	// Threshold is the number of shares Combine needs.
+	Threshold() int
+	// Costs returns the virtual compute times (share, verify, combine).
+	Costs() (share, verify, combine time.Duration)
+	// ShareLen returns the approximate encoded share size in bytes.
+	ShareLen() int
+}
+
+// SigCoin derives the coin from a threshold signature on the coin name
+// (hash of the unique combined signature), as HoneyBadgerBFT does.
+type SigCoin struct {
+	PK    *threshsig.PublicKey
+	Share threshsig.PrivateShare
+	Env   *Env
+}
+
+var _ CoinSource = (*SigCoin)(nil)
+
+// ShareData implements CoinSource.
+func (c *SigCoin) ShareData(name []byte) ([]byte, error) {
+	sh, err := c.PK.Sign(c.Share, name, c.Env.Rand)
+	if err != nil {
+		return nil, fmt.Errorf("component: signing coin share: %w", err)
+	}
+	return EncodeSigShare(sh), nil
+}
+
+// VerifyShare implements CoinSource.
+func (c *SigCoin) VerifyShare(name, data []byte) error {
+	sh, err := DecodeSigShare(data)
+	if err != nil {
+		return err
+	}
+	return c.PK.VerifyShare(name, sh)
+}
+
+// Combine implements CoinSource.
+func (c *SigCoin) Combine(name []byte, raw [][]byte) (bool, error) {
+	shares := make([]*threshsig.SigShare, 0, len(raw))
+	for _, d := range raw {
+		sh, err := DecodeSigShare(d)
+		if err != nil {
+			return false, err
+		}
+		shares = append(shares, sh)
+	}
+	sig, err := c.PK.Combine(name, shares)
+	if err != nil {
+		return false, err
+	}
+	d := sha256.Sum256(sig.Bytes())
+	return d[0]&1 == 1, nil
+}
+
+// Threshold implements CoinSource.
+func (c *SigCoin) Threshold() int { return c.PK.K }
+
+// Costs implements CoinSource.
+func (c *SigCoin) Costs() (time.Duration, time.Duration, time.Duration) {
+	cost := c.Env.Suite.Cost
+	return cost.TSSign, cost.TSVerifyShare, cost.TSCombine
+}
+
+// ShareLen implements CoinSource.
+func (c *SigCoin) ShareLen() int { return c.PK.ShareLen() }
+
+// FlipCoin is BEAT's threshold coin flipping (Cachin–Kursawe–Shoup PRF).
+type FlipCoin struct {
+	PK    *threshcoin.PublicKey
+	Share threshcoin.PrivateShare
+	Env   *Env
+}
+
+var _ CoinSource = (*FlipCoin)(nil)
+
+// ShareData implements CoinSource.
+func (c *FlipCoin) ShareData(name []byte) ([]byte, error) {
+	sh, err := c.PK.Share(c.Share, name, c.Env.Rand)
+	if err != nil {
+		return nil, fmt.Errorf("component: coin flipping share: %w", err)
+	}
+	return EncodeCoinShare(sh), nil
+}
+
+// VerifyShare implements CoinSource.
+func (c *FlipCoin) VerifyShare(name, data []byte) error {
+	sh, err := DecodeCoinShare(data)
+	if err != nil {
+		return err
+	}
+	return c.PK.VerifyShare(name, sh)
+}
+
+// Combine implements CoinSource.
+func (c *FlipCoin) Combine(name []byte, raw [][]byte) (bool, error) {
+	shares := make([]*threshcoin.CoinShare, 0, len(raw))
+	for _, d := range raw {
+		sh, err := DecodeCoinShare(d)
+		if err != nil {
+			return false, err
+		}
+		shares = append(shares, sh)
+	}
+	out, err := c.PK.Combine(name, shares)
+	if err != nil {
+		return false, err
+	}
+	return threshcoin.Bit(out), nil
+}
+
+// Threshold implements CoinSource.
+func (c *FlipCoin) Threshold() int { return c.PK.K }
+
+// Costs implements CoinSource.
+func (c *FlipCoin) Costs() (time.Duration, time.Duration, time.Duration) {
+	cost := c.Env.Suite.Cost
+	return cost.TCShare, cost.TCVerifyShare, cost.TCCombine
+}
+
+// ShareLen implements CoinSource.
+func (c *FlipCoin) ShareLen() int { return c.PK.ShareLen() }
+
+// coinName builds the canonical coin identifier. Batched parallel ABA uses
+// one coin per round shared across instances (slot = sharedSlot), exactly
+// the optimization Sec. IV-C2 argues is safe on a broadcast channel.
+func coinName(session uint32, epoch uint16, slot uint8, round uint16) []byte {
+	name := make([]byte, 0, 16)
+	name = append(name, "aba-coin"...)
+	name = binary.BigEndian.AppendUint32(name, session)
+	name = binary.BigEndian.AppendUint16(name, epoch)
+	name = append(name, slot)
+	return binary.BigEndian.AppendUint16(name, round)
+}

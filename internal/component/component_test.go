@@ -1,0 +1,468 @@
+package component
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/wireless"
+)
+
+// testNet is a 4-node single-hop network with real crypto suites, shared
+// across tests via subtest construction (dealing is the slow part).
+type testNet struct {
+	sched *sim.Scheduler
+	ch    *wireless.Channel
+	envs  []*Env
+}
+
+func newTestNet(t *testing.T, seed int64, loss float64, batched bool) *testNet {
+	t.Helper()
+	const n, f = 4, 1
+	sched := sim.New(seed)
+	cfg := wireless.DefaultConfig()
+	cfg.LossProb = loss
+	ch := wireless.NewChannel(sched, cfg)
+	suites, err := crypto.Deal(n, f, crypto.LightConfig(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := &testNet{sched: sched, ch: ch}
+	for i := 0; i < n; i++ {
+		cpu := sim.NewCPU(sched)
+		auth := &core.SizedAuth{
+			Len:        suites[i].Signer.Scheme().SignatureLen(),
+			CostSign:   suites[i].Cost.PKSign,
+			CostVerify: suites[i].Cost.PKVerify,
+		}
+		tcfg := core.DefaultConfig(batched)
+		tr := core.New(sched, cpu, nil, auth, tcfg)
+		st := ch.Attach(wireless.NodeID(i), tr)
+		tr.BindStation(st)
+		net.envs = append(net.envs, &Env{
+			N: n, F: f, Me: i,
+			Session: 42,
+			Suite:   suites[i],
+			T:       tr,
+			CPU:     cpu,
+			Sched:   sched,
+			Rand:    rand.New(rand.NewSource(seed + int64(i)*1000)),
+		})
+	}
+	return net
+}
+
+// run drives the simulation until done() or the virtual deadline.
+func (tn *testNet) run(t *testing.T, deadline time.Duration, done func() bool) {
+	t.Helper()
+	for tn.sched.Now() < deadline {
+		if done() {
+			return
+		}
+		if !tn.sched.Step() {
+			break
+		}
+	}
+	if !done() {
+		t.Fatalf("simulation did not converge by %v (now %v)", deadline, tn.sched.Now())
+	}
+}
+
+func TestRBCAllDeliverAllSlots(t *testing.T) {
+	for _, batched := range []bool{true, false} {
+		batched := batched
+		t.Run(fmt.Sprintf("batched=%v", batched), func(t *testing.T) {
+			tn := newTestNet(t, 1, 0, batched)
+			rbcs := make([]*RBC, 4)
+			for i, env := range tn.envs {
+				rbcs[i] = NewRBC(env, RBCOptions{Slots: 4})
+			}
+			for i, env := range tn.envs {
+				rbcs[i].Propose(env.Me, []byte(fmt.Sprintf("proposal-from-%d", i)))
+			}
+			tn.run(t, 10*time.Minute, func() bool {
+				for _, r := range rbcs {
+					if r.DeliveredCount() < 4 {
+						return false
+					}
+				}
+				return true
+			})
+			// Agreement + validity: all nodes hold identical values per slot.
+			for slot := 0; slot < 4; slot++ {
+				want := rbcs[0].Value(slot)
+				if !bytes.Equal(want, []byte(fmt.Sprintf("proposal-from-%d", slot))) {
+					t.Errorf("slot %d delivered %q", slot, want)
+				}
+				for i := 1; i < 4; i++ {
+					if !bytes.Equal(rbcs[i].Value(slot), want) {
+						t.Errorf("node %d slot %d disagrees", i, slot)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRBCLargeProposalFragments(t *testing.T) {
+	tn := newTestNet(t, 2, 0, true)
+	rbcs := make([]*RBC, 4)
+	for i, env := range tn.envs {
+		rbcs[i] = NewRBC(env, RBCOptions{Slots: 4})
+	}
+	big := bytes.Repeat([]byte("x"), 700) // several INITIAL fragments
+	rbcs[0].Propose(0, big)
+	tn.run(t, 10*time.Minute, func() bool {
+		for _, r := range rbcs {
+			if !r.Delivered(0) {
+				return false
+			}
+		}
+		return true
+	})
+	for i := range rbcs {
+		if !bytes.Equal(rbcs[i].Value(0), big) {
+			t.Errorf("node %d corrupted large proposal", i)
+		}
+	}
+}
+
+func TestRBCUnderLoss(t *testing.T) {
+	tn := newTestNet(t, 3, 0.15, true) // 15% loss: NACK repair must kick in
+	rbcs := make([]*RBC, 4)
+	for i, env := range tn.envs {
+		rbcs[i] = NewRBC(env, RBCOptions{Slots: 4})
+	}
+	for i := range tn.envs {
+		rbcs[i].Propose(i, []byte(fmt.Sprintf("lossy-%d", i)))
+	}
+	tn.run(t, 30*time.Minute, func() bool {
+		for _, r := range rbcs {
+			if r.DeliveredCount() < 4 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestRBCCrashedLeaderOtherSlotsComplete(t *testing.T) {
+	tn := newTestNet(t, 4, 0, true)
+	rbcs := make([]*RBC, 4)
+	for i, env := range tn.envs {
+		rbcs[i] = NewRBC(env, RBCOptions{Slots: 4})
+	}
+	// Node 3 crashes: never proposes.
+	for i := 0; i < 3; i++ {
+		rbcs[i].Propose(i, []byte{byte(i)})
+	}
+	tn.run(t, 10*time.Minute, func() bool {
+		for i := 0; i < 4; i++ {
+			for slot := 0; slot < 3; slot++ {
+				if !rbcs[i].Delivered(slot) {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	for i := range rbcs {
+		if rbcs[i].Delivered(3) {
+			t.Error("slot of crashed leader delivered without a proposal")
+		}
+	}
+}
+
+func TestRBCSmallInlineValues(t *testing.T) {
+	tn := newTestNet(t, 5, 0, true)
+	rbcs := make([]*RBC, 4)
+	for i, env := range tn.envs {
+		rbcs[i] = NewRBC(env, RBCOptions{Slots: 4, Small: true})
+	}
+	for i := range tn.envs {
+		rbcs[i].Propose(i, []byte{byte(i)})
+	}
+	tn.run(t, 10*time.Minute, func() bool {
+		for _, r := range rbcs {
+			if r.DeliveredCount() < 4 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestPRBCProofsVerify(t *testing.T) {
+	tn := newTestNet(t, 6, 0, true)
+	prbcs := make([]*PRBC, 4)
+	for i, env := range tn.envs {
+		prbcs[i] = NewPRBC(env, PRBCOptions{Slots: 4})
+	}
+	for i := range tn.envs {
+		prbcs[i].Propose(i, []byte(fmt.Sprintf("prbc-%d", i)))
+	}
+	tn.run(t, 15*time.Minute, func() bool {
+		for _, p := range prbcs {
+			if p.ProvenCount() < 4 {
+				return false
+			}
+		}
+		return true
+	})
+	// Every proof verifies under every node's public key.
+	for slot := 0; slot < 4; slot++ {
+		proof := prbcs[0].Proof(slot)
+		h := HashValue(prbcs[0].RBC().Value(slot))
+		for i := range prbcs {
+			if err := prbcs[i].VerifyProof(slot, h, proof); err != nil {
+				t.Errorf("node %d rejects proof for slot %d: %v", i, slot, err)
+			}
+		}
+		if err := prbcs[0].VerifyProof(slot, HashValue([]byte("forged")), proof); err == nil {
+			t.Errorf("slot %d proof verified against forged hash", slot)
+		}
+	}
+}
+
+func TestCBCDeliversWithCert(t *testing.T) {
+	tn := newTestNet(t, 7, 0, true)
+	cbcs := make([]*CBC, 4)
+	delivered := make([]int, 4)
+	for i, env := range tn.envs {
+		i := i
+		cbcs[i] = NewCBC(env, CBCOptions{
+			Kind:  packet.KindCBCValue,
+			Slots: 4,
+			OnDeliver: func(slot int, value []byte, cert []byte) {
+				if len(cert) == 0 {
+					t.Errorf("node %d slot %d delivered without cert", i, slot)
+				}
+				delivered[i]++
+			},
+		})
+	}
+	for i := range tn.envs {
+		cbcs[i].Propose(i, []byte(fmt.Sprintf("cbc-%d", i)))
+	}
+	tn.run(t, 15*time.Minute, func() bool {
+		for i := range cbcs {
+			if delivered[i] < 4 {
+				return false
+			}
+		}
+		return true
+	})
+	for slot := 0; slot < 4; slot++ {
+		want := cbcs[0].Value(slot)
+		for i := 1; i < 4; i++ {
+			if !bytes.Equal(cbcs[i].Value(slot), want) {
+				t.Errorf("CBC slot %d consistency violated", slot)
+			}
+		}
+	}
+}
+
+func TestCachinABAAgreementAllOnes(t *testing.T) {
+	for _, shared := range []bool{true, false} {
+		shared := shared
+		t.Run(fmt.Sprintf("sharedCoin=%v", shared), func(t *testing.T) {
+			tn := newTestNet(t, 8, 0, true)
+			abas := make([]*CachinABA, 4)
+			for i, env := range tn.envs {
+				env := env
+				abas[i] = NewCachinABA(env, CachinOptions{
+					Slots:      4,
+					SharedCoin: shared,
+					Coin:       &SigCoin{PK: env.Suite.TSLow, Share: env.Suite.TSLowShare, Env: env},
+				})
+			}
+			for i := range tn.envs {
+				for slot := 0; slot < 4; slot++ {
+					abas[i].Input(slot, true)
+				}
+			}
+			tn.run(t, 20*time.Minute, func() bool {
+				for _, a := range abas {
+					if a.DecidedCount() < 4 {
+						return false
+					}
+				}
+				return true
+			})
+			for slot := 0; slot < 4; slot++ {
+				for i := range abas {
+					if v := abas[i].Decided(slot); v == nil || !*v {
+						t.Errorf("node %d slot %d decided %v, want true (validity)", i, slot, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestCachinABAMixedInputsAgree(t *testing.T) {
+	tn := newTestNet(t, 9, 0, true)
+	abas := make([]*CachinABA, 4)
+	for i, env := range tn.envs {
+		env := env
+		abas[i] = NewCachinABA(env, CachinOptions{
+			Slots:      2,
+			SharedCoin: true,
+			Coin:       &FlipCoin{PK: env.Suite.TC, Share: env.Suite.TCShare, Env: env},
+		})
+	}
+	// Split inputs 2-2: agreement must still hold (either value is valid).
+	for i := range tn.envs {
+		abas[i].Input(0, i < 2)
+		abas[i].Input(1, i%2 == 0)
+	}
+	tn.run(t, 30*time.Minute, func() bool {
+		for _, a := range abas {
+			if a.DecidedCount() < 2 {
+				return false
+			}
+		}
+		return true
+	})
+	for slot := 0; slot < 2; slot++ {
+		want := *abas[0].Decided(slot)
+		for i := 1; i < 4; i++ {
+			if *abas[i].Decided(slot) != want {
+				t.Fatalf("ABA agreement violated on slot %d", slot)
+			}
+		}
+	}
+}
+
+func TestBrachaABAAgreement(t *testing.T) {
+	tn := newTestNet(t, 10, 0, true)
+	abas := make([]*BrachaABA, 4)
+	for i, env := range tn.envs {
+		abas[i] = NewBrachaABA(env, BrachaOptions{Slots: 2})
+	}
+	for i := range tn.envs {
+		abas[i].Input(0, true)     // unanimous
+		abas[i].Input(1, i%2 == 0) // split
+	}
+	tn.run(t, 60*time.Minute, func() bool {
+		for _, a := range abas {
+			if a.DecidedCount() < 2 {
+				return false
+			}
+		}
+		return true
+	})
+	if v := abas[0].Decided(0); v == nil || !*v {
+		t.Error("unanimous-true slot decided false (validity)")
+	}
+	for slot := 0; slot < 2; slot++ {
+		want := *abas[0].Decided(slot)
+		for i := 1; i < 4; i++ {
+			if *abas[i].Decided(slot) != want {
+				t.Fatalf("Bracha agreement violated on slot %d", slot)
+			}
+		}
+	}
+}
+
+func TestCachinABAWithCrashFault(t *testing.T) {
+	tn := newTestNet(t, 11, 0, true)
+	abas := make([]*CachinABA, 4)
+	for i, env := range tn.envs {
+		env := env
+		abas[i] = NewCachinABA(env, CachinOptions{
+			Slots:      1,
+			SharedCoin: true,
+			Coin:       &SigCoin{PK: env.Suite.TSLow, Share: env.Suite.TSLowShare, Env: env},
+		})
+	}
+	// Node 3 crashed: no input, and its transport is silenced.
+	tn.envs[3].T.Stop()
+	for i := 0; i < 3; i++ {
+		abas[i].Input(0, true)
+	}
+	tn.run(t, 30*time.Minute, func() bool {
+		for i := 0; i < 3; i++ {
+			if abas[i].DecidedCount() < 1 {
+				return false
+			}
+		}
+		return true
+	})
+	for i := 0; i < 3; i++ {
+		if v := abas[i].Decided(0); v == nil || !*v {
+			t.Errorf("honest node %d decided %v with crashed peer", i, v)
+		}
+	}
+}
+
+func TestDecryptorRoundTrip(t *testing.T) {
+	tn := newTestNet(t, 12, 0, true)
+	plain := []byte("the secret batch of transactions")
+	ct, err := tn.envs[0].Suite.TE.Encrypt(plain, tn.envs[0].Rand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decs := make([]*Decryptor, 4)
+	got := make([][]byte, 4)
+	for i, env := range tn.envs {
+		i := i
+		decs[i] = NewDecryptor(env, 4, func(slot int, p []byte) {
+			if slot == 0 {
+				got[i] = p
+			}
+		})
+	}
+	for i := range tn.envs {
+		decs[i].Submit(0, ct)
+	}
+	tn.run(t, 10*time.Minute, func() bool {
+		for i := range got {
+			if got[i] == nil {
+				return false
+			}
+		}
+		return true
+	})
+	for i := range got {
+		if !bytes.Equal(got[i], plain) {
+			t.Errorf("node %d decrypted %q", i, got[i])
+		}
+	}
+}
+
+func TestBatchedFewerAccessesThanBaseline(t *testing.T) {
+	// The paper's core claim at component level: ConsensusBatcher needs
+	// far fewer channel accesses than per-instance packets for the same
+	// N-parallel RBC workload.
+	accesses := map[bool]uint64{}
+	for _, batched := range []bool{true, false} {
+		tn := newTestNet(t, 13, 0, batched)
+		rbcs := make([]*RBC, 4)
+		for i, env := range tn.envs {
+			rbcs[i] = NewRBC(env, RBCOptions{Slots: 4})
+		}
+		for i := range tn.envs {
+			rbcs[i].Propose(i, bytes.Repeat([]byte{byte(i)}, 32))
+		}
+		tn.run(t, 20*time.Minute, func() bool {
+			for _, r := range rbcs {
+				if r.DeliveredCount() < 4 {
+					return false
+				}
+			}
+			return true
+		})
+		accesses[batched] = tn.ch.Stats().Accesses
+	}
+	if accesses[true]*2 > accesses[false] {
+		t.Errorf("batched=%d baseline=%d accesses; expected >=2x reduction",
+			accesses[true], accesses[false])
+	}
+}

@@ -1,0 +1,427 @@
+package component
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+// RBC runs N parallel Bracha reliable-broadcast instances (one slot per
+// proposer). Phases follow Fig. 1a of the paper: INITIAL (1-to-N proposal
+// dissemination, fragmented across packets when large), ECHO and READY
+// (N-to-N hash votes). The -small variant (Fig. 5a) carries tiny proposals
+// inline in the vote packet, merging INITIAL into the other phases.
+//
+// Reliability is NACK-based: a node holding 2f+1 READYs for a value it
+// never received requests the INITIAL fragments it is missing via a
+// PhaseRepair intent; peers holding the value re-broadcast the missing
+// fragments after a randomized suppression delay.
+type RBC struct {
+	env   *Env
+	kind  packet.Kind
+	small bool
+	frag  int
+	slots []*rbcSlot
+
+	onDeliver func(slot int, value []byte)
+
+	echoDone  packet.BitSet // compressed O(N) NACK: slot reached 2f+1 echoes
+	readyDone packet.BitSet
+}
+
+type rbcSlot struct {
+	leader int
+
+	// Value dissemination.
+	value     []byte
+	frags     [][]byte
+	fragTotal int
+	assembled bool
+
+	// Votes: first vote per peer wins (equivocation containment).
+	echoes  map[int]Hash8
+	readies map[int]Hash8
+
+	sentEcho   bool
+	sentReady  bool
+	readyHash  Hash8
+	delivered  bool
+	needRepair bool
+	repairAt   time.Duration // last repair response, for rate limiting
+
+	peersEchoDone  packet.BitSet
+	peersReadyDone packet.BitSet
+}
+
+// RBCOptions configures an RBC component.
+type RBCOptions struct {
+	Kind      packet.Kind // section kind (KindRBC, or a CBC kind is NOT valid here)
+	Slots     int         // number of parallel instances (= N normally)
+	Small     bool        // inline small proposals (RBC-small)
+	FragSize  int         // INITIAL fragment payload size
+	OnDeliver func(slot int, value []byte)
+}
+
+// NewRBC creates the component and registers it on the transport.
+func NewRBC(env *Env, opts RBCOptions) *RBC {
+	if opts.FragSize <= 0 {
+		opts.FragSize = 160
+	}
+	if opts.Kind == 0 {
+		opts.Kind = packet.KindRBC
+	}
+	r := &RBC{
+		env:       env,
+		kind:      opts.Kind,
+		small:     opts.Small,
+		frag:      opts.FragSize,
+		onDeliver: opts.OnDeliver,
+		echoDone:  packet.NewBitSet(opts.Slots),
+		readyDone: packet.NewBitSet(opts.Slots),
+	}
+	for i := 0; i < opts.Slots; i++ {
+		r.slots = append(r.slots, &rbcSlot{
+			leader:         i % env.N,
+			echoes:         make(map[int]Hash8),
+			readies:        make(map[int]Hash8),
+			peersEchoDone:  packet.NewBitSet(env.N),
+			peersReadyDone: packet.NewBitSet(env.N),
+		})
+	}
+	env.T.Register(opts.Kind, r)
+	return r
+}
+
+// Delivered reports whether a slot has delivered.
+func (r *RBC) Delivered(slot int) bool { return r.slots[slot].delivered }
+
+// Value returns the delivered value of a slot (nil before delivery).
+func (r *RBC) Value(slot int) []byte {
+	s := r.slots[slot]
+	if !s.delivered {
+		return nil
+	}
+	return s.value
+}
+
+// DeliveredCount returns how many slots have delivered.
+func (r *RBC) DeliveredCount() int {
+	n := 0
+	for _, s := range r.slots {
+		if s.delivered {
+			n++
+		}
+	}
+	return n
+}
+
+// Propose starts instance slot with this node as leader.
+func (r *RBC) Propose(slot int, value []byte) {
+	s := r.slots[slot]
+	if s.leader != r.env.Me {
+		panic(fmt.Sprintf("component: node %d proposing for slot %d led by %d", r.env.Me, slot, s.leader))
+	}
+	if r.small {
+		r.env.T.Update(core.Intent{
+			IntentKey: core.IntentKey{Kind: r.kind, Phase: packet.PhaseInitial, Slot: uint8(slot)},
+			Data:      append([]byte(nil), value...),
+		})
+	} else {
+		total := (len(value) + r.frag - 1) / r.frag
+		if total == 0 {
+			total = 1
+		}
+		for i := 0; i < total; i++ {
+			lo, hi := i*r.frag, (i+1)*r.frag
+			if hi > len(value) {
+				hi = len(value)
+			}
+			r.env.T.Update(core.Intent{
+				IntentKey: core.IntentKey{Kind: r.kind, Phase: packet.PhaseInitial, Slot: uint8(slot), Sub: uint8(i)},
+				Flags:     uint8(total),
+				Data:      append([]byte(nil), value[lo:hi]...),
+			})
+		}
+	}
+	r.acceptValue(slot, value)
+}
+
+// acceptValue handles a fully assembled proposal (own or received).
+func (r *RBC) acceptValue(slot int, value []byte) {
+	s := r.slots[slot]
+	if s.assembled {
+		return
+	}
+	s.assembled = true
+	s.value = value
+	if !s.sentEcho {
+		s.sentEcho = true
+		h := HashValue(value)
+		r.env.T.Update(core.Intent{
+			IntentKey: core.IntentKey{Kind: r.kind, Phase: packet.PhaseEcho, Slot: uint8(slot)},
+			Data:      h[:],
+		})
+		r.applyEcho(slot, r.env.Me, h)
+	}
+	r.maybeDeliver(slot)
+}
+
+// HandleSection implements core.Handler.
+func (r *RBC) HandleSection(from uint16, sec packet.Section) {
+	w := int(from)
+	switch sec.Phase {
+	case packet.PhaseInitial:
+		for _, e := range sec.Entries {
+			r.handleInitial(w, e)
+		}
+	case packet.PhaseEcho:
+		for _, e := range sec.Entries {
+			if int(e.Slot) < len(r.slots) && len(e.Data) >= 8 {
+				var h Hash8
+				copy(h[:], e.Data)
+				r.applyEcho(int(e.Slot), w, h)
+			}
+		}
+		r.trackPeerDone(sec.Nack, w, packet.PhaseEcho)
+	case packet.PhaseReady:
+		for _, e := range sec.Entries {
+			if int(e.Slot) < len(r.slots) && len(e.Data) >= 8 {
+				var h Hash8
+				copy(h[:], e.Data)
+				r.applyReady(int(e.Slot), w, h)
+			}
+		}
+		r.trackPeerDone(sec.Nack, w, packet.PhaseReady)
+	case packet.PhaseRepair:
+		for _, e := range sec.Entries {
+			r.handleRepairRequest(int(e.Slot), e.Data)
+		}
+	}
+}
+
+func (r *RBC) handleInitial(w int, e packet.Entry) {
+	slot := int(e.Slot)
+	if slot >= len(r.slots) {
+		return
+	}
+	s := r.slots[slot]
+	// INITIAL is normally only accepted from the leader; after a repair
+	// request any peer may supply the value (delivery re-checks the hash
+	// against the READY quorum, so forged repairs cannot be delivered).
+	if s.assembled || (w != s.leader && !s.needRepair) {
+		return
+	}
+	if r.small {
+		r.acceptValue(slot, append([]byte(nil), e.Data...))
+		return
+	}
+	total := int(e.Flags)
+	if total == 0 || total > 255 {
+		return
+	}
+	if s.frags == nil {
+		s.frags = make([][]byte, total)
+		s.fragTotal = total
+	}
+	if total != s.fragTotal || int(e.Sub) >= total || s.frags[e.Sub] != nil {
+		return
+	}
+	s.frags[e.Sub] = append([]byte(nil), e.Data...)
+	for _, f := range s.frags {
+		if f == nil {
+			return
+		}
+	}
+	var value []byte
+	for _, f := range s.frags {
+		value = append(value, f...)
+	}
+	r.acceptValue(slot, value)
+}
+
+func (r *RBC) applyEcho(slot, w int, h Hash8) {
+	s := r.slots[slot]
+	if _, seen := s.echoes[w]; seen {
+		return
+	}
+	s.echoes[w] = h
+	if n := countVotes(s.echoes, h); n >= r.env.Quorum() {
+		if !r.echoDone.Get(slot) {
+			r.echoDone.Set(slot)
+			r.env.T.SetNack(r.kind, packet.PhaseEcho, r.echoDone)
+		}
+		r.sendReady(slot, h)
+	}
+}
+
+func (r *RBC) applyReady(slot, w int, h Hash8) {
+	s := r.slots[slot]
+	if _, seen := s.readies[w]; seen {
+		return
+	}
+	s.readies[w] = h
+	n := countVotes(s.readies, h)
+	if n >= r.env.Weak() {
+		r.sendReady(slot, h) // READY amplification
+	}
+	if n >= r.env.Quorum() && !r.readyDone.Get(slot) {
+		r.readyDone.Set(slot)
+		r.env.T.SetNack(r.kind, packet.PhaseReady, r.readyDone)
+	}
+	r.maybeDeliver(slot)
+}
+
+func (r *RBC) sendReady(slot int, h Hash8) {
+	s := r.slots[slot]
+	if s.sentReady {
+		return
+	}
+	s.sentReady = true
+	s.readyHash = h
+	r.env.T.Update(core.Intent{
+		IntentKey: core.IntentKey{Kind: r.kind, Phase: packet.PhaseReady, Slot: uint8(slot)},
+		Data:      h[:],
+	})
+	r.applyReady(slot, r.env.Me, h)
+}
+
+func (r *RBC) maybeDeliver(slot int) {
+	s := r.slots[slot]
+	if s.delivered {
+		return
+	}
+	// Find a hash with a READY quorum.
+	var qh Hash8
+	found := false
+	for _, h := range s.readies {
+		if countVotes(s.readies, h) >= r.env.Quorum() {
+			qh, found = h, true
+			break
+		}
+	}
+	if !found {
+		return
+	}
+	if !s.assembled {
+		r.requestRepair(slot)
+		return
+	}
+	if HashValue(s.value) != qh {
+		// The quorum converged on a different proposal than the one we
+		// assembled (equivocating leader). Drop ours and repair.
+		s.assembled = false
+		s.value = nil
+		s.frags = nil
+		r.requestRepair(slot)
+		return
+	}
+	s.delivered = true
+	if s.needRepair {
+		r.env.T.Remove(core.IntentKey{Kind: r.kind, Phase: packet.PhaseRepair, Slot: uint8(slot)})
+	}
+	if r.onDeliver != nil {
+		r.onDeliver(slot, s.value)
+	}
+}
+
+// requestRepair asks peers for the INITIAL fragments of a slot we are
+// missing while holding a READY quorum for it.
+func (r *RBC) requestRepair(slot int) {
+	s := r.slots[slot]
+	if s.needRepair {
+		return
+	}
+	s.needRepair = true
+	have := packet.NewBitSet(256)
+	for i, f := range s.frags {
+		if f != nil {
+			have.Set(i)
+		}
+	}
+	r.env.T.Update(core.Intent{
+		IntentKey: core.IntentKey{Kind: r.kind, Phase: packet.PhaseRepair, Slot: uint8(slot)},
+		Data:      have,
+	})
+}
+
+// handleRepairRequest re-broadcasts INITIAL fragments for peers that are
+// stuck, after a randomized suppression delay.
+func (r *RBC) handleRepairRequest(slot int, have packet.BitSet) {
+	if slot >= len(r.slots) {
+		return
+	}
+	s := r.slots[slot]
+	if !s.assembled {
+		return
+	}
+	now := r.env.Sched.Now()
+	if s.repairAt != 0 && now-s.repairAt < 2*time.Second {
+		return // rate-limit repair responses
+	}
+	s.repairAt = now
+	delay := time.Duration(float64(300*time.Millisecond) * (0.5 + r.env.Rand.Float64()))
+	value := s.value
+	r.env.Sched.After(delay, func() {
+		if r.small {
+			r.env.T.Update(core.Intent{
+				IntentKey: core.IntentKey{Kind: r.kind, Phase: packet.PhaseInitial, Slot: uint8(slot)},
+				Data:      append([]byte(nil), value...),
+			})
+			return
+		}
+		total := (len(value) + r.frag - 1) / r.frag
+		if total == 0 {
+			total = 1
+		}
+		for i := 0; i < total; i++ {
+			if have.Get(i) {
+				continue
+			}
+			lo, hi := i*r.frag, (i+1)*r.frag
+			if hi > len(value) {
+				hi = len(value)
+			}
+			r.env.T.Update(core.Intent{
+				IntentKey: core.IntentKey{Kind: r.kind, Phase: packet.PhaseInitial, Slot: uint8(slot), Sub: uint8(i)},
+				Flags:     uint8(total),
+				Data:      append([]byte(nil), value[lo:hi]...),
+			})
+		}
+	})
+}
+
+// trackPeerDone prunes our vote intents once every peer has signalled (via
+// the compressed NACK bits) that the slot reached its quorum.
+func (r *RBC) trackPeerDone(nack packet.BitSet, w int, phase packet.Phase) {
+	if len(nack) == 0 {
+		return
+	}
+	for slot := range r.slots {
+		if !nack.Get(slot) {
+			continue
+		}
+		s := r.slots[slot]
+		var done packet.BitSet
+		if phase == packet.PhaseEcho {
+			done = s.peersEchoDone
+		} else {
+			done = s.peersReadyDone
+		}
+		done.Set(w)
+		if done.Count() >= r.env.N-1 {
+			r.env.T.Remove(core.IntentKey{Kind: r.kind, Phase: phase, Slot: uint8(slot)})
+		}
+	}
+}
+
+func countVotes(votes map[int]Hash8, h Hash8) int {
+	n := 0
+	for _, v := range votes {
+		if v == h {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,79 @@
+package core
+
+import "encoding/binary"
+
+// Fragment header: sender(2) seq(4) idx(1) total(1). Fragments of a newer
+// logical packet from the same sender supersede any partial older one —
+// logical packets are state snapshots, so losing an old one entirely is
+// harmless once a newer one exists.
+const fragHeaderLen = 8
+
+// fragment splits one logical packet into MTU-sized radio frames.
+func fragment(raw []byte, sender uint16, seq uint32, mtu int) [][]byte {
+	chunk := mtu - fragHeaderLen
+	if chunk <= 0 {
+		panic("core: MTU smaller than fragment header")
+	}
+	total := (len(raw) + chunk - 1) / chunk
+	if total == 0 {
+		total = 1
+	}
+	if total > 255 {
+		panic("core: logical packet needs more than 255 fragments")
+	}
+	out := make([][]byte, 0, total)
+	for i := 0; i < total; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(raw) {
+			hi = len(raw)
+		}
+		frag := make([]byte, fragHeaderLen, fragHeaderLen+(hi-lo))
+		binary.BigEndian.PutUint16(frag[0:], sender)
+		binary.BigEndian.PutUint32(frag[2:], seq)
+		frag[6] = byte(i)
+		frag[7] = byte(total)
+		frag = append(frag, raw[lo:hi]...)
+		out = append(out, frag)
+	}
+	return out
+}
+
+// reassemble feeds one radio frame into the per-sender reassembly buffer
+// and returns the completed logical packet when all fragments are present.
+func (t *Transport) reassemble(frag []byte) ([]byte, bool) {
+	if len(frag) < fragHeaderLen {
+		return nil, false
+	}
+	sender := binary.BigEndian.Uint16(frag[0:])
+	seq := binary.BigEndian.Uint32(frag[2:])
+	idx, total := frag[6], frag[7]
+	if total == 0 || idx >= total {
+		return nil, false
+	}
+	body := frag[fragHeaderLen:]
+	if total == 1 {
+		return body, true
+	}
+	p := t.reasm[sender]
+	if p == nil || seq > p.seq {
+		p = &partial{seq: seq, total: total, chunks: make(map[uint8][]byte, total)}
+		t.reasm[sender] = p
+	}
+	if seq < p.seq || total != p.total {
+		return nil, false // stale or inconsistent fragment
+	}
+	if _, dup := p.chunks[idx]; dup {
+		return nil, false
+	}
+	p.chunks[idx] = body
+	if len(p.chunks) < int(p.total) {
+		return nil, false
+	}
+	var out []byte
+	for i := uint8(0); i < p.total; i++ {
+		out = append(out, p.chunks[i]...)
+	}
+	delete(t.reasm, sender)
+	return out, true
+}

@@ -1,0 +1,437 @@
+// Package core implements ConsensusBatcher, the paper's primary
+// contribution: a transport that batches the messages of N parallel (or
+// serial) consensus components into single wireless transmissions.
+//
+// Components express their outbound state as slot-granular Intents ("my
+// ECHO vote for RBC instance 2 is h"). The batched transport merges all
+// current intents of the same (kind, phase) into one packet section
+// (vertical batching, Fig. 3/4 of the paper) and all pending sections into
+// one signed frame (horizontal batching), paying for a single channel
+// access. The baseline transport — the paper's comparison point — sends one
+// signed frame per instance-level update, which is how the wired protocols
+// behave when ported naively.
+//
+// Reliability is NACK-based (Sec. IV-B1): frames are state snapshots, a
+// periodic retransmission timer re-broadcasts current state, and per-phase
+// O(N) NACK bitmaps let peers suppress or trigger repairs. Frames larger
+// than the radio MTU are fragmented and reassembled; a newer snapshot from
+// the same sender supersedes any partial older one.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/wireless"
+)
+
+// IntentKey identifies one slot-granular contribution. Round is part of
+// the identity so that state for adjacent ABA rounds coexists on the air
+// (a lagging peer still needs round r while the sender is in r+1);
+// components prune stale rounds explicitly.
+type IntentKey struct {
+	Kind  packet.Kind
+	Phase packet.Phase
+	Slot  uint8
+	Sub   uint8
+	Round uint16
+}
+
+// Intent is a component's current outbound state for one key. Updating an
+// existing key replaces its data (state-snapshot semantics): a node's newer
+// vote supersedes the older one.
+type Intent struct {
+	IntentKey
+	Flags uint8
+	Data  []byte
+}
+
+// Handler consumes inbound sections for one component kind.
+type Handler interface {
+	HandleSection(from uint16, sec packet.Section)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(from uint16, sec packet.Section)
+
+// HandleSection implements Handler.
+func (f HandlerFunc) HandleSection(from uint16, sec packet.Section) { f(from, sec) }
+
+// Auth signs and verifies logical frames. RealAuth (package node) uses the
+// crypto suite; SizedAuth produces correctly sized placeholder signatures
+// for large honest-only sweeps, while still charging virtual compute cost.
+type Auth interface {
+	Sign(body []byte) ([]byte, error)
+	Verify(sender uint16, body, sig []byte) error
+	SigLen() int
+	SignCost() time.Duration
+	VerifyCost() time.Duration
+}
+
+// Config tunes a transport.
+type Config struct {
+	Session      uint32
+	Batched      bool          // ConsensusBatcher vs baseline per-instance packets
+	FlushDelay   time.Duration // aggregation window before assembling a frame
+	RetxInterval time.Duration // NACK retransmission period (0 disables)
+	MaxQueue     int           // station backpressure threshold, in frames
+}
+
+// DefaultConfig returns transport parameters calibrated for the LoRa-class
+// channel: a short aggregation window and a retransmission period a few
+// airtimes long.
+func DefaultConfig(batched bool) Config {
+	return Config{
+		Batched:      batched,
+		FlushDelay:   120 * time.Millisecond,
+		RetxInterval: 4 * time.Second,
+		MaxQueue:     3,
+	}
+}
+
+// Stats counts transport-level work.
+type Stats struct {
+	LogicalSent   uint64 // signed logical packets
+	FragmentsSent uint64 // radio frames handed to the station
+	BytesSent     uint64
+	LogicalRecv   uint64
+	AuthFailures  uint64
+	DroppedEpoch  uint64 // frames for other epochs
+	SignOps       uint64
+	VerifyOps     uint64
+}
+
+// Transport is one node's ConsensusBatcher (or baseline) instance.
+type Transport struct {
+	sched   *sim.Scheduler
+	cpu     *sim.CPU
+	station *wireless.Station
+	auth    Auth
+	cfg     Config
+
+	epoch    uint16
+	intents  map[IntentKey]Intent
+	order    []IntentKey // deterministic iteration
+	nacks    map[[2]uint8]packet.BitSet
+	dirty    map[IntentKey]bool // baseline: per-key pending sends
+	handlers map[packet.Kind]Handler
+
+	flushEvt *sim.Event
+	retxEvt  *sim.Event
+	frameSeq uint32
+	stopped  bool
+
+	reasm map[uint16]*partial
+	stats Stats
+}
+
+type partial struct {
+	seq    uint32
+	total  uint8
+	chunks map[uint8][]byte
+}
+
+// New creates a transport bound to a station. Frames received on the
+// station must be routed to ReceiveFrame (wire the station's receiver to
+// the transport at attach time).
+func New(sched *sim.Scheduler, cpu *sim.CPU, station *wireless.Station, auth Auth, cfg Config) *Transport {
+	if cfg.FlushDelay <= 0 {
+		cfg.FlushDelay = time.Millisecond
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 3
+	}
+	return &Transport{
+		sched:    sched,
+		cpu:      cpu,
+		station:  station,
+		auth:     auth,
+		cfg:      cfg,
+		intents:  make(map[IntentKey]Intent),
+		nacks:    make(map[[2]uint8]packet.BitSet),
+		dirty:    make(map[IntentKey]bool),
+		handlers: make(map[packet.Kind]Handler),
+		reasm:    make(map[uint16]*partial),
+	}
+}
+
+// Register installs the handler for a component kind. Re-registration
+// replaces the previous handler (used at epoch changeover).
+func (t *Transport) Register(kind packet.Kind, h Handler) { t.handlers[kind] = h }
+
+// BindStation attaches the radio. Construction is two-phase because the
+// station's receiver is the transport itself: create the transport with a
+// nil station, attach it to the channel, then bind the returned station.
+func (t *Transport) BindStation(st *wireless.Station) { t.station = st }
+
+// Stats returns a snapshot of the counters.
+func (t *Transport) Stats() Stats { return t.stats }
+
+// Epoch returns the current epoch.
+func (t *Transport) Epoch() uint16 { return t.epoch }
+
+// SetEpoch advances to a new epoch, discarding all outbound state.
+// In-flight frames from other epochs are dropped on receipt.
+func (t *Transport) SetEpoch(e uint16) {
+	t.epoch = e
+	t.intents = make(map[IntentKey]Intent)
+	t.order = t.order[:0]
+	t.nacks = make(map[[2]uint8]packet.BitSet)
+	t.dirty = make(map[IntentKey]bool)
+}
+
+// Stop cancels pending timers; the transport sends nothing further.
+func (t *Transport) Stop() {
+	t.stopped = true
+	t.flushEvt.Cancel()
+	t.retxEvt.Cancel()
+}
+
+// Update upserts an intent and schedules a flush.
+func (t *Transport) Update(in Intent) {
+	if _, ok := t.intents[in.IntentKey]; !ok {
+		t.order = append(t.order, in.IntentKey)
+	}
+	t.intents[in.IntentKey] = in
+	t.dirty[in.IntentKey] = true
+	t.Flush()
+	t.ensureRetx()
+}
+
+// Remove deletes an intent (the component completed that piece of state).
+func (t *Transport) Remove(k IntentKey) {
+	if _, ok := t.intents[k]; !ok {
+		return
+	}
+	delete(t.intents, k)
+	delete(t.dirty, k)
+	for i, ok := range t.order {
+		if ok == k {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// RemoveKind drops all intents of a kind (component teardown).
+func (t *Transport) RemoveKind(kind packet.Kind) {
+	t.RemoveWhere(func(k IntentKey) bool { return k.Kind == kind })
+}
+
+// RemoveWhere deletes every intent whose key matches the predicate (used
+// by the ABAs to prune state for stale rounds and halted instances).
+func (t *Transport) RemoveWhere(pred func(IntentKey) bool) {
+	kept := t.order[:0]
+	for _, k := range t.order {
+		if pred(k) {
+			delete(t.intents, k)
+			delete(t.dirty, k)
+			continue
+		}
+		kept = append(kept, k)
+	}
+	t.order = kept
+}
+
+// SetNack installs the compressed O(N) NACK bitmap attached to every
+// outbound section of (kind, phase).
+func (t *Transport) SetNack(kind packet.Kind, phase packet.Phase, bits packet.BitSet) {
+	t.nacks[[2]uint8{uint8(kind), uint8(phase)}] = bits.Clone()
+}
+
+// Flush schedules frame assembly after the aggregation window. Multiple
+// calls within the window coalesce — this is where channel-contention
+// pressure turns into batching opportunity.
+func (t *Transport) Flush() {
+	if t.stopped || (t.flushEvt != nil && !t.flushEvt.Cancelled()) {
+		return
+	}
+	t.flushEvt = t.sched.After(t.cfg.FlushDelay, t.doFlush)
+}
+
+func (t *Transport) ensureRetx() {
+	if t.stopped || t.cfg.RetxInterval <= 0 || (t.retxEvt != nil && !t.retxEvt.Cancelled()) {
+		return
+	}
+	jitter := time.Duration(float64(t.cfg.RetxInterval) * (0.75 + 0.5*t.sched.Rand().Float64()))
+	t.retxEvt = t.sched.After(jitter, func() {
+		t.retxEvt = nil
+		if t.stopped || len(t.intents) == 0 {
+			return
+		}
+		// Re-send the full current snapshot: NACK-driven repair.
+		for k := range t.intents {
+			t.dirty[k] = true
+		}
+		t.Flush()
+		t.ensureRetx()
+	})
+}
+
+func (t *Transport) doFlush() {
+	t.flushEvt = nil
+	if t.stopped || len(t.intents) == 0 {
+		return
+	}
+	// Backpressure: if the radio queue is saturated, wait for it to drain;
+	// intents keep accumulating, which *increases* the batch size — the
+	// mechanism by which contention feeds batching.
+	if t.station.QueueLen() >= t.cfg.MaxQueue {
+		t.flushEvt = t.sched.After(t.cfg.FlushDelay, t.doFlush)
+		return
+	}
+	if t.cfg.Batched {
+		t.flushBatched()
+	} else {
+		t.flushBaseline()
+	}
+}
+
+// flushBatched emits one logical frame carrying the node's entire current
+// state: every (kind, phase) becomes a section (vertical batching), and all
+// sections ride in the same frame (horizontal batching).
+func (t *Transport) flushBatched() {
+	if len(t.dirty) == 0 {
+		return
+	}
+	keys := make([]IntentKey, 0, len(t.intents))
+	keys = append(keys, t.order...)
+	sortKeys(keys)
+	var sections []packet.Section
+	var cur *packet.Section
+	for _, k := range keys {
+		in := t.intents[k]
+		if cur == nil || cur.Kind != k.Kind || cur.Phase != k.Phase {
+			sections = append(sections, packet.Section{
+				Kind:  k.Kind,
+				Phase: k.Phase,
+				Nack:  t.nacks[[2]uint8{uint8(k.Kind), uint8(k.Phase)}],
+			})
+			cur = &sections[len(sections)-1]
+		}
+		cur.Entries = append(cur.Entries, packet.Entry{
+			Slot: k.Slot, Sub: k.Sub, Round: k.Round, Flags: in.Flags, Data: in.Data,
+		})
+	}
+	t.dirty = make(map[IntentKey]bool)
+	t.sendLogical(sections)
+}
+
+// flushBaseline emits one logical frame per dirty intent — the unbatched
+// deployment where every instance-phase event competes for the channel
+// separately.
+func (t *Transport) flushBaseline() {
+	keys := make([]IntentKey, 0, len(t.dirty))
+	for k := range t.dirty {
+		if _, live := t.intents[k]; live {
+			keys = append(keys, k)
+		}
+	}
+	sortKeys(keys)
+	t.dirty = make(map[IntentKey]bool)
+	for _, k := range keys {
+		in := t.intents[k]
+		sec := packet.Section{
+			Kind:  k.Kind,
+			Phase: k.Phase,
+			Nack:  t.nacks[[2]uint8{uint8(k.Kind), uint8(k.Phase)}],
+			Entries: []packet.Entry{{
+				Slot: k.Slot, Sub: k.Sub, Round: k.Round, Flags: in.Flags, Data: in.Data,
+			}},
+		}
+		t.sendLogical([]packet.Section{sec})
+	}
+}
+
+// sendLogical signs and fragments one logical packet. Signing is charged
+// to the node's CPU before the frame reaches the radio.
+func (t *Transport) sendLogical(sections []packet.Section) {
+	frame := &packet.Frame{
+		Sender:   uint16(t.station.ID()),
+		Session:  t.cfg.Session,
+		Epoch:    t.epoch,
+		Sections: sections,
+	}
+	seq := t.frameSeq
+	t.frameSeq++
+	t.cpu.Exec(t.auth.SignCost(), func() {
+		if t.stopped {
+			return
+		}
+		body, err := frame.AppendBody(nil)
+		if err != nil {
+			panic(fmt.Sprintf("core: frame encoding: %v", err))
+		}
+		sig, err := t.auth.Sign(body)
+		if err != nil {
+			panic(fmt.Sprintf("core: frame signing: %v", err))
+		}
+		t.stats.SignOps++
+		raw := append(body, byte(len(sig)>>8), byte(len(sig)))
+		raw = append(raw, sig...)
+		t.stats.LogicalSent++
+		t.stats.BytesSent += uint64(len(raw))
+		for _, frag := range fragment(raw, uint16(t.station.ID()), seq, t.station.Channel().Config().MaxFrame) {
+			t.stats.FragmentsSent++
+			t.station.Broadcast(frag)
+		}
+	})
+}
+
+// ReceiveFrame implements wireless.Receiver: reassemble, verify, dispatch.
+func (t *Transport) ReceiveFrame(from wireless.NodeID, payload []byte) {
+	if t.stopped {
+		return
+	}
+	raw, ok := t.reassemble(payload)
+	if !ok {
+		return
+	}
+	t.cpu.Exec(t.auth.VerifyCost(), func() {
+		if t.stopped {
+			return
+		}
+		t.stats.VerifyOps++
+		frame, bodyLen, err := packet.Decode(raw)
+		if err != nil {
+			t.stats.AuthFailures++
+			return
+		}
+		if err := t.auth.Verify(frame.Sender, raw[:bodyLen], frame.Sig); err != nil {
+			t.stats.AuthFailures++
+			return
+		}
+		if frame.Session != t.cfg.Session || frame.Epoch != t.epoch {
+			t.stats.DroppedEpoch++
+			return
+		}
+		t.stats.LogicalRecv++
+		for _, sec := range frame.Sections {
+			if h, ok := t.handlers[sec.Kind]; ok {
+				h.HandleSection(frame.Sender, sec)
+			}
+		}
+	})
+}
+
+func sortKeys(keys []IntentKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Phase != b.Phase {
+			return a.Phase < b.Phase
+		}
+		if a.Slot != b.Slot {
+			return a.Slot < b.Slot
+		}
+		if a.Sub != b.Sub {
+			return a.Sub < b.Sub
+		}
+		return a.Round < b.Round
+	})
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/wireless"
+)
+
+type rig struct {
+	sched      *sim.Scheduler
+	ch         *wireless.Channel
+	transports []*Transport
+	received   []map[packet.Kind][]recv
+}
+
+type recv struct {
+	from uint16
+	sec  packet.Section
+}
+
+func newRig(t *testing.T, n int, batched bool, mutate func(*wireless.Config)) *rig {
+	t.Helper()
+	s := sim.New(3)
+	cfg := wireless.DefaultConfig()
+	cfg.LossProb = 0
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	ch := wireless.NewChannel(s, cfg)
+	r := &rig{sched: s, ch: ch}
+	for i := 0; i < n; i++ {
+		i := i
+		cpu := sim.NewCPU(s)
+		auth := &SizedAuth{Len: 56, CostSign: 5 * time.Millisecond, CostVerify: 10 * time.Millisecond}
+		tcfg := DefaultConfig(batched)
+		tcfg.RetxInterval = 0 // tests control retransmission explicitly
+		tr := New(s, cpu, nil, auth, tcfg)
+		st := ch.Attach(wireless.NodeID(i), tr)
+		tr.station = st
+		r.transports = append(r.transports, tr)
+		r.received = append(r.received, map[packet.Kind][]recv{})
+		for _, k := range []packet.Kind{packet.KindRBC, packet.KindABA} {
+			k := k
+			tr.Register(k, HandlerFunc(func(from uint16, sec packet.Section) {
+				r.received[i][k] = append(r.received[i][k], recv{from, sec})
+			}))
+		}
+	}
+	return r
+}
+
+func TestBatchedMergesIntents(t *testing.T) {
+	r := newRig(t, 3, true, nil)
+	tr := r.transports[0]
+	// Four same-phase intents (vertical) plus one other-phase (horizontal):
+	// all must leave in ONE logical packet and one channel access.
+	for slot := 0; slot < 4; slot++ {
+		tr.Update(Intent{
+			IntentKey: IntentKey{Kind: packet.KindRBC, Phase: packet.PhaseEcho, Slot: uint8(slot)},
+			Data:      []byte{byte(slot)},
+		})
+	}
+	tr.Update(Intent{
+		IntentKey: IntentKey{Kind: packet.KindRBC, Phase: packet.PhaseReady, Slot: 1},
+		Data:      []byte{9},
+	})
+	r.sched.Run()
+	if got := tr.Stats().LogicalSent; got != 1 {
+		t.Fatalf("LogicalSent = %d, want 1 (batched)", got)
+	}
+	if got := r.ch.Stats().Accesses; got != 1 {
+		t.Fatalf("channel accesses = %d, want 1", got)
+	}
+	secs := r.received[1][packet.KindRBC]
+	if len(secs) != 2 {
+		t.Fatalf("receiver saw %d RBC sections, want 2 (echo + ready)", len(secs))
+	}
+	var echo *packet.Section
+	for i := range secs {
+		if secs[i].sec.Phase == packet.PhaseEcho {
+			echo = &secs[i].sec
+		}
+	}
+	if echo == nil || len(echo.Entries) != 4 {
+		t.Fatalf("echo section entries = %v, want 4 slots", echo)
+	}
+}
+
+func TestBaselineSendsPerInstance(t *testing.T) {
+	r := newRig(t, 3, false, nil)
+	tr := r.transports[0]
+	for slot := 0; slot < 4; slot++ {
+		tr.Update(Intent{
+			IntentKey: IntentKey{Kind: packet.KindRBC, Phase: packet.PhaseEcho, Slot: uint8(slot)},
+			Data:      []byte{byte(slot)},
+		})
+	}
+	r.sched.Run()
+	if got := tr.Stats().LogicalSent; got != 4 {
+		t.Fatalf("LogicalSent = %d, want 4 (baseline, one per instance)", got)
+	}
+	if got := r.ch.Stats().Accesses; got != 4 {
+		t.Fatalf("channel accesses = %d, want 4", got)
+	}
+}
+
+func TestUpdateSupersedesSameKey(t *testing.T) {
+	r := newRig(t, 2, true, nil)
+	tr := r.transports[0]
+	key := IntentKey{Kind: packet.KindABA, Phase: packet.PhaseBval, Slot: 0, Round: 1}
+	tr.Update(Intent{IntentKey: key, Data: []byte{0}})
+	tr.Update(Intent{IntentKey: key, Data: []byte{1}})
+	r.sched.Run()
+	got := r.received[1][packet.KindABA]
+	if len(got) != 1 {
+		t.Fatalf("got %d sections, want 1", len(got))
+	}
+	if len(got[0].sec.Entries) != 1 {
+		t.Fatalf("got %d entries, want 1 (same key coalesces)", len(got[0].sec.Entries))
+	}
+	e := got[0].sec.Entries[0]
+	if e.Data[0] != 1 {
+		t.Errorf("entry data = %v; newer update did not supersede", e.Data)
+	}
+}
+
+func TestAdjacentRoundsCoexist(t *testing.T) {
+	r := newRig(t, 2, true, nil)
+	tr := r.transports[0]
+	tr.Update(Intent{IntentKey: IntentKey{Kind: packet.KindABA, Phase: packet.PhaseBval, Slot: 0, Round: 1}, Data: []byte{0}})
+	tr.Update(Intent{IntentKey: IntentKey{Kind: packet.KindABA, Phase: packet.PhaseBval, Slot: 0, Round: 2}, Data: []byte{1}})
+	r.sched.Run()
+	got := r.received[1][packet.KindABA]
+	if len(got) != 1 {
+		t.Fatalf("got %d sections, want 1", len(got))
+	}
+	if len(got[0].sec.Entries) != 2 {
+		t.Fatalf("got %d entries, want 2 (rounds coexist)", len(got[0].sec.Entries))
+	}
+	// RemoveWhere prunes round 1.
+	tr.RemoveWhere(func(k IntentKey) bool { return k.Round < 2 })
+	tr.Update(Intent{IntentKey: IntentKey{Kind: packet.KindABA, Phase: packet.PhaseAux, Slot: 0, Round: 2}, Data: []byte{1}})
+	r.sched.Run()
+	got = r.received[1][packet.KindABA]
+	last := got[len(got)-2:] // bval + aux sections of the final frame
+	for _, rec := range last {
+		for _, e := range rec.sec.Entries {
+			if e.Round < 2 {
+				t.Errorf("pruned round still transmitted: %+v", e)
+			}
+		}
+	}
+}
+
+func TestFragmentationRoundTrip(t *testing.T) {
+	r := newRig(t, 2, true, nil)
+	tr := r.transports[0]
+	big := make([]byte, 700) // > 240-byte MTU after framing: multiple fragments
+	for i := range big {
+		big[i] = byte(i)
+	}
+	tr.Update(Intent{
+		IntentKey: IntentKey{Kind: packet.KindRBC, Phase: packet.PhaseInitial, Slot: 0},
+		Data:      big,
+	})
+	r.sched.Run()
+	if tr.Stats().FragmentsSent < 3 {
+		t.Fatalf("FragmentsSent = %d, want >= 3", tr.Stats().FragmentsSent)
+	}
+	got := r.received[1][packet.KindRBC]
+	if len(got) != 1 {
+		t.Fatalf("receiver reassembled %d sections, want 1", len(got))
+	}
+	data := got[0].sec.Entries[0].Data
+	if len(data) != len(big) {
+		t.Fatalf("data %d bytes, want %d", len(data), len(big))
+	}
+	for i := range big {
+		if data[i] != big[i] {
+			t.Fatalf("byte %d corrupted", i)
+		}
+	}
+}
+
+func TestLostFragmentRecoveredByRetransmission(t *testing.T) {
+	r := newRig(t, 2, true, nil)
+	tr := r.transports[0]
+	// Drop the first radio frame only.
+	dropped := false
+	r.ch.SetDeliveryHook(func(_, _ wireless.NodeID, _ []byte) (time.Duration, bool) {
+		if !dropped {
+			dropped = true
+			return 0, true
+		}
+		return 0, false
+	})
+	tr.Update(Intent{
+		IntentKey: IntentKey{Kind: packet.KindRBC, Phase: packet.PhaseInitial, Slot: 0},
+		Data:      make([]byte, 600),
+	})
+	r.sched.Run()
+	if len(r.received[1][packet.KindRBC]) != 0 {
+		t.Fatal("partial packet delivered despite lost fragment")
+	}
+	// Simulate the retransmission timer: mark dirty and flush again.
+	for k := range tr.intents {
+		tr.dirty[k] = true
+	}
+	tr.Flush()
+	r.sched.Run()
+	if len(r.received[1][packet.KindRBC]) != 1 {
+		t.Fatal("snapshot retransmission did not repair the loss")
+	}
+}
+
+func TestEpochFiltering(t *testing.T) {
+	r := newRig(t, 2, true, nil)
+	r.transports[0].SetEpoch(1)
+	// Receiver still in epoch 0.
+	r.transports[0].Update(Intent{
+		IntentKey: IntentKey{Kind: packet.KindRBC, Phase: packet.PhaseEcho, Slot: 0},
+		Data:      []byte{1},
+	})
+	r.sched.Run()
+	if len(r.received[1][packet.KindRBC]) != 0 {
+		t.Fatal("frame from future epoch delivered")
+	}
+	if r.transports[1].Stats().DroppedEpoch != 1 {
+		t.Errorf("DroppedEpoch = %d, want 1", r.transports[1].Stats().DroppedEpoch)
+	}
+}
+
+func TestRemoveStopsTransmission(t *testing.T) {
+	r := newRig(t, 2, true, nil)
+	tr := r.transports[0]
+	key := IntentKey{Kind: packet.KindRBC, Phase: packet.PhaseEcho, Slot: 0}
+	tr.Update(Intent{IntentKey: key, Data: []byte{1}})
+	r.sched.Run()
+	before := tr.Stats().LogicalSent
+	tr.Remove(key)
+	tr.Update(Intent{IntentKey: IntentKey{Kind: packet.KindRBC, Phase: packet.PhaseReady, Slot: 1}, Data: []byte{2}})
+	r.sched.Run()
+	last := r.received[1][packet.KindRBC]
+	final := last[len(last)-1].sec
+	if final.Phase == packet.PhaseEcho {
+		t.Error("removed intent still transmitted")
+	}
+	if tr.Stats().LogicalSent != before+1 {
+		t.Errorf("LogicalSent = %d, want %d", tr.Stats().LogicalSent, before+1)
+	}
+}
+
+func TestNackBitsAttached(t *testing.T) {
+	r := newRig(t, 2, true, nil)
+	tr := r.transports[0]
+	bits := packet.NewBitSet(4)
+	bits.Set(2)
+	tr.SetNack(packet.KindRBC, packet.PhaseEcho, bits)
+	tr.Update(Intent{IntentKey: IntentKey{Kind: packet.KindRBC, Phase: packet.PhaseEcho, Slot: 0}, Data: []byte{1}})
+	r.sched.Run()
+	got := r.received[1][packet.KindRBC]
+	if len(got) != 1 {
+		t.Fatal("no section received")
+	}
+	if !got[0].sec.Nack.Get(2) || got[0].sec.Nack.Get(1) {
+		t.Errorf("nack bits = %x", []byte(got[0].sec.Nack))
+	}
+}
+
+func TestSignAndVerifyCostsCharged(t *testing.T) {
+	r := newRig(t, 2, true, nil)
+	tr := r.transports[0]
+	tr.Update(Intent{IntentKey: IntentKey{Kind: packet.KindRBC, Phase: packet.PhaseEcho, Slot: 0}, Data: []byte{1}})
+	r.sched.Run()
+	if tr.cpu.BusyTotal() < 5*time.Millisecond {
+		t.Errorf("sender CPU charged %v, want >= sign cost", tr.cpu.BusyTotal())
+	}
+	if r.transports[1].cpu.BusyTotal() < 10*time.Millisecond {
+		t.Errorf("receiver CPU charged %v, want >= verify cost", r.transports[1].cpu.BusyTotal())
+	}
+	if tr.Stats().SignOps != 1 || r.transports[1].Stats().VerifyOps != 1 {
+		t.Error("sign/verify op counters wrong")
+	}
+}
+
+func TestStopSilencesTransport(t *testing.T) {
+	r := newRig(t, 2, true, nil)
+	tr := r.transports[0]
+	tr.Update(Intent{IntentKey: IntentKey{Kind: packet.KindRBC, Phase: packet.PhaseEcho, Slot: 0}, Data: []byte{1}})
+	tr.Stop()
+	r.sched.Run()
+	if tr.Stats().LogicalSent != 0 {
+		t.Error("stopped transport transmitted")
+	}
+}
+
+func TestFragmentHelperBounds(t *testing.T) {
+	frags := fragment(make([]byte, 1000), 1, 42, 240)
+	if len(frags) != 5 {
+		t.Fatalf("got %d fragments, want 5", len(frags))
+	}
+	total := 0
+	for _, f := range frags {
+		if len(f) > 240 {
+			t.Errorf("fragment %d bytes exceeds MTU", len(f))
+		}
+		total += len(f) - fragHeaderLen
+	}
+	if total != 1000 {
+		t.Errorf("fragments carry %d bytes, want 1000", total)
+	}
+	// Empty payload still produces one fragment.
+	if got := fragment(nil, 1, 0, 240); len(got) != 1 {
+		t.Errorf("empty payload: %d fragments", len(got))
+	}
+}

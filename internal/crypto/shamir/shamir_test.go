@@ -1,0 +1,144 @@
+package shamir
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var testQ = func() *big.Int {
+	// A 256-bit prime (the order of the P-256 group).
+	q, ok := new(big.Int).SetString("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551", 16)
+	if !ok {
+		panic("bad prime literal")
+	}
+	return q
+}()
+
+func testRand() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func TestDealCombineRoundTrip(t *testing.T) {
+	secret := big.NewInt(424242)
+	shares, err := Deal(secret, 3, 7, testQ, testRand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != 7 {
+		t.Fatalf("got %d shares", len(shares))
+	}
+	got, err := Combine(shares[2:5], 3, testQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(secret) != 0 {
+		t.Errorf("recovered %v, want %v", got, secret)
+	}
+}
+
+func TestAnySubsetRecovers(t *testing.T) {
+	secret := big.NewInt(987654321)
+	shares, err := Deal(secret, 2, 4, testQ, testRand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			got, err := Combine([]Share{shares[i], shares[j]}, 2, testQ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Cmp(secret) != 0 {
+				t.Errorf("subset {%d,%d} recovered %v", i, j, got)
+			}
+		}
+	}
+}
+
+func TestTooFewShares(t *testing.T) {
+	shares, err := Deal(big.NewInt(5), 3, 5, testQ, testRand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Combine(shares[:2], 3, testQ); err != ErrNotEnoughShares {
+		t.Errorf("err = %v, want ErrNotEnoughShares", err)
+	}
+}
+
+func TestDuplicateSharesRejected(t *testing.T) {
+	shares, err := Deal(big.NewInt(5), 2, 4, testQ, testRand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Combine([]Share{shares[0], shares[0]}, 2, testQ); err == nil {
+		t.Error("duplicate shares accepted")
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	if _, err := Deal(big.NewInt(1), 0, 4, testQ, testRand()); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Deal(big.NewInt(1), 5, 4, testQ, testRand()); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := Deal(new(big.Int).Neg(big.NewInt(1)), 2, 4, testQ, testRand()); err == nil {
+		t.Error("negative secret accepted")
+	}
+	if _, err := Deal(testQ, 2, 4, testQ, testRand()); err == nil {
+		t.Error("secret >= q accepted")
+	}
+}
+
+func TestDistinctSecretsDistinctReconstruction(t *testing.T) {
+	// Sanity: dealing two different secrets and recombining yields the
+	// respective secrets, not a collision.
+	rng := testRand()
+	a, _ := Deal(big.NewInt(111), 2, 4, testQ, rng)
+	b, _ := Deal(big.NewInt(222), 2, 4, testQ, rng)
+	ga, _ := Combine(a[:2], 2, testQ)
+	gb, _ := Combine(b[:2], 2, testQ)
+	if ga.Cmp(gb) == 0 {
+		t.Error("distinct secrets reconstructed to the same value")
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	rng := testRand()
+	f := func(secretSeed int64, kRaw, nRaw uint8) bool {
+		k := int(kRaw%4) + 1
+		n := k + int(nRaw%4)
+		secret := new(big.Int).Mod(big.NewInt(secretSeed), testQ)
+		secret.Abs(secret)
+		shares, err := Deal(secret, k, n, testQ, rng)
+		if err != nil {
+			return false
+		}
+		// Random subset of exactly k shares.
+		idx := rng.Perm(n)[:k]
+		subset := make([]Share, k)
+		for i, j := range idx {
+			subset[i] = shares[j]
+		}
+		got, err := Combine(subset, k, testQ)
+		return err == nil && got.Cmp(secret) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLagrangeCoeffSumsToOneOnConstant(t *testing.T) {
+	// For a constant polynomial (k=1 dealt with extra shares), every share
+	// equals the secret, and Lagrange at 0 over any subset must return it.
+	secret := big.NewInt(77)
+	shares, err := Deal(secret, 1, 3, testQ, testRand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range shares {
+		if s.Y.Cmp(secret) != 0 {
+			t.Errorf("constant poly share %d = %v", s.X, s.Y)
+		}
+	}
+}

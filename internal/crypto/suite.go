@@ -1,0 +1,187 @@
+package crypto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"repro/internal/crypto/group"
+	"repro/internal/crypto/pksig"
+	"repro/internal/crypto/threshcoin"
+	"repro/internal/crypto/threshenc"
+	"repro/internal/crypto/threshsig"
+)
+
+// Suite is one node's complete cryptographic toolkit, produced by a trusted
+// dealer before deployment (the paper installs keys on the devices the same
+// way). Index is 1-based, matching threshold share indices.
+type Suite struct {
+	Index int
+	N, F  int
+
+	// Per-frame authentication.
+	Signer *pksig.PrivateKey
+	Verify []pksig.PublicKey // by node (0-based: node i -> Verify[i])
+
+	// Threshold signatures: Low has threshold f+1 (PRBC DONE proofs and
+	// the shared-coin; one honest contribution suffices), High has
+	// threshold 2f+1 (CBC quorum certificates).
+	TSLow       *threshsig.PublicKey
+	TSLowShare  threshsig.PrivateShare
+	TSHigh      *threshsig.PublicKey
+	TSHighShare threshsig.PrivateShare
+
+	// Threshold coin flipping (BEAT's coin), threshold f+1.
+	TC      *threshcoin.PublicKey
+	TCShare threshcoin.PrivateShare
+
+	// Threshold encryption, threshold f+1.
+	TE      *threshenc.PublicKey
+	TEShare threshenc.PrivateShare
+
+	Cost CostModel
+}
+
+// Config selects parameter sets for a deal.
+type Config struct {
+	PKScheme     pksig.Scheme // per-frame signature scheme
+	ThresholdSet string       // e.g. "TS-512"; picks the RSA modulus size
+	GroupSet     string       // e.g. "SG-512"; picks the DH group for coin/enc
+}
+
+// LightConfig returns the lightest parameter choice (the configuration the
+// paper selects after its Fig. 10 study: secp160r1 + BN158).
+func LightConfig() Config {
+	return Config{PKScheme: pksig.SchemeECDSAP224, ThresholdSet: "TS-512", GroupSet: "SG-512"}
+}
+
+// HeavyConfig returns a heavier choice (the paper's secp192r1 + BN254
+// comparison point).
+func HeavyConfig() Config {
+	return Config{PKScheme: pksig.SchemeECDSAP256, ThresholdSet: "TS-768", GroupSet: "SG-768"}
+}
+
+// subReader derives an independent deterministic reader from the master
+// randomness source by consuming exactly 8 bytes. Isolation matters:
+// crypto/ecdsa's key generation consumes a *nondeterministic* number of
+// bytes from its reader (randutil.MaybeReadByte flips a process-global
+// coin), so feeding every scheme from one shared stream would make the
+// threshold keys — and the common coins derived from them — differ between
+// runs with identical seeds.
+func subReader(master io.Reader) (io.Reader, error) {
+	var seed [8]byte
+	if _, err := io.ReadFull(master, seed[:]); err != nil {
+		return nil, fmt.Errorf("crypto: deriving sub-seed: %w", err)
+	}
+	return rand.New(rand.NewSource(int64(binary.BigEndian.Uint64(seed[:])))), nil
+}
+
+// Deal runs the trusted dealer for an N = 3f+1 network and returns one
+// suite per node. rand should be a seeded reader for reproducible
+// simulations.
+func Deal(n, f int, cfg Config, masterRand io.Reader) ([]*Suite, error) {
+	if n != 3*f+1 {
+		return nil, fmt.Errorf("crypto: need n = 3f+1, got n=%d f=%d", n, f)
+	}
+	fix, err := threshsig.FixtureByName(cfg.ThresholdSet)
+	if err != nil {
+		return nil, err
+	}
+	grp, err := group.ByName(cfg.GroupSet)
+	if err != nil {
+		return nil, err
+	}
+
+	signers := make([]*pksig.PrivateKey, n)
+	verify := make([]pksig.PublicKey, n)
+	for i := 0; i < n; i++ {
+		sub, err := subReader(masterRand)
+		if err != nil {
+			return nil, err
+		}
+		k, err := pksig.Generate(cfg.PKScheme, sub)
+		if err != nil {
+			return nil, err
+		}
+		signers[i] = k
+		verify[i] = k.Public()
+	}
+
+	subs := make([]io.Reader, 4)
+	for i := range subs {
+		if subs[i], err = subReader(masterRand); err != nil {
+			return nil, err
+		}
+	}
+	tsLow, err := threshsig.Deal(fix.Name, fix.P, fix.Q, f+1, n, subs[0])
+	if err != nil {
+		return nil, fmt.Errorf("crypto: dealing low-threshold signature: %w", err)
+	}
+	tsHigh, err := threshsig.Deal(fix.Name, fix.P, fix.Q, 2*f+1, n, subs[1])
+	if err != nil {
+		return nil, fmt.Errorf("crypto: dealing high-threshold signature: %w", err)
+	}
+	tc, err := threshcoin.Deal(grp, f+1, n, subs[2])
+	if err != nil {
+		return nil, fmt.Errorf("crypto: dealing coin: %w", err)
+	}
+	te, err := threshenc.Deal(grp, f+1, n, subs[3])
+	if err != nil {
+		return nil, fmt.Errorf("crypto: dealing encryption: %w", err)
+	}
+
+	cost := CostFor(cfg.ThresholdSet)
+	suites := make([]*Suite, n)
+	for i := 0; i < n; i++ {
+		suites[i] = &Suite{
+			Index:       i + 1,
+			N:           n,
+			F:           f,
+			Signer:      signers[i],
+			Verify:      verify,
+			TSLow:       &tsLow.Public,
+			TSLowShare:  tsLow.Shares[i],
+			TSHigh:      &tsHigh.Public,
+			TSHighShare: tsHigh.Shares[i],
+			TC:          &tc.Public,
+			TCShare:     tc.Shares[i],
+			TE:          &te.Public,
+			TEShare:     te.Shares[i],
+			Cost:        cost,
+		}
+	}
+	return suites, nil
+}
+
+// Describe returns a one-line human-readable summary of a config.
+func (c Config) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pk=%s threshold=%s group=%s", c.PKScheme, c.ThresholdSet, c.GroupSet)
+	return b.String()
+}
+
+// SignatureSizes reports (scheme name, bytes) rows for Fig. 10c: the five
+// public-key schemes and the six threshold parameter sets.
+func SignatureSizes() (pk []struct {
+	Name string
+	Size int
+}, thr []struct {
+	Name string
+	Size int
+}) {
+	for _, s := range pksig.AllSchemes() {
+		pk = append(pk, struct {
+			Name string
+			Size int
+		}{string(s), s.SignatureLen()})
+	}
+	for _, f := range threshsig.Fixtures() {
+		thr = append(thr, struct {
+			Name string
+			Size int
+		}{f.Name, (f.P.BitLen() + f.Q.BitLen() + 7) / 8})
+	}
+	return pk, thr
+}

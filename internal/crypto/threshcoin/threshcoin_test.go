@@ -1,0 +1,159 @@
+package threshcoin
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/crypto/group"
+)
+
+func testKey(t *testing.T, k, l int) *Key {
+	t.Helper()
+	key, err := Deal(group.Default(), k, l, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+func TestCoinAgreement(t *testing.T) {
+	key := testKey(t, 2, 4)
+	name := []byte("aba:epoch=1:round=3")
+	rng := rand.New(rand.NewSource(1))
+	all := make([]*CoinShare, 4)
+	for i := range all {
+		sh, err := key.Public.Share(key.Shares[i], name, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := key.Public.VerifyShare(name, sh); err != nil {
+			t.Fatalf("honest share %d rejected: %v", i, err)
+		}
+		all[i] = sh
+	}
+	a, err := key.Public.Combine(name, []*CoinShare{all[0], all[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := key.Public.Combine(name, []*CoinShare{all[3], all[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("different share subsets produced different coins")
+	}
+}
+
+func TestCoinsDifferAcrossNames(t *testing.T) {
+	key := testKey(t, 2, 4)
+	rng := rand.New(rand.NewSource(2))
+	combine := func(name string) [32]byte {
+		var shares []*CoinShare
+		for i := 0; i < 2; i++ {
+			sh, err := key.Public.Share(key.Shares[i], []byte(name), rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shares = append(shares, sh)
+		}
+		out, err := key.Public.Combine([]byte(name), shares)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seen := map[[32]byte]string{}
+	bits := map[bool]int{}
+	for _, name := range []string{"r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8"} {
+		c := combine(name)
+		if prev, dup := seen[c]; dup {
+			t.Errorf("coin collision between %s and %s", name, prev)
+		}
+		seen[c] = name
+		bits[Bit(c)]++
+	}
+	if bits[true] == 0 || bits[false] == 0 {
+		t.Log("all 8 coins landed the same way (possible but unlikely); not failing")
+	}
+}
+
+func TestShareVerificationRejectsByzantine(t *testing.T) {
+	key := testKey(t, 2, 4)
+	name := []byte("coin")
+	rng := rand.New(rand.NewSource(3))
+	sh, err := key.Public.Share(key.Shares[0], name, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flipped sigma.
+	bad := &CoinShare{Index: sh.Index, Sigma: new(big.Int).Add(sh.Sigma, big.NewInt(1)), Proof: sh.Proof}
+	if err := key.Public.VerifyShare(name, bad); err == nil {
+		t.Error("tampered sigma accepted")
+	}
+	// Share replayed for another coin name.
+	if err := key.Public.VerifyShare([]byte("othercoin"), sh); err == nil {
+		t.Error("share replayed across coin names accepted")
+	}
+	// Wrong index.
+	bad = &CoinShare{Index: 2, Sigma: sh.Sigma, Proof: sh.Proof}
+	if err := key.Public.VerifyShare(name, bad); err == nil {
+		t.Error("share accepted under wrong index")
+	}
+	if err := key.Public.VerifyShare(name, &CoinShare{Index: 99, Sigma: sh.Sigma, Proof: sh.Proof}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestCombineErrors(t *testing.T) {
+	key := testKey(t, 3, 4)
+	name := []byte("c")
+	rng := rand.New(rand.NewSource(4))
+	sh, err := key.Public.Share(key.Shares[0], name, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := key.Public.Combine(name, []*CoinShare{sh}); err == nil {
+		t.Error("too few shares accepted")
+	}
+	if _, err := key.Public.Combine(name, []*CoinShare{sh, sh, sh}); err == nil {
+		t.Error("duplicate shares accepted")
+	}
+}
+
+func TestShareLenReasonable(t *testing.T) {
+	key := testKey(t, 2, 4)
+	if l := key.Public.ShareLen(); l < key.Public.Group.ElementLen() {
+		t.Errorf("ShareLen = %d, smaller than one element", l)
+	}
+}
+
+func TestDeterministicBitDistribution(t *testing.T) {
+	// Over many coins the bit should not be constant; deterministic seed
+	// keeps this stable.
+	key := testKey(t, 2, 4)
+	rng := rand.New(rand.NewSource(5))
+	heads := 0
+	const total = 32
+	for i := 0; i < total; i++ {
+		name := []byte{byte(i)}
+		var shares []*CoinShare
+		for j := 0; j < 2; j++ {
+			sh, err := key.Public.Share(key.Shares[j], name, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shares = append(shares, sh)
+		}
+		out, err := key.Public.Combine(name, shares)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Bit(out) {
+			heads++
+		}
+	}
+	if heads == 0 || heads == total {
+		t.Errorf("degenerate coin: %d/%d heads", heads, total)
+	}
+}

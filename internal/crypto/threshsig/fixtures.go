@@ -1,0 +1,64 @@
+package threshsig
+
+// Code generated offline with crypto/rand (see DESIGN.md). Each fixture is
+// a pair of primes whose product is the RSA modulus for one parameter set.
+// Halves up to 384 bits are safe primes (Shoup's original requirement);
+// larger halves are ordinary random primes, which preserves completeness of
+// the share proofs and is sufficient for a simulation substrate.
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+)
+
+// ModulusFixture is an embedded prime pair for one parameter set.
+type ModulusFixture struct {
+	Name string
+	Bits int
+	P, Q *big.Int
+}
+
+func mustHex(s string) *big.Int {
+	v, ok := new(big.Int).SetString(s, 16)
+	if !ok {
+		panic(fmt.Sprintf("threshsig: bad embedded constant %.16s...", s))
+	}
+	return v
+}
+
+var fixturesOnce = sync.OnceValue(func() []ModulusFixture {
+	return []ModulusFixture{
+		{Name: "TS-512", Bits: 512,
+			P: mustHex("db714cc796b162faba570a3f6f671f0f42f624fe8dbc420284dd4dfb81992eb7"),
+			Q: mustHex("e60da630a377a4adb9236a1672b298bdf90d42bca13b94bc93406ee5b7c0d75f")},
+		{Name: "TS-768", Bits: 768,
+			P: mustHex("e0739975e57dc8a14f13099c6e4dcb32d22b1cba0f94006542dd8f9bc66ecea99966b76b700f402baaa7799f2a196e2b"),
+			Q: mustHex("e6f594d528bb3ace5e111f3bbefb0bd394b76a8a37a707a447c412b9a4c865a51a236e258ad158a1bdc50ada1672a6d7")},
+		{Name: "TS-1024", Bits: 1024,
+			P: mustHex("e920432d5cd998c61232415d3e24c1547cd7e71c3fa9b3ddab55d91821edece1a1ea2115659b6865d44bc53a3211f9abaa55cb0a4bed1adae81e4e28ceab8e15"),
+			Q: mustHex("f0ca658ea946a0a70a03a6849436cb4df4e94712dba7aa958238447faa974e60cb4437fe371ce707520ddeacf3984cd25bceffaacc2e13c8a3a13c66e01dd4c1")},
+		{Name: "TS-1536", Bits: 1536,
+			P: mustHex("d321ae30d6a1d4f7f619c8f82505eb6e2b55a67d755f0880c15b2d126b463c36a6980443c6cf67f6487222999ebbe0bdb7bdcd423e9ac7a2d899ffd740490617a2ec5f9218a06e0f0a2058811fda5536cb44e1da8037d1a1ef12781f21e3ce93"),
+			Q: mustHex("eb6e2f352cab6f0650f03364af12b2cda56a0f8659f78e7a8fb95d09e11edf75283d427152d2fb1ea1bc49b2b2c890e2ea1fe5762d6c917bc69f41561f00cf89e65996032cf0ab700fc91db5bd0e2ed81ac76901c3b91f794362b7bd47ca836b")},
+		{Name: "TS-2048", Bits: 2048,
+			P: mustHex("ce41eab7afae467c8ae6ed5dad535e37887292720cb44303bdbf228ee4236c04c1cd186cd6d28fb5d13afff06ed3eb74b788792c0df9c295b7e4ca3025e8609157542680848b5519bc93868ea006558052a7a7d8d71e13643c768e3c903037947cb354da9265b6fc7bfbea350b05c409df7c34818659f93198dcfe3523bfdcd1"),
+			Q: mustHex("e7ec98130c68e1c541eeb624ac320bb66667b50d644eee68796b56345864b9728207c1330ab1f7d3de59e6b5f65a3c72652aa1183574658d30d15103116e8d4440f4db07975ff1a01eed6ed4aac41d618301048f8db0576d1ddd3d4058c0b9e36f28e1c59537aef540c0ff9e25b65145e36d23374007502ad6a6b510956e8bf5")},
+		{Name: "TS-3072", Bits: 3072,
+			P: mustHex("fae22c3f7b8e54a8317a5ee6a143d0eca249fc3cd64b641249da7696b6ca2d49410f67da214433b449d15f0e137d112e8a86882d6bcf2ee47050d28bb45766e3e48f90c120af84d2ac20bf2eaabd6f78b5c36a9623823e5958d955f253c12e9c4435124296ed762dc04b034404bb3290007f39d94cb1fc1366358dcf19b595777e31e57a957bb8e764d9659b257f1121b1a1e72db666752551b60db95f7aa4ff21f31c2818ec7e45bd8ce14bfecf991be0a411323159367e41b845d442193f05"),
+			Q: mustHex("daa01bd45a8a0f9651295ef7bf6611c76abf5cd8615f936253e33455b871480b752ccbaa968467394f773df9283627aa2a2033f7c3c1891eb42b534222e2914c857be0491a9202a0cce4673b6bd7233b9a5164ae034d082c7d54168e4e0ec1aa702bd2cd6bf07a900d2f68376605a9dbdc09c8824f3d9847ab6a8c799406b925aa9dc749d27aafe181d15e30dea5187ca4051d833e059b77770ba1d6f7116cde35fbd9a33ec9d741f5ff3a51cbd5572da675d63f9b11cb06a01dc5a0eac7e803")},
+	}
+})
+
+// Fixtures returns the embedded parameter sets, lightest first.
+func Fixtures() []ModulusFixture { return fixturesOnce() }
+
+// FixtureByName returns the fixture with the given name.
+func FixtureByName(name string) (ModulusFixture, error) {
+	for _, f := range Fixtures() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return ModulusFixture{}, fmt.Errorf("threshsig: unknown parameter set %q", name)
+}

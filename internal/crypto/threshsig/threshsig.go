@@ -1,0 +1,397 @@
+// Package threshsig implements Shoup's practical RSA threshold signatures
+// ("Practical Threshold Signatures", EUROCRYPT 2000) with a trusted dealer.
+//
+// A (k, n) threshold signature lets any k of n parties produce a compact
+// signature that third parties verify with a single RSA verification —
+// exactly the primitive the paper's PRBC DONE phase, CBC FINISH phase, and
+// shared-coin ABA rely on. The paper implements it over MIRACL pairing
+// curves; the stdlib has no pairings, so this package substitutes the
+// classic RSA construction, which preserves the API (deal / sign share /
+// verify share / combine / verify) and the monotone cost/size ladder across
+// parameter sets (see DESIGN.md).
+//
+// Share validity proofs are Chaum–Pedersen style proofs in the RSA group
+// (unknown order, so responses are integers a few hundred bits longer than
+// the modulus), letting honest combiners discard Byzantine shares.
+package threshsig
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+var (
+	one = big.NewInt(1)
+	two = big.NewInt(2)
+)
+
+// PublicKey verifies combined signatures and shares.
+type PublicKey struct {
+	Name string   // parameter-set name, e.g. "TS-512"
+	N    *big.Int // RSA modulus
+	E    *big.Int // public exponent (prime > n parties)
+	V    *big.Int // verification base (generator of QR(N))
+	VKs  []*big.Int
+	K    int // threshold (shares needed)
+	L    int // total parties
+	// Salt is a per-deal public value mixed into message hashing. The
+	// embedded modulus fixtures fix the private exponent d across deals,
+	// so without a salt a signature on a fixed message — and therefore a
+	// common coin derived from it — would repeat across runs.
+	Salt [16]byte
+}
+
+// PrivateShare is party i's signing share.
+type PrivateShare struct {
+	Index int // 1-based
+	S     *big.Int
+}
+
+// SigShare is a signature share with its validity proof.
+type SigShare struct {
+	Index int
+	X     *big.Int // x^{2*delta*s_i} mod N
+	C, Z  *big.Int // Chaum–Pedersen proof (Fiat–Shamir)
+}
+
+// Signature is a combined threshold signature.
+type Signature struct {
+	S *big.Int
+}
+
+// Bytes returns the canonical encoding of the signature.
+func (s *Signature) Bytes() []byte { return s.S.Bytes() }
+
+// Dealer output.
+type Key struct {
+	Public PublicKey
+	Shares []PrivateShare
+}
+
+// Deal generates a (k, l) threshold key from the fixture primes p and q
+// (modulus n = p*q). The polynomial is sampled fresh from rand, so repeated
+// deals over the same modulus yield unrelated keys.
+func Deal(name string, p, q *big.Int, k, l int, rand io.Reader) (*Key, error) {
+	if k < 1 || l < k {
+		return nil, fmt.Errorf("threshsig: invalid threshold %d of %d", k, l)
+	}
+	n := new(big.Int).Mul(p, q)
+	// m = p' * q' with p = 2p'+1, q = 2q'+1. With non-safe fixture primes
+	// this is still (p-1)(q-1)/4; interpolation uses the integer-delta
+	// trick, which needs no structure on m.
+	pp := new(big.Int).Rsh(new(big.Int).Sub(p, one), 1)
+	qq := new(big.Int).Rsh(new(big.Int).Sub(q, one), 1)
+	m := new(big.Int).Mul(pp, qq)
+
+	// Public exponent: a prime greater than l, coprime to m.
+	e := big.NewInt(65537)
+	if new(big.Int).GCD(nil, nil, e, m).Cmp(one) != 0 {
+		return nil, errors.New("threshsig: fixture modulus incompatible with e=65537")
+	}
+	d := new(big.Int).ModInverse(e, m)
+	if d == nil {
+		return nil, errors.New("threshsig: no modular inverse for e")
+	}
+
+	// Polynomial over Z_m with f(0) = d.
+	coeffs := make([]*big.Int, k)
+	coeffs[0] = d
+	for i := 1; i < k; i++ {
+		c, err := randBelow(rand, m)
+		if err != nil {
+			return nil, err
+		}
+		coeffs[i] = c
+	}
+	shares := make([]PrivateShare, l)
+	for i := 1; i <= l; i++ {
+		shares[i-1] = PrivateShare{Index: i, S: evalPoly(coeffs, int64(i), m)}
+	}
+
+	// Verification base v: a random quadratic residue, plus per-party
+	// verification keys v_i = v^{s_i}.
+	r, err := randBelow(rand, n)
+	if err != nil {
+		return nil, err
+	}
+	v := new(big.Int).Exp(r, two, n)
+	vks := make([]*big.Int, l)
+	for i, sh := range shares {
+		vks[i] = new(big.Int).Exp(v, sh.S, n)
+	}
+	var salt [16]byte
+	if _, err := io.ReadFull(rand, salt[:]); err != nil {
+		return nil, fmt.Errorf("threshsig: sampling salt: %w", err)
+	}
+	return &Key{
+		Public: PublicKey{Name: name, N: n, E: e, V: v, VKs: vks, K: k, L: l, Salt: salt},
+		Shares: shares,
+	}, nil
+}
+
+// delta returns l! as a big integer.
+func delta(l int) *big.Int {
+	d := big.NewInt(1)
+	for i := 2; i <= l; i++ {
+		d.Mul(d, big.NewInt(int64(i)))
+	}
+	return d
+}
+
+// hashToModulus maps a message to an element of Z_N^*.
+func hashToModulus(n *big.Int, salt [16]byte, msg []byte) *big.Int {
+	need := (n.BitLen()+7)/8 + 16
+	buf := make([]byte, 0, need)
+	var ctr uint32
+	for len(buf) < need {
+		h := sha256.New()
+		h.Write([]byte("threshsig-h2m"))
+		h.Write(salt[:])
+		var cb [4]byte
+		binary.BigEndian.PutUint32(cb[:], ctr)
+		h.Write(cb[:])
+		h.Write(msg)
+		buf = h.Sum(buf)
+		ctr++
+	}
+	x := new(big.Int).SetBytes(buf)
+	x.Mod(x, n)
+	if x.Sign() == 0 {
+		x.SetInt64(1)
+	}
+	return x
+}
+
+// Sign produces party i's signature share on msg, with a validity proof.
+func (pk *PublicKey) Sign(share PrivateShare, msg []byte, rand io.Reader) (*SigShare, error) {
+	x := hashToModulus(pk.N, pk.Salt, msg)
+	d := delta(pk.L)
+	// exponent 2*delta*s_i
+	exp := new(big.Int).Lsh(d, 1)
+	exp.Mul(exp, share.S)
+	xi := new(big.Int).Exp(x, exp, pk.N)
+
+	// Proof of log equality: log_{x4d}(xi^2) == log_v(v_i), exponent s_i.
+	// x4d = x^{4*delta}.
+	x4d := new(big.Int).Exp(x, new(big.Int).Lsh(d, 2), pk.N)
+	xi2 := new(big.Int).Exp(xi, two, pk.N)
+	vi := pk.VKs[share.Index-1]
+
+	// Random w of |N| + 2*256 bits.
+	wBits := pk.N.BitLen() + 512
+	w, err := randBits(rand, wBits)
+	if err != nil {
+		return nil, err
+	}
+	t1 := new(big.Int).Exp(x4d, w, pk.N)
+	t2 := new(big.Int).Exp(pk.V, w, pk.N)
+	c := proofChallenge(pk, x4d, xi2, vi, t1, t2)
+	// z = w + c*s_i over the integers.
+	z := new(big.Int).Mul(c, share.S)
+	z.Add(z, w)
+	return &SigShare{Index: share.Index, X: xi, C: c, Z: z}, nil
+}
+
+// VerifyShare checks a signature share against msg.
+func (pk *PublicKey) VerifyShare(msg []byte, sh *SigShare) error {
+	if sh == nil || sh.Index < 1 || sh.Index > pk.L {
+		return errors.New("threshsig: bad share index")
+	}
+	if sh.X == nil || sh.X.Sign() <= 0 || sh.X.Cmp(pk.N) >= 0 {
+		return errors.New("threshsig: share value out of range")
+	}
+	x := hashToModulus(pk.N, pk.Salt, msg)
+	d := delta(pk.L)
+	x4d := new(big.Int).Exp(x, new(big.Int).Lsh(d, 2), pk.N)
+	xi2 := new(big.Int).Exp(sh.X, two, pk.N)
+	vi := pk.VKs[sh.Index-1]
+	// Recompute commitments: t1 = x4d^z * xi2^{-c}, t2 = v^z * vi^{-c}.
+	t1 := new(big.Int).Exp(x4d, sh.Z, pk.N)
+	inv := new(big.Int).Exp(xi2, sh.C, pk.N)
+	inv.ModInverse(inv, pk.N)
+	if inv.Sign() == 0 {
+		return errors.New("threshsig: degenerate share")
+	}
+	t1.Mul(t1, inv)
+	t1.Mod(t1, pk.N)
+	t2 := new(big.Int).Exp(pk.V, sh.Z, pk.N)
+	inv2 := new(big.Int).Exp(vi, sh.C, pk.N)
+	inv2.ModInverse(inv2, pk.N)
+	if inv2.Sign() == 0 {
+		return errors.New("threshsig: degenerate verification key")
+	}
+	t2.Mul(t2, inv2)
+	t2.Mod(t2, pk.N)
+	if proofChallenge(pk, x4d, xi2, vi, t1, t2).Cmp(sh.C) != 0 {
+		return errors.New("threshsig: share proof rejected")
+	}
+	return nil
+}
+
+// Combine assembles k verified shares into a standard RSA signature on msg.
+// The caller is responsible for having verified the shares (VerifyShare);
+// Combine re-checks the result and reports an error if the combination does
+// not verify, which catches any unverified bad share.
+func (pk *PublicKey) Combine(msg []byte, shares []*SigShare) (*Signature, error) {
+	if len(shares) < pk.K {
+		return nil, fmt.Errorf("threshsig: need %d shares, have %d", pk.K, len(shares))
+	}
+	use := shares[:pk.K]
+	seen := make(map[int]bool, pk.K)
+	for _, sh := range use {
+		if seen[sh.Index] {
+			return nil, fmt.Errorf("threshsig: duplicate share %d", sh.Index)
+		}
+		seen[sh.Index] = true
+	}
+	x := hashToModulus(pk.N, pk.Salt, msg)
+	d := delta(pk.L)
+
+	// w = prod x_i^{2 * lambda_i} where lambda_i are integer Lagrange
+	// coefficients scaled by delta: lambda_i = delta * prod_{j!=i} j'/(j'-i').
+	w := big.NewInt(1)
+	for _, sh := range use {
+		lam := integerLagrange(use, sh.Index, d)
+		exp := new(big.Int).Lsh(lam, 1) // 2 * lambda
+		neg := exp.Sign() < 0
+		if neg {
+			exp.Neg(exp)
+		}
+		t := new(big.Int).Exp(sh.X, exp, pk.N)
+		if neg {
+			t.ModInverse(t, pk.N)
+			if t.Sign() == 0 {
+				return nil, errors.New("threshsig: non-invertible share")
+			}
+		}
+		w.Mul(w, t)
+		w.Mod(w, pk.N)
+	}
+	// w^e = x^{4*delta^2}; since gcd(e, 4*delta^2) = 1 (e prime > l),
+	// extended Euclid gives a, b with a*e + b*4*delta^2 = 1 and
+	// sigma = w^b * x^a satisfies sigma^e = x.
+	fourD2 := new(big.Int).Mul(d, d)
+	fourD2.Lsh(fourD2, 2)
+	a, b := new(big.Int), new(big.Int)
+	g := new(big.Int).GCD(a, b, pk.E, fourD2)
+	if g.Cmp(one) != 0 {
+		return nil, errors.New("threshsig: exponent not coprime to 4*delta^2")
+	}
+	sigma := mulPow(pk.N, x, a, w, b)
+	sig := &Signature{S: sigma}
+	if err := pk.Verify(msg, sig); err != nil {
+		return nil, fmt.Errorf("threshsig: combination failed (bad share among inputs): %w", err)
+	}
+	return sig, nil
+}
+
+// Verify checks a combined signature with a single RSA verification.
+func (pk *PublicKey) Verify(msg []byte, sig *Signature) error {
+	if sig == nil || sig.S == nil || sig.S.Sign() <= 0 || sig.S.Cmp(pk.N) >= 0 {
+		return errors.New("threshsig: malformed signature")
+	}
+	x := hashToModulus(pk.N, pk.Salt, msg)
+	got := new(big.Int).Exp(sig.S, pk.E, pk.N)
+	if got.Cmp(x) != 0 {
+		return errors.New("threshsig: verification failed")
+	}
+	return nil
+}
+
+// SignatureLen returns the byte length of a combined signature.
+func (pk *PublicKey) SignatureLen() int { return (pk.N.BitLen() + 7) / 8 }
+
+// ShareLen returns the approximate byte length of a serialized share with
+// its proof (value + challenge + response).
+func (pk *PublicKey) ShareLen() int {
+	n := (pk.N.BitLen() + 7) / 8
+	return n + 32 + n + 64 + 2
+}
+
+// integerLagrange computes delta * prod_{j in S, j != i} j / (j - i),
+// which Shoup shows is always an integer.
+func integerLagrange(subset []*SigShare, i int, d *big.Int) *big.Int {
+	num := new(big.Int).Set(d)
+	den := big.NewInt(1)
+	for _, sh := range subset {
+		if sh.Index == i {
+			continue
+		}
+		num.Mul(num, big.NewInt(int64(sh.Index)))
+		den.Mul(den, big.NewInt(int64(sh.Index-i)))
+	}
+	out := new(big.Int).Quo(num, den)
+	return out
+}
+
+// mulPow computes x^a * w^b mod n handling negative exponents.
+func mulPow(n, x, a, w, b *big.Int) *big.Int {
+	f := func(base, exp *big.Int) *big.Int {
+		if exp.Sign() >= 0 {
+			return new(big.Int).Exp(base, exp, n)
+		}
+		e := new(big.Int).Neg(exp)
+		t := new(big.Int).Exp(base, e, n)
+		t.ModInverse(t, n)
+		return t
+	}
+	out := f(x, a)
+	out.Mul(out, f(w, b))
+	out.Mod(out, n)
+	return out
+}
+
+func proofChallenge(pk *PublicKey, parts ...*big.Int) *big.Int {
+	h := sha256.New()
+	h.Write([]byte("threshsig-proof-v1"))
+	h.Write(pk.N.Bytes())
+	for _, p := range parts {
+		b := p.Bytes()
+		var lb [4]byte
+		binary.BigEndian.PutUint32(lb[:], uint32(len(b)))
+		h.Write(lb[:])
+		h.Write(b)
+	}
+	return new(big.Int).SetBytes(h.Sum(nil))
+}
+
+func evalPoly(coeffs []*big.Int, x int64, m *big.Int) *big.Int {
+	bx := big.NewInt(x)
+	y := new(big.Int)
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		y.Mul(y, bx)
+		y.Add(y, coeffs[i])
+		y.Mod(y, m)
+	}
+	return y
+}
+
+func randBelow(rand io.Reader, max *big.Int) (*big.Int, error) {
+	bits := max.BitLen()
+	bytes := (bits + 7) / 8
+	buf := make([]byte, bytes)
+	for {
+		if _, err := io.ReadFull(rand, buf); err != nil {
+			return nil, err
+		}
+		if excess := bytes*8 - bits; excess > 0 {
+			buf[0] &= 0xFF >> excess
+		}
+		v := new(big.Int).SetBytes(buf)
+		if v.Cmp(max) < 0 && v.Sign() > 0 {
+			return v, nil
+		}
+	}
+}
+
+func randBits(rand io.Reader, bits int) (*big.Int, error) {
+	buf := make([]byte, (bits+7)/8)
+	if _, err := io.ReadFull(rand, buf); err != nil {
+		return nil, err
+	}
+	return new(big.Int).SetBytes(buf), nil
+}

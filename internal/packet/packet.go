@@ -1,0 +1,329 @@
+// Package packet defines the wire format of ConsensusBatcher packets.
+//
+// A logical packet (Frame) carries a header, a list of sections, and a
+// public-key signature. Each section holds the sender's current
+// contribution to one (component kind, phase) pair across any subset of the
+// N parallel instances — this is the paper's vertical batching. A frame
+// holding several sections mixes phases (and even components), which is the
+// paper's horizontal batching. Per-section N-bit NACK fields carry the
+// compressed reliability state (the O(N^2) -> O(N) optimization of
+// Sec. IV-C).
+//
+// Frames larger than the radio MTU are fragmented by internal/core; this
+// package only defines the single logical encoding.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Kind identifies a consensus component family within an epoch.
+type Kind uint8
+
+// Component kinds. Values are wire-stable.
+const (
+	KindRBC       Kind = 1 // reliable broadcast (also the RBC inside PRBC)
+	KindPRBC      Kind = 2 // PRBC DONE-phase threshold-signature shares
+	KindCBCValue  Kind = 3 // Dumbo's first CBC set
+	KindCBCCommit Kind = 4 // Dumbo's second CBC set
+	KindABA       Kind = 5 // asynchronous Byzantine agreement
+	KindDec       Kind = 6 // threshold-decryption share exchange
+	KindGlobal    Kind = 7 // multi-hop global-tier payloads
+)
+
+// Phase identifies a protocol phase within a component.
+type Phase uint8
+
+// Phases. Values are wire-stable.
+const (
+	PhaseInitial  Phase = 1  // 1-to-N proposal dissemination
+	PhaseEcho     Phase = 2  // RBC ECHO votes / CBC signature shares
+	PhaseReady    Phase = 3  // RBC READY votes
+	PhaseDone     Phase = 4  // PRBC threshold-signature shares
+	PhaseFinish   Phase = 5  // CBC combined-signature broadcast
+	PhaseBval     Phase = 6  // Cachin ABA BVAL
+	PhaseAux      Phase = 7  // Cachin ABA AUX
+	PhaseShare    Phase = 8  // Cachin ABA coin share
+	PhaseVote1    Phase = 9  // Bracha ABA phase-1 vote (RBC-small)
+	PhaseVote2    Phase = 10 // Bracha ABA phase-2 vote
+	PhaseVote3    Phase = 11 // Bracha ABA phase-3 vote
+	PhaseDecShare Phase = 12 // threshold decryption share
+	PhaseRepair   Phase = 13 // NACK-triggered retransmission requests
+	PhaseDecided  Phase = 14 // ABA termination claims (f+1 matching => adopt)
+)
+
+// Entry is one instance-granular contribution inside a section: the
+// sender's state for instance Slot (optionally sub-indexed by Sub, e.g. a
+// fragment number or a voter id) at round Round.
+type Entry struct {
+	Slot  uint8
+	Sub   uint8
+	Round uint16
+	Flags uint8
+	Data  []byte
+}
+
+// Section is the vertical-batching unit: all of the sender's entries for
+// one (Kind, Phase), plus the compressed O(N) NACK bitmap for that phase.
+type Section struct {
+	Kind    Kind
+	Phase   Phase
+	Nack    BitSet
+	Entries []Entry
+}
+
+// Frame is one logical signed packet.
+type Frame struct {
+	Sender   uint16
+	Session  uint32
+	Epoch    uint16
+	Sections []Section
+	Sig      []byte
+}
+
+// Encoding limits.
+const (
+	frameMagic   = 0xB7
+	frameVersion = 1
+	maxSections  = 255
+	maxEntries   = 255
+	maxData      = 65535
+)
+
+// Various decode errors.
+var (
+	ErrTruncated  = errors.New("packet: truncated frame")
+	ErrBadMagic   = errors.New("packet: bad magic or version")
+	ErrTooLarge   = errors.New("packet: field exceeds encoding limit")
+	errBadSection = errors.New("packet: malformed section")
+)
+
+// AppendBody serializes everything except the signature; the result is the
+// exact byte string the frame signature covers.
+func (f *Frame) AppendBody(buf []byte) ([]byte, error) {
+	if len(f.Sections) > maxSections {
+		return nil, ErrTooLarge
+	}
+	buf = append(buf, frameMagic, frameVersion)
+	buf = binary.BigEndian.AppendUint16(buf, f.Sender)
+	buf = binary.BigEndian.AppendUint32(buf, f.Session)
+	buf = binary.BigEndian.AppendUint16(buf, f.Epoch)
+	buf = append(buf, byte(len(f.Sections)))
+	for _, sec := range f.Sections {
+		var err error
+		buf, err = sec.append(buf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// Encode serializes the full frame (body plus signature).
+func (f *Frame) Encode() ([]byte, error) {
+	buf, err := f.AppendBody(nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(f.Sig) > maxData {
+		return nil, ErrTooLarge
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(f.Sig)))
+	buf = append(buf, f.Sig...)
+	return buf, nil
+}
+
+func (s *Section) append(buf []byte) ([]byte, error) {
+	if len(s.Entries) > maxEntries || len(s.Nack) > 255 {
+		return nil, ErrTooLarge
+	}
+	buf = append(buf, byte(s.Kind), byte(s.Phase), byte(len(s.Nack)))
+	buf = append(buf, s.Nack...)
+	buf = append(buf, byte(len(s.Entries)))
+	for _, e := range s.Entries {
+		if len(e.Data) > maxData {
+			return nil, ErrTooLarge
+		}
+		buf = append(buf, e.Slot, e.Sub)
+		buf = binary.BigEndian.AppendUint16(buf, e.Round)
+		buf = append(buf, e.Flags)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Data)))
+		buf = append(buf, e.Data...)
+	}
+	return buf, nil
+}
+
+// Decode parses a full frame and returns it along with the body length
+// (the prefix of raw covered by the signature).
+func Decode(raw []byte) (*Frame, int, error) {
+	r := reader{buf: raw}
+	magic, _ := r.u8()
+	ver, err := r.u8()
+	if err != nil {
+		return nil, 0, ErrTruncated
+	}
+	if magic != frameMagic || ver != frameVersion {
+		return nil, 0, ErrBadMagic
+	}
+	var f Frame
+	if f.Sender, err = r.u16(); err != nil {
+		return nil, 0, ErrTruncated
+	}
+	if f.Session, err = r.u32(); err != nil {
+		return nil, 0, ErrTruncated
+	}
+	if f.Epoch, err = r.u16(); err != nil {
+		return nil, 0, ErrTruncated
+	}
+	nsec, err := r.u8()
+	if err != nil {
+		return nil, 0, ErrTruncated
+	}
+	f.Sections = make([]Section, 0, nsec)
+	for i := 0; i < int(nsec); i++ {
+		sec, err := decodeSection(&r)
+		if err != nil {
+			return nil, 0, err
+		}
+		f.Sections = append(f.Sections, sec)
+	}
+	bodyLen := r.pos
+	sigLen, err := r.u16()
+	if err != nil {
+		return nil, 0, ErrTruncated
+	}
+	sig, err := r.bytes(int(sigLen))
+	if err != nil {
+		return nil, 0, ErrTruncated
+	}
+	f.Sig = sig
+	return &f, bodyLen, nil
+}
+
+func decodeSection(r *reader) (Section, error) {
+	var s Section
+	k, err := r.u8()
+	if err != nil {
+		return s, ErrTruncated
+	}
+	p, err := r.u8()
+	if err != nil {
+		return s, ErrTruncated
+	}
+	s.Kind, s.Phase = Kind(k), Phase(p)
+	if s.Kind == 0 || s.Phase == 0 {
+		return s, errBadSection
+	}
+	nackLen, err := r.u8()
+	if err != nil {
+		return s, ErrTruncated
+	}
+	nack, err := r.bytes(int(nackLen))
+	if err != nil {
+		return s, ErrTruncated
+	}
+	if len(nack) > 0 {
+		s.Nack = BitSet(nack)
+	}
+	nent, err := r.u8()
+	if err != nil {
+		return s, ErrTruncated
+	}
+	s.Entries = make([]Entry, 0, nent)
+	for i := 0; i < int(nent); i++ {
+		var e Entry
+		if e.Slot, err = r.u8(); err != nil {
+			return s, ErrTruncated
+		}
+		if e.Sub, err = r.u8(); err != nil {
+			return s, ErrTruncated
+		}
+		if e.Round, err = r.u16(); err != nil {
+			return s, ErrTruncated
+		}
+		if e.Flags, err = r.u8(); err != nil {
+			return s, ErrTruncated
+		}
+		dlen, err := r.u16()
+		if err != nil {
+			return s, ErrTruncated
+		}
+		if e.Data, err = r.bytes(int(dlen)); err != nil {
+			return s, ErrTruncated
+		}
+		s.Entries = append(s.Entries, e)
+	}
+	return s, nil
+}
+
+// EncodedSize returns the wire size of the frame with a sigLen-byte
+// signature, without allocating.
+func (f *Frame) EncodedSize(sigLen int) int {
+	n := 2 + 2 + 4 + 2 + 1 // magic, ver, sender, session, epoch, nsec
+	for _, s := range f.Sections {
+		n += 3 + len(s.Nack) + 1
+		for _, e := range s.Entries {
+			n += 7 + len(e.Data)
+		}
+	}
+	return n + 2 + sigLen
+}
+
+type reader struct {
+	buf []byte
+	pos int
+}
+
+func (r *reader) u8() (byte, error) {
+	if r.pos+1 > len(r.buf) {
+		return 0, ErrTruncated
+	}
+	v := r.buf[r.pos]
+	r.pos++
+	return v, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if r.pos+2 > len(r.buf) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.pos:])
+	r.pos += 2
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.pos+4 > len(r.buf) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.pos:])
+	r.pos += 4
+	return v, nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.buf) {
+		return nil, ErrTruncated
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.pos:r.pos+n])
+	r.pos += n
+	return out, nil
+}
+
+// String renders a compact human-readable form (used by cmd/wbft-packets).
+func (f *Frame) String() string {
+	out := fmt.Sprintf("frame sender=%d session=%d epoch=%d sections=%d sig=%dB",
+		f.Sender, f.Session, f.Epoch, len(f.Sections), len(f.Sig))
+	for _, s := range f.Sections {
+		out += fmt.Sprintf("\n  section kind=%d phase=%d nack=%x entries=%d",
+			s.Kind, s.Phase, []byte(s.Nack), len(s.Entries))
+		for _, e := range s.Entries {
+			out += fmt.Sprintf("\n    slot=%d sub=%d round=%d flags=%02x data=%dB",
+				e.Slot, e.Sub, e.Round, e.Flags, len(e.Data))
+		}
+	}
+	return out
+}

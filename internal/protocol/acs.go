@@ -1,0 +1,221 @@
+// Package protocol assembles the paper's five asynchronous BFT consensus
+// protocols from the batched components:
+//
+//   - HoneyBadgerBFT-LC / HoneyBadgerBFT-SC: N parallel RBC + N parallel
+//     ABA (Bracha local-coin or Cachin shared-coin), Fig. 7a;
+//   - BEAT (BEAT0): HoneyBadgerBFT with threshold coin flipping and
+//     threshold encryption;
+//   - Dumbo-LC / Dumbo-SC (Dumbo2): N parallel PRBC, two sets of N parallel
+//     CBC, serial ABA, Fig. 7b;
+//
+// in both ConsensusBatcher and baseline transport modes, single-hop and
+// multi-hop (clustered) deployments.
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/component"
+)
+
+// Instance is one node's consensus engine for one epoch. Outputs is nil
+// until the epoch decides; afterwards it holds the accepted proposals
+// sorted by proposer slot.
+type Instance interface {
+	// Start submits this node's proposal for the epoch.
+	Start(proposal []byte)
+	// Done reports whether the epoch has decided locally.
+	Done() bool
+	// Outputs returns the accepted proposals (by slot; nil entries for
+	// rejected slots) once Done.
+	Outputs() [][]byte
+}
+
+// CoinKind selects the ABA randomness implementation.
+type CoinKind string
+
+// The paper's three ABA variants.
+const (
+	CoinLocal CoinKind = "LC" // Bracha's ABA, local coin
+	CoinSig   CoinKind = "SC" // Cachin's ABA, threshold-signature coin
+	CoinFlip  CoinKind = "CP" // BEAT's ABA, threshold coin flipping
+)
+
+// binaryAgreement abstracts the two ABA components behind one interface.
+type binaryAgreement interface {
+	Input(slot int, v bool)
+	Decided(slot int) *bool
+	DecidedCount() int
+}
+
+// newABA builds the ABA matching the coin kind. Batched deployments share
+// one coin per round across parallel instances (Sec. V-A).
+func newABA(env *component.Env, slots int, coin CoinKind, shared bool, onDecide func(int, bool)) binaryAgreement {
+	switch coin {
+	case CoinLocal:
+		return component.NewBrachaABA(env, component.BrachaOptions{
+			Slots:    slots,
+			OnDecide: onDecide,
+		})
+	case CoinSig:
+		return component.NewCachinABA(env, component.CachinOptions{
+			Slots:      slots,
+			SharedCoin: shared,
+			Coin:       &component.SigCoin{PK: env.Suite.TSLow, Share: env.Suite.TSLowShare, Env: env},
+			OnDecide:   onDecide,
+		})
+	case CoinFlip:
+		return component.NewCachinABA(env, component.CachinOptions{
+			Slots:      slots,
+			SharedCoin: shared,
+			Coin:       &component.FlipCoin{PK: env.Suite.TC, Share: env.Suite.TCShare, Env: env},
+			OnDecide:   onDecide,
+		})
+	default:
+		panic(fmt.Sprintf("protocol: unknown coin kind %q", coin))
+	}
+}
+
+// ACS is HoneyBadgerBFT's (and BEAT's) asynchronous common subset: N
+// parallel RBCs feed N parallel ABAs; the union of 1-decided slots is the
+// epoch output. Optional threshold encryption adds the decryption-share
+// exchange after the subset is fixed.
+type ACS struct {
+	env     *component.Env
+	rbc     *component.RBC
+	aba     binaryAgreement
+	dec     *component.Decryptor
+	encrypt bool
+
+	abaStarted bool
+	delivered  map[int]bool
+	decisions  map[int]bool
+	plains     map[int][]byte
+	outputs    [][]byte
+	onDecide   func()
+}
+
+// ACSOptions configures an ACS instance.
+type ACSOptions struct {
+	Coin     CoinKind
+	Batched  bool // shared coin across parallel ABAs (wireless rule)
+	Encrypt  bool // threshold-encrypt proposals (HB/BEAT)
+	OnDecide func()
+}
+
+// NewACS builds the instance and registers its components.
+func NewACS(env *component.Env, opts ACSOptions) *ACS {
+	a := &ACS{
+		env:       env,
+		encrypt:   opts.Encrypt,
+		delivered: make(map[int]bool),
+		decisions: make(map[int]bool),
+		plains:    make(map[int][]byte),
+		onDecide:  opts.OnDecide,
+	}
+	a.rbc = component.NewRBC(env, component.RBCOptions{
+		Slots:     env.N,
+		OnDeliver: a.onRBCDeliver,
+	})
+	a.aba = newABA(env, env.N, opts.Coin, opts.Batched, a.onABADecide)
+	if opts.Encrypt {
+		a.dec = component.NewDecryptor(env, env.N, a.onPlain)
+	}
+	return a
+}
+
+var _ Instance = (*ACS)(nil)
+
+// Start implements Instance.
+func (a *ACS) Start(proposal []byte) {
+	if !a.encrypt {
+		a.rbc.Propose(a.env.Me, proposal)
+		return
+	}
+	env := a.env
+	env.Exec(env.Suite.Cost.TEEncrypt, func() {
+		ct, err := env.Suite.TE.Encrypt(proposal, env.Rand)
+		if err != nil {
+			panic(fmt.Sprintf("protocol: encrypting proposal: %v", err))
+		}
+		a.rbc.Propose(env.Me, component.EncodeCiphertext(ct))
+	})
+}
+
+// Done implements Instance.
+func (a *ACS) Done() bool { return a.outputs != nil }
+
+// Outputs implements Instance.
+func (a *ACS) Outputs() [][]byte { return a.outputs }
+
+// onRBCDeliver applies the wireless ABA-start rule of Sec. V-A: once 2f+1
+// RBCs complete, ALL ABA instances start simultaneously — 1 for the
+// completed set, 0 for the rest — so Byzantine nodes cannot exploit early
+// coin access, and the fastest 2f+1 proposals are favored.
+func (a *ACS) onRBCDeliver(slot int, _ []byte) {
+	a.delivered[slot] = true
+	if !a.abaStarted && len(a.delivered) >= a.env.Quorum() {
+		a.abaStarted = true
+		for s := 0; s < a.env.N; s++ {
+			a.aba.Input(s, a.delivered[s])
+		}
+	}
+	a.maybeFinish()
+}
+
+func (a *ACS) onABADecide(slot int, v bool) {
+	a.decisions[slot] = v
+	a.maybeFinish()
+}
+
+func (a *ACS) onPlain(slot int, plain []byte) {
+	a.plains[slot] = plain
+	a.maybeFinish()
+}
+
+// maybeFinish assembles the epoch output once every ABA has decided, every
+// accepted slot's RBC has delivered (totality guarantees it will), and —
+// with encryption — every accepted ciphertext has been decrypted.
+func (a *ACS) maybeFinish() {
+	if a.outputs != nil || len(a.decisions) < a.env.N {
+		return
+	}
+	for slot := 0; slot < a.env.N; slot++ {
+		v := a.decisions[slot]
+		if !v {
+			continue
+		}
+		if !a.delivered[slot] {
+			return // RBC totality will deliver it; NACK repair is running
+		}
+		if a.encrypt {
+			if _, ok := a.plains[slot]; !ok {
+				ct, err := component.DecodeCiphertext(a.rbc.Value(slot))
+				if err != nil {
+					// Malformed ciphertext from a Byzantine proposer: the
+					// slot contributes nothing.
+					a.plains[slot] = nil
+					continue
+				}
+				a.dec.SubmitLate(slot, ct)
+				return
+			}
+		}
+	}
+	outputs := make([][]byte, a.env.N)
+	for slot := 0; slot < a.env.N; slot++ {
+		v := a.decisions[slot]
+		if !v {
+			continue
+		}
+		if a.encrypt {
+			outputs[slot] = a.plains[slot]
+		} else {
+			outputs[slot] = a.rbc.Value(slot)
+		}
+	}
+	a.outputs = outputs
+	if a.onDecide != nil {
+		a.onDecide()
+	}
+}

@@ -1,0 +1,67 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/component"
+	"repro/internal/crypto"
+	"repro/internal/sim"
+	"repro/internal/wireless"
+)
+
+// TestDebugHoneyBadgerTrace is a diagnostic harness: it runs HB-SC with
+// direct access to component internals and dumps progress when stuck.
+func TestDebugHoneyBadgerTrace(t *testing.T) {
+	opts := quickOpts(HoneyBadger, CoinSig, true, 1)
+	sched := sim.New(opts.Seed)
+	ch := wireless.NewChannel(sched, opts.Net)
+	suites, err := crypto.Deal(opts.N, opts.F, opts.Crypto, rand.New(rand.NewSource(opts.Seed^0x5eed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]*runNode, opts.N)
+	insts := make([]*ACS, opts.N)
+	for i := 0; i < opts.N; i++ {
+		nodes[i] = newRunNode(sched, ch, wireless.NodeID(i), suites[i], opts, false)
+	}
+	for i, n := range nodes {
+		n.tr.SetEpoch(0)
+		env := &component.Env{
+			N: opts.N, F: opts.F, Me: i, Epoch: 0,
+			Suite: n.suite, T: n.tr, CPU: n.cpu, Sched: sched, Rand: n.rand,
+		}
+		i := i
+		insts[i] = NewACS(env, ACSOptions{Coin: CoinSig, Batched: true, Encrypt: true,
+			OnDecide: func() { nodes[i].done = true }})
+		prop := make([]byte, 64)
+		binary.BigEndian.PutUint32(prop, uint32(i))
+		insts[i].Start(prop)
+	}
+	deadline := 30 * time.Minute
+	for sched.Now() < deadline && !allHonestDone(nodes) {
+		if !sched.Step() {
+			break
+		}
+	}
+	if allHonestDone(nodes) {
+		t.Logf("completed at %v", sched.Now())
+		return
+	}
+	for i, a := range insts {
+		decs := ""
+		for s := 0; s < 4; s++ {
+			if v, ok := a.decisions[s]; ok {
+				decs += fmt.Sprintf("%d:%v ", s, v)
+			} else {
+				decs += fmt.Sprintf("%d:? ", s)
+			}
+		}
+		t.Logf("node %d: rbcDelivered=%d abaStarted=%v decisions=[%s] plains=%d outputs=%v done=%v",
+			i, a.rbc.DeliveredCount(), a.abaStarted, decs, len(a.plains), a.outputs != nil, nodes[i].done)
+	}
+	t.Fatalf("stuck at %v", sched.Now())
+}

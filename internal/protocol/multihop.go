@@ -1,0 +1,285 @@
+package protocol
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/component"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/wireless"
+)
+
+// MultihopOptions configures a clustered (multi-hop) run per Sec. V-B: M
+// single-hop clusters each run local consensus on their own channel; one
+// rotating leader per cluster joins a global tier on a separate channel
+// (the paper uses separate channels to avoid interference), which orders
+// the clusters' proposals; leaders then disseminate the global order back
+// into their clusters.
+type MultihopOptions struct {
+	Single   Options // protocol, coin, batching, crypto, channel template
+	Clusters int     // M (must be 3f_g+1; the paper uses 4)
+	// PerCluster is the cluster size N_i (must be 3f_i+1; the paper uses 4).
+	PerCluster int
+}
+
+// DefaultMultihopOptions mirrors the paper's 16-node, 4-cluster setup.
+func DefaultMultihopOptions(p Kind, coin CoinKind) MultihopOptions {
+	return MultihopOptions{Single: DefaultOptions(p, coin), Clusters: 4, PerCluster: 4}
+}
+
+// MultihopResult extends Result with per-tier channel counters.
+type MultihopResult struct {
+	Result
+	GlobalAccesses uint64
+	LocalAccesses  uint64
+}
+
+type mhCluster struct {
+	ch     *wireless.Channel
+	nodes  []*runNode
+	leader int // index within cluster this epoch
+	// Global-tier state for the leader.
+	globalTr   *core.Transport
+	globalCPU  *sim.CPU
+	globalInst Instance
+	globalDone bool
+	resultSent bool
+	// Followers' completion flags.
+	gotResult []bool
+}
+
+// RunMultihop executes a multi-hop simulation.
+func RunMultihop(opts MultihopOptions) (*MultihopResult, error) {
+	so := opts.Single
+	if opts.Clusters < 4 || (opts.Clusters-1)%3 != 0 {
+		return nil, fmt.Errorf("protocol: clusters must be 3f+1 >= 4, got %d", opts.Clusters)
+	}
+	if opts.PerCluster != 3*so.F+1 {
+		return nil, fmt.Errorf("protocol: cluster size %d != 3F+1", opts.PerCluster)
+	}
+	if so.Deadline <= 0 {
+		so.Deadline = 120 * time.Minute
+	}
+	sched := sim.New(so.Seed)
+	fg := (opts.Clusters - 1) / 3
+
+	globalCh := wireless.NewChannel(sched, so.Net)
+	globalSuites, err := crypto.Deal(opts.Clusters, fg, so.Crypto, rand.New(rand.NewSource(so.Seed^0x61)))
+	if err != nil {
+		return nil, err
+	}
+
+	clusters := make([]*mhCluster, opts.Clusters)
+	for c := range clusters {
+		ch := wireless.NewChannel(sched, so.Net)
+		suites, err := crypto.Deal(opts.PerCluster, so.F, so.Crypto, rand.New(rand.NewSource(so.Seed+int64(c)*101)))
+		if err != nil {
+			return nil, err
+		}
+		cl := &mhCluster{ch: ch, gotResult: make([]bool, opts.PerCluster)}
+		for i := 0; i < opts.PerCluster; i++ {
+			cl.nodes = append(cl.nodes, newRunNode(sched, ch, wireless.NodeID(i), suites[i], so, false))
+		}
+		clusters[c] = cl
+	}
+
+	res := &MultihopResult{}
+	for epoch := 0; epoch < so.Epochs; epoch++ {
+		start := sched.Now()
+		leaderIdx := epoch % opts.PerCluster
+		for c, cl := range clusters {
+			cl.leader = leaderIdx
+			cl.globalDone = false
+			cl.resultSent = false
+			for i := range cl.gotResult {
+				cl.gotResult[i] = false
+			}
+			cl.startLocalEpoch(sched, uint16(epoch), so)
+			cl.attachGlobal(sched, globalCh, globalSuites[c], wireless.NodeID(c), uint16(epoch), so, clusters)
+		}
+		deadline := start + so.Deadline
+		done := func() bool {
+			for _, cl := range clusters {
+				for i := range cl.gotResult {
+					if !cl.gotResult[i] {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for !done() {
+			if sched.Now() > deadline {
+				return nil, fmt.Errorf("protocol: multihop epoch %d missed deadline (%s %s)", epoch, so.Protocol, so.Coin)
+			}
+			if !sched.Step() {
+				return nil, fmt.Errorf("protocol: multihop epoch %d deadlocked at %v", epoch, sched.Now())
+			}
+		}
+		res.EpochLatencies = append(res.EpochLatencies, sched.Now()-start)
+		for _, cl := range clusters {
+			res.DeliveredTxs += countTxs(cl.nodes, so)
+		}
+	}
+
+	var sum time.Duration
+	for _, l := range res.EpochLatencies {
+		sum += l
+	}
+	if len(res.EpochLatencies) > 0 {
+		res.MeanLatency = sum / time.Duration(len(res.EpochLatencies))
+	}
+	if now := sched.Now(); now > 0 {
+		res.TPM = float64(res.DeliveredTxs) / now.Minutes()
+	}
+	res.GlobalAccesses = globalCh.Stats().Accesses
+	for _, cl := range clusters {
+		st := cl.ch.Stats()
+		res.LocalAccesses += st.Accesses
+		res.Collisions += st.Collisions
+		res.Frames += st.Frames
+		res.BytesOnAir += st.BytesOnAir
+		for _, n := range cl.nodes {
+			ts := n.tr.Stats()
+			res.LogicalSent += ts.LogicalSent
+			res.SignOps += ts.SignOps
+			res.VerifyOps += ts.VerifyOps
+		}
+	}
+	res.Accesses = res.LocalAccesses + res.GlobalAccesses
+	return res, nil
+}
+
+func (cl *mhCluster) startLocalEpoch(sched *sim.Scheduler, epoch uint16, so Options) {
+	for _, n := range cl.nodes {
+		n.startEpoch(sched, epoch, so)
+	}
+	// Followers additionally listen for the leader's global RESULT.
+	for i, n := range cl.nodes {
+		i, n := i, n
+		n.tr.Register(packet.KindGlobal, core.HandlerFunc(func(from uint16, sec packet.Section) {
+			if sec.Phase == packet.PhaseFinish && int(from) == cl.leader {
+				cl.gotResult[i] = true
+			}
+		}))
+	}
+}
+
+// attachGlobal wires this epoch's cluster leader into the global tier.
+func (cl *mhCluster) attachGlobal(sched *sim.Scheduler, globalCh *wireless.Channel, suite *crypto.Suite, seat wireless.NodeID, epoch uint16, so Options, clusters []*mhCluster) {
+	leader := cl.nodes[cl.leader]
+	if cl.globalCPU == nil {
+		// The leader's radio on the global channel is a second interface;
+		// compute, however, shares the node's single core. For simplicity
+		// each seat keeps one transport attached across epochs.
+		cl.globalCPU = leader.cpu
+		auth := &core.SizedAuth{
+			Len:        suite.Signer.Scheme().SignatureLen(),
+			CostSign:   suite.Cost.PKSign,
+			CostVerify: suite.Cost.PKVerify,
+		}
+		tcfg := core.DefaultConfig(so.Batched)
+		tcfg.Batched = so.Batched
+		tr := core.New(sched, cl.globalCPU, nil, auth, tcfg)
+		st := globalCh.Attach(seat, tr)
+		tr.BindStation(st)
+		cl.globalTr = tr
+	}
+	cl.globalTr.SetEpoch(epoch)
+	env := &component.Env{
+		N:       len(clusters),
+		F:       (len(clusters) - 1) / 3,
+		Me:      int(seat),
+		Epoch:   epoch,
+		Session: so.Transport.Session ^ 0x006C0BA1, // distinct global-tier session
+		Suite:   suite,
+		T:       cl.globalTr,
+		CPU:     cl.globalCPU,
+		Sched:   sched,
+		Rand:    leader.rand,
+	}
+	onGlobalDecide := func() {
+		cl.globalDone = true
+		cl.publishResult(epoch)
+	}
+	switch so.Protocol {
+	case DumboKind:
+		cl.globalInst = NewDumbo(env, DumboOptions{Coin: so.Coin, Batched: so.Batched, OnDecide: onGlobalDecide})
+	default:
+		coin := so.Coin
+		if so.Protocol == BEAT && coin == "" {
+			coin = CoinFlip
+		}
+		cl.globalInst = NewACS(env, ACSOptions{Coin: coin, Batched: so.Batched, Encrypt: false, OnDecide: onGlobalDecide})
+	}
+	// The leader submits the cluster digest once local consensus finishes.
+	waitLocal(sched, cl, epoch, so)
+}
+
+// waitLocal polls for local completion, then starts the global instance
+// with the cluster digest. (Polling stays on the event queue, so virtual
+// time accounting is exact.)
+func waitLocal(sched *sim.Scheduler, cl *mhCluster, epoch uint16, so Options) {
+	leader := cl.nodes[cl.leader]
+	var check func()
+	check = func() {
+		if !leader.done {
+			sched.After(100*time.Millisecond, check)
+			return
+		}
+		digest := clusterDigest(leader, epoch)
+		cl.globalInst.Start(digest)
+		waitGlobalResult(sched, cl, epoch)
+	}
+	sched.After(100*time.Millisecond, check)
+}
+
+func waitGlobalResult(sched *sim.Scheduler, cl *mhCluster, epoch uint16) {
+	var check func()
+	check = func() {
+		if !cl.globalDone {
+			sched.After(100*time.Millisecond, check)
+			return
+		}
+		cl.publishResult(epoch)
+	}
+	sched.After(100*time.Millisecond, check)
+}
+
+// publishResult broadcasts the global order into the cluster. The leader
+// itself completes at this point.
+func (cl *mhCluster) publishResult(epoch uint16) {
+	if cl.resultSent {
+		return
+	}
+	cl.resultSent = true
+	leader := cl.nodes[cl.leader]
+	var digest []byte
+	for _, out := range cl.globalInst.Outputs() {
+		d := sha256.Sum256(out)
+		digest = append(digest, d[:8]...)
+	}
+	leader.tr.Update(core.Intent{
+		IntentKey: core.IntentKey{Kind: packet.KindGlobal, Phase: packet.PhaseFinish, Slot: 0},
+		Data:      digest,
+	})
+	cl.gotResult[cl.leader] = true
+}
+
+// clusterDigest summarizes a cluster's local output for the global tier.
+func clusterDigest(leader *runNode, epoch uint16) []byte {
+	h := sha256.New()
+	var eb [2]byte
+	binary.BigEndian.PutUint16(eb[:], epoch)
+	h.Write(eb[:])
+	for _, out := range leader.inst.Outputs() {
+		h.Write(out)
+	}
+	return h.Sum(nil)
+}

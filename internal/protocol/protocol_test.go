@@ -1,0 +1,237 @@
+package protocol
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func quickOpts(p Kind, coin CoinKind, batched bool, seed int64) Options {
+	opts := DefaultOptions(p, coin)
+	opts.Batched = batched
+	opts.Epochs = 1
+	opts.BatchSize = 2
+	opts.Seed = seed
+	opts.Net.LossProb = 0
+	return opts
+}
+
+func TestHoneyBadgerSCSingleEpoch(t *testing.T) {
+	res, err := Run(quickOpts(HoneyBadger, CoinSig, true, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredTxs < 2*3 { // at least 2f+1 proposals accepted
+		t.Errorf("delivered %d txs, want >= 6", res.DeliveredTxs)
+	}
+	if res.MeanLatency <= 0 {
+		t.Error("zero latency")
+	}
+	t.Logf("HB-SC: latency=%v txs=%d accesses=%d", res.MeanLatency, res.DeliveredTxs, res.Accesses)
+}
+
+func TestHoneyBadgerLC(t *testing.T) {
+	res, err := Run(quickOpts(HoneyBadger, CoinLocal, true, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredTxs == 0 {
+		t.Error("no transactions delivered")
+	}
+	t.Logf("HB-LC: latency=%v", res.MeanLatency)
+}
+
+func TestBEAT(t *testing.T) {
+	res, err := Run(quickOpts(BEAT, CoinFlip, true, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredTxs == 0 {
+		t.Error("no transactions delivered")
+	}
+	t.Logf("BEAT: latency=%v", res.MeanLatency)
+}
+
+func TestDumboSC(t *testing.T) {
+	res, err := Run(quickOpts(DumboKind, CoinSig, true, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dumbo accepts exactly the 2f+1 proposals of the winning vector.
+	if res.DeliveredTxs != 3*2 {
+		t.Errorf("delivered %d txs, want 6 (2f+1 proposals x 2 txs)", res.DeliveredTxs)
+	}
+	t.Logf("Dumbo-SC: latency=%v", res.MeanLatency)
+}
+
+func TestDumboLC(t *testing.T) {
+	res, err := Run(quickOpts(DumboKind, CoinLocal, true, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredTxs == 0 {
+		t.Error("no transactions delivered")
+	}
+	t.Logf("Dumbo-LC: latency=%v", res.MeanLatency)
+}
+
+func TestBaselineSlowerThanBatched(t *testing.T) {
+	batched, err := Run(quickOpts(HoneyBadger, CoinSig, true, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := Run(quickOpts(HoneyBadger, CoinSig, false, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.MeanLatency >= baseline.MeanLatency {
+		t.Errorf("batched %v not faster than baseline %v", batched.MeanLatency, baseline.MeanLatency)
+	}
+	if batched.Accesses >= baseline.Accesses {
+		t.Errorf("batched accesses %d not fewer than baseline %d", batched.Accesses, baseline.Accesses)
+	}
+	t.Logf("latency: batched=%v baseline=%v; accesses: %d vs %d",
+		batched.MeanLatency, baseline.MeanLatency, batched.Accesses, baseline.Accesses)
+}
+
+func TestMultiEpochProgress(t *testing.T) {
+	opts := quickOpts(HoneyBadger, CoinSig, true, 7)
+	opts.Epochs = 3
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EpochLatencies) != 3 {
+		t.Fatalf("got %d epochs", len(res.EpochLatencies))
+	}
+	if res.TPM <= 0 {
+		t.Error("zero throughput")
+	}
+}
+
+func TestWithPacketLoss(t *testing.T) {
+	opts := quickOpts(HoneyBadger, CoinSig, true, 8)
+	opts.Net.LossProb = 0.08
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredTxs == 0 {
+		t.Error("no delivery under loss")
+	}
+}
+
+func TestWithCrashFault(t *testing.T) {
+	for _, p := range []struct {
+		kind Kind
+		coin CoinKind
+	}{{HoneyBadger, CoinSig}, {DumboKind, CoinSig}} {
+		p := p
+		t.Run(string(p.kind), func(t *testing.T) {
+			opts := quickOpts(p.kind, p.coin, true, 9)
+			opts.Faults.Crash = []int{3}
+			opts.Deadline = 120 * time.Minute
+			res, err := Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.DeliveredTxs == 0 {
+				t.Error("no delivery with crashed node")
+			}
+		})
+	}
+}
+
+func TestWithAdversarialDelays(t *testing.T) {
+	opts := quickOpts(HoneyBadger, CoinSig, true, 10)
+	opts.Faults.DelayProb = 0.3
+	opts.Faults.DelayMax = 5 * time.Second
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredTxs == 0 {
+		t.Error("no delivery under adversarial delay")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a, err := Run(quickOpts(HoneyBadger, CoinSig, true, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quickOpts(HoneyBadger, CoinSig, true, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanLatency != b.MeanLatency || a.Accesses != b.Accesses {
+		t.Errorf("same seed differs: %v/%d vs %v/%d", a.MeanLatency, a.Accesses, b.MeanLatency, b.Accesses)
+	}
+}
+
+func TestSeedsVaryOutcome(t *testing.T) {
+	a, err := Run(quickOpts(HoneyBadger, CoinSig, true, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quickOpts(HoneyBadger, CoinSig, true, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanLatency == b.MeanLatency {
+		t.Log("two seeds produced identical latency (possible, not failing)")
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	opts := quickOpts(HoneyBadger, CoinSig, true, 1)
+	opts.N = 5
+	if _, err := Run(opts); err == nil {
+		t.Error("N != 3F+1 accepted")
+	}
+}
+
+func TestAllFiveProtocolsComplete(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		coin CoinKind
+	}{
+		{HoneyBadger, CoinLocal},
+		{HoneyBadger, CoinSig},
+		{BEAT, CoinFlip},
+		{DumboKind, CoinLocal},
+		{DumboKind, CoinSig},
+	}
+	for i, c := range cases {
+		c, i := c, i
+		t.Run(fmt.Sprintf("%s-%s", c.kind, c.coin), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(quickOpts(c.kind, c.coin, true, 20+int64(i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.DeliveredTxs == 0 {
+				t.Error("no transactions delivered")
+			}
+		})
+	}
+}
+
+func TestMultihop(t *testing.T) {
+	opts := DefaultMultihopOptions(HoneyBadger, CoinSig)
+	opts.Single.Epochs = 1
+	opts.Single.BatchSize = 2
+	opts.Single.Net.LossProb = 0
+	opts.Single.Seed = 30
+	res, err := RunMultihop(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredTxs == 0 {
+		t.Error("no transactions delivered in multihop")
+	}
+	if res.GlobalAccesses == 0 || res.LocalAccesses == 0 {
+		t.Error("expected traffic on both tiers")
+	}
+	t.Logf("multihop: latency=%v local=%d global=%d", res.MeanLatency, res.LocalAccesses, res.GlobalAccesses)
+}

@@ -1,0 +1,330 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/component"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/sim"
+	"repro/internal/wireless"
+)
+
+// Kind names a consensus protocol family.
+type Kind string
+
+// The three protocol families the paper adapts.
+const (
+	HoneyBadger Kind = "honeybadger"
+	BEAT        Kind = "beat"
+	DumboKind   Kind = "dumbo"
+)
+
+// FaultPlan injects failures into a run.
+type FaultPlan struct {
+	// Crash lists node indices that never send anything.
+	Crash []int
+	// DelayProb adds DelayMax-bounded random extra delivery delay with
+	// this probability per (frame, receiver) — the asynchronous adversary.
+	DelayProb float64
+	DelayMax  time.Duration
+}
+
+// Options configures a single-hop protocol run.
+type Options struct {
+	Protocol  Kind
+	Coin      CoinKind
+	Batched   bool // ConsensusBatcher vs baseline transport
+	N, F      int
+	BatchSize int // transactions per proposal
+	TxSize    int // bytes per transaction
+	Encrypt   bool
+	Epochs    int
+	Seed      int64
+	Net       wireless.Config
+	Crypto    crypto.Config
+	Transport core.Config // Session/FlushDelay/RetxInterval; zero = defaults
+	Faults    FaultPlan
+	// Deadline bounds each epoch in virtual time (default 60 min).
+	Deadline time.Duration
+}
+
+// DefaultOptions returns the paper's single-hop setup: N=4, LoRa-class
+// channel, light crypto, ConsensusBatcher on.
+func DefaultOptions(p Kind, coin CoinKind) Options {
+	return Options{
+		Protocol:  p,
+		Coin:      coin,
+		Batched:   true,
+		N:         4,
+		F:         1,
+		BatchSize: 4,
+		TxSize:    64,
+		Encrypt:   p != DumboKind,
+		Epochs:    3,
+		Seed:      1,
+		Net:       wireless.DefaultConfig(),
+		Crypto:    crypto.LightConfig(),
+		Deadline:  60 * time.Minute,
+	}
+}
+
+// Result aggregates a run's measurements.
+type Result struct {
+	EpochLatencies []time.Duration
+	MeanLatency    time.Duration
+	TPM            float64 // transactions per minute of virtual time
+	DeliveredTxs   int
+
+	Accesses    uint64 // channel accesses (the paper's contention metric)
+	Collisions  uint64
+	Frames      uint64
+	BytesOnAir  uint64
+	LogicalSent uint64 // signed logical packets across all nodes
+	SignOps     uint64
+	VerifyOps   uint64
+}
+
+// runNode bundles one node's per-run state.
+type runNode struct {
+	idx     int
+	cpu     *sim.CPU
+	tr      *core.Transport
+	suite   *crypto.Suite
+	rand    *rand.Rand
+	crashed bool
+	inst    Instance
+	done    bool
+}
+
+// Run executes a single-hop protocol simulation and returns measurements.
+func Run(opts Options) (*Result, error) {
+	if opts.N != 3*opts.F+1 {
+		return nil, fmt.Errorf("protocol: need N = 3F+1, got N=%d F=%d", opts.N, opts.F)
+	}
+	if opts.Deadline <= 0 {
+		opts.Deadline = 60 * time.Minute
+	}
+	sched := sim.New(opts.Seed)
+	ch := wireless.NewChannel(sched, opts.Net)
+	installFaultHook(sched, ch, opts.Faults)
+
+	suites, err := crypto.Deal(opts.N, opts.F, opts.Crypto, rand.New(rand.NewSource(opts.Seed^0x5eed)))
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]*runNode, opts.N)
+	crashed := make(map[int]bool, len(opts.Faults.Crash))
+	for _, c := range opts.Faults.Crash {
+		crashed[c] = true
+	}
+	for i := 0; i < opts.N; i++ {
+		nodes[i] = newRunNode(sched, ch, wireless.NodeID(i), suites[i], opts, crashed[i])
+	}
+
+	res := &Result{}
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		start := sched.Now()
+		for _, n := range nodes {
+			n.startEpoch(sched, uint16(epoch), opts)
+		}
+		deadline := start + opts.Deadline
+		for !allHonestDone(nodes) {
+			if sched.Now() > deadline {
+				return nil, fmt.Errorf("protocol: epoch %d missed deadline %v (%s %s batched=%v)",
+					epoch, opts.Deadline, opts.Protocol, opts.Coin, opts.Batched)
+			}
+			if !sched.Step() {
+				return nil, fmt.Errorf("protocol: epoch %d deadlocked at %v", epoch, sched.Now())
+			}
+		}
+		res.EpochLatencies = append(res.EpochLatencies, sched.Now()-start)
+		res.DeliveredTxs += countTxs(nodes, opts)
+		insts := make([]Instance, 0, len(nodes))
+		for _, n := range nodes {
+			if !n.crashed && n.inst != nil {
+				insts = append(insts, n.inst)
+			}
+		}
+		if err := AgreementCheck(insts); err != nil {
+			return nil, fmt.Errorf("protocol: epoch %d safety violation: %w", epoch, err)
+		}
+	}
+
+	finalize(res, sched, ch, nodes)
+	return res, nil
+}
+
+func newRunNode(sched *sim.Scheduler, ch *wireless.Channel, id wireless.NodeID, suite *crypto.Suite, opts Options, crashed bool) *runNode {
+	cpu := sim.NewCPU(sched)
+	auth := &core.SizedAuth{
+		Len:        suite.Signer.Scheme().SignatureLen(),
+		CostSign:   suite.Cost.PKSign,
+		CostVerify: suite.Cost.PKVerify,
+	}
+	tcfg := opts.Transport
+	if tcfg.FlushDelay == 0 && tcfg.RetxInterval == 0 && tcfg.MaxQueue == 0 {
+		tcfg = core.DefaultConfig(opts.Batched)
+	}
+	tcfg.Batched = opts.Batched
+	tr := core.New(sched, cpu, nil, auth, tcfg)
+	st := ch.Attach(id, tr)
+	tr.BindStation(st)
+	n := &runNode{
+		idx:     int(id),
+		cpu:     cpu,
+		tr:      tr,
+		suite:   suite,
+		rand:    rand.New(rand.NewSource(opts.Seed + int64(id)*7919)),
+		crashed: crashed,
+	}
+	if crashed {
+		tr.Stop()
+	}
+	return n
+}
+
+// startEpoch rebuilds the node's components for a fresh epoch and submits
+// its proposal.
+func (n *runNode) startEpoch(sched *sim.Scheduler, epoch uint16, opts Options) {
+	n.done = false
+	n.inst = nil
+	if n.crashed {
+		n.done = true // crashed nodes never finish; exclude from barrier
+		return
+	}
+	n.tr.SetEpoch(epoch)
+	env := &component.Env{
+		N:       opts.N,
+		F:       opts.F,
+		Me:      n.idx,
+		Epoch:   epoch,
+		Session: opts.Transport.Session,
+		Suite:   n.suite,
+		T:       n.tr,
+		CPU:     n.cpu,
+		Sched:   sched,
+		Rand:    n.rand,
+	}
+	markDone := func() { n.done = true }
+	switch opts.Protocol {
+	case HoneyBadger:
+		n.inst = NewACS(env, ACSOptions{Coin: opts.Coin, Batched: opts.Batched, Encrypt: opts.Encrypt, OnDecide: markDone})
+	case BEAT:
+		coin := opts.Coin
+		if coin == "" {
+			coin = CoinFlip
+		}
+		n.inst = NewACS(env, ACSOptions{Coin: coin, Batched: opts.Batched, Encrypt: true, OnDecide: markDone})
+	case DumboKind:
+		n.inst = NewDumbo(env, DumboOptions{Coin: opts.Coin, Batched: opts.Batched, OnDecide: markDone})
+	default:
+		panic(fmt.Sprintf("protocol: unknown protocol %q", opts.Protocol))
+	}
+	n.inst.Start(makeProposal(n.idx, int(epoch), opts))
+}
+
+// makeProposal builds a deterministic batch of transactions.
+func makeProposal(node, epoch int, opts Options) []byte {
+	prop := make([]byte, opts.BatchSize*opts.TxSize)
+	for t := 0; t < opts.BatchSize; t++ {
+		tx := prop[t*opts.TxSize : (t+1)*opts.TxSize]
+		binary.BigEndian.PutUint32(tx, uint32(node))
+		binary.BigEndian.PutUint32(tx[4:], uint32(epoch))
+		binary.BigEndian.PutUint32(tx[8:], uint32(t))
+		for i := 12; i < len(tx); i++ {
+			tx[i] = byte(i * (node + 1))
+		}
+	}
+	return prop
+}
+
+func allHonestDone(nodes []*runNode) bool {
+	for _, n := range nodes {
+		if !n.done {
+			return false
+		}
+	}
+	return true
+}
+
+// countTxs counts the transactions accepted this epoch (from the first
+// honest node's output; agreement tests verify outputs match).
+func countTxs(nodes []*runNode, opts Options) int {
+	for _, n := range nodes {
+		if n.crashed || n.inst == nil {
+			continue
+		}
+		total := 0
+		for _, prop := range n.inst.Outputs() {
+			total += len(prop) / opts.TxSize
+		}
+		return total
+	}
+	return 0
+}
+
+func finalize(res *Result, sched *sim.Scheduler, ch *wireless.Channel, nodes []*runNode) {
+	var sum time.Duration
+	for _, l := range res.EpochLatencies {
+		sum += l
+	}
+	if len(res.EpochLatencies) > 0 {
+		res.MeanLatency = sum / time.Duration(len(res.EpochLatencies))
+	}
+	if now := sched.Now(); now > 0 {
+		res.TPM = float64(res.DeliveredTxs) / now.Minutes()
+	}
+	st := ch.Stats()
+	res.Accesses = st.Accesses
+	res.Collisions = st.Collisions
+	res.Frames = st.Frames
+	res.BytesOnAir = st.BytesOnAir
+	for _, n := range nodes {
+		ts := n.tr.Stats()
+		res.LogicalSent += ts.LogicalSent
+		res.SignOps += ts.SignOps
+		res.VerifyOps += ts.VerifyOps
+	}
+}
+
+func installFaultHook(sched *sim.Scheduler, ch *wireless.Channel, f FaultPlan) {
+	if f.DelayProb <= 0 || f.DelayMax <= 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(0xAD7E))
+	ch.SetDeliveryHook(func(_, _ wireless.NodeID, _ []byte) (time.Duration, bool) {
+		if rng.Float64() < f.DelayProb {
+			return time.Duration(rng.Int63n(int64(f.DelayMax))), false
+		}
+		return 0, false
+	})
+}
+
+// AgreementCheck verifies that all honest nodes produced identical outputs
+// in their final epoch (test helper; exported for the property tests).
+func AgreementCheck(nodes []Instance) error {
+	var ref [][]byte
+	for _, inst := range nodes {
+		if inst == nil || !inst.Done() {
+			continue
+		}
+		if ref == nil {
+			ref = inst.Outputs()
+			continue
+		}
+		out := inst.Outputs()
+		if len(out) != len(ref) {
+			return fmt.Errorf("protocol: output length mismatch: %d vs %d", len(out), len(ref))
+		}
+		for i := range ref {
+			if string(ref[i]) != string(out[i]) {
+				return fmt.Errorf("protocol: output disagreement at slot %d", i)
+			}
+		}
+	}
+	return nil
+}

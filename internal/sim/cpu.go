@@ -1,0 +1,55 @@
+package sim
+
+import "time"
+
+// CPU models a single-core processor (the paper evaluates on an STM32F767).
+// Work submitted with Exec is serialized: each job starts no earlier than
+// the completion of all previously submitted jobs, and completes after its
+// stated cost of virtual compute time. This is how cryptographic operation
+// latencies (threshold signing, share verification, combining) are charged
+// against protocol latency, and how packets queue behind a busy CPU — the
+// effect the paper's DMA alignment module exists to mitigate.
+type CPU struct {
+	sched     *Scheduler
+	busyUntil time.Duration
+	queued    int
+	busyTotal time.Duration
+}
+
+// NewCPU returns a CPU bound to the scheduler.
+func NewCPU(s *Scheduler) *CPU {
+	return &CPU{sched: s}
+}
+
+// Exec schedules fn to run after cost of serialized compute time. Zero-cost
+// jobs still run asynchronously (on the next scheduler step) to keep event
+// ordering uniform.
+func (c *CPU) Exec(cost time.Duration, fn func()) *Event {
+	if cost < 0 {
+		cost = 0
+	}
+	start := c.sched.Now()
+	if c.busyUntil > start {
+		start = c.busyUntil
+	}
+	done := start + cost
+	c.busyUntil = done
+	c.busyTotal += cost
+	c.queued++
+	return c.sched.At(done, func() {
+		c.queued--
+		fn()
+	})
+}
+
+// Busy reports whether the CPU has outstanding work at the current time.
+func (c *CPU) Busy() bool { return c.busyUntil > c.sched.Now() || c.queued > 0 }
+
+// BusyUntil returns the virtual time at which all submitted work completes.
+func (c *CPU) BusyUntil() time.Duration { return c.busyUntil }
+
+// BusyTotal returns the cumulative compute time charged so far.
+func (c *CPU) BusyTotal() time.Duration { return c.busyTotal }
+
+// QueueLen returns the number of jobs submitted but not yet completed.
+func (c *CPU) QueueLen() int { return c.queued }

@@ -1,0 +1,173 @@
+// Package sim provides a deterministic discrete-event scheduler with a
+// virtual clock. All protocol and wireless-channel behaviour in this
+// repository runs on top of it, which makes simulations of LoRa-scale
+// latencies (tens of seconds of virtual time) complete in milliseconds of
+// wall time and makes every run reproducible from a seed.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// At returns the virtual time at which the event is scheduled to fire.
+func (e *Event) At() time.Duration { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; an entire simulation (all nodes, channels, and
+// protocol instances) runs inside one Scheduler. Concurrency across
+// simulations (e.g. parameter sweeps) is achieved by running independent
+// Schedulers in separate goroutines.
+type Scheduler struct {
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+}
+
+// New returns a Scheduler whose random source is seeded with seed.
+// Identical seeds produce identical simulations.
+func New(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time (duration since simulation start).
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Rand returns the scheduler's deterministic random source.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Fired returns the total number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events waiting in the queue (including
+// cancelled events that have not yet been discarded).
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// At schedules fn at absolute virtual time t. Times in the past are clamped
+// to now.
+func (s *Scheduler) At(t time.Duration, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// Step executes the next event, advancing the clock. It returns false when
+// the queue is empty or the scheduler has been stopped.
+func (s *Scheduler) Step() bool {
+	for len(s.events) > 0 && !s.stopped {
+		e := heap.Pop(&s.events).(*Event)
+		if e.cancelled {
+			continue
+		}
+		s.now = e.at
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t.
+// Events scheduled exactly at t do fire.
+func (s *Scheduler) RunUntil(t time.Duration) {
+	for len(s.events) > 0 && !s.stopped {
+		// Peek.
+		next := s.events[0]
+		if next.cancelled {
+			heap.Pop(&s.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
+
+// Stop halts Run/RunUntil at the next event boundary. Pending events remain
+// queued.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (s *Scheduler) Stopped() bool { return s.stopped }

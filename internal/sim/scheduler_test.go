@@ -1,0 +1,214 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.After(30*time.Millisecond, func() { got = append(got, 3) })
+	s.After(10*time.Millisecond, func() { got = append(got, 1) })
+	s.After(20*time.Millisecond, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("Now() = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAtSameTime(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(time.Second, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of submission order: %v", got)
+		}
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.After(time.Second, func() { fired = true })
+	e.Cancel()
+	s.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	s := New(1)
+	var tick int
+	var loop func()
+	loop = func() {
+		tick++
+		if tick < 5 {
+			s.After(time.Second, loop)
+		}
+	}
+	s.After(0, loop)
+	s.Run()
+	if tick != 5 {
+		t.Errorf("tick = %d, want 5", tick)
+	}
+	if s.Now() != 4*time.Second {
+		t.Errorf("Now() = %v, want 4s", s.Now())
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := New(1)
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		d := d
+		s.After(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(2 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2 (boundary inclusive)", len(fired))
+	}
+	if s.Now() != 2*time.Second {
+		t.Errorf("Now() = %v, want 2s", s.Now())
+	}
+	s.Run()
+	if len(fired) != 3 {
+		t.Errorf("after Run, fired %d events, want 3", len(fired))
+	}
+}
+
+func TestSchedulerRunFor(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.After(time.Duration(i)*time.Second, func() { count++ })
+	}
+	s.RunFor(5 * time.Second)
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	s.RunFor(2 * time.Second)
+	if count != 7 {
+		t.Errorf("count = %d, want 7", count)
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 0; i < 10; i++ {
+		s.After(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Errorf("count = %d, want 3 (stopped early)", count)
+	}
+	if !s.Stopped() {
+		t.Error("Stopped() = false")
+	}
+}
+
+func TestSchedulerPastEventClamped(t *testing.T) {
+	s := New(1)
+	s.After(time.Second, func() {
+		s.At(0, func() {}) // in the past; must clamp, not rewind clock
+	})
+	s.Run()
+	if s.Now() != time.Second {
+		t.Errorf("clock rewound: Now() = %v", s.Now())
+	}
+}
+
+func TestSchedulerDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		s := New(seed)
+		var vals []int64
+		var loop func()
+		loop = func() {
+			vals = append(vals, s.Rand().Int63n(1000))
+			if len(vals) < 20 {
+				s.After(time.Duration(s.Rand().Intn(100))*time.Millisecond, loop)
+			}
+		}
+		s.After(0, loop)
+		s.Run()
+		return vals
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %d != %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+func TestCPUSerializesWork(t *testing.T) {
+	s := New(1)
+	cpu := NewCPU(s)
+	var done []time.Duration
+	record := func() { done = append(done, s.Now()) }
+	cpu.Exec(100*time.Millisecond, record)
+	cpu.Exec(50*time.Millisecond, record)
+	cpu.Exec(0, record)
+	s.Run()
+	want := []time.Duration{100 * time.Millisecond, 150 * time.Millisecond, 150 * time.Millisecond}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Errorf("job %d completed at %v, want %v", i, done[i], want[i])
+		}
+	}
+	if cpu.BusyTotal() != 150*time.Millisecond {
+		t.Errorf("BusyTotal = %v, want 150ms", cpu.BusyTotal())
+	}
+}
+
+func TestCPUIdleGapThenWork(t *testing.T) {
+	s := New(1)
+	cpu := NewCPU(s)
+	var at time.Duration
+	cpu.Exec(10*time.Millisecond, func() {})
+	s.After(time.Second, func() {
+		cpu.Exec(10*time.Millisecond, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != time.Second+10*time.Millisecond {
+		t.Errorf("second job at %v, want 1.01s (no stale busyUntil)", at)
+	}
+	if cpu.Busy() {
+		t.Error("CPU still busy after drain")
+	}
+}

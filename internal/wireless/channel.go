@@ -1,0 +1,256 @@
+package wireless
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Receiver consumes frames delivered by the channel. Implementations are
+// invoked from scheduler events; they must not block.
+type Receiver interface {
+	ReceiveFrame(from NodeID, payload []byte)
+}
+
+// DeliveryHook lets tests and adversaries interfere with per-receiver
+// delivery of an otherwise successful transmission. It returns an extra
+// delivery delay and whether to drop the frame for this receiver. The
+// asynchronous model permits unbounded but finite delays between honest
+// nodes; hooks used in tests must respect eventual delivery for honest
+// pairs or rely on the NACK retransmission machinery.
+type DeliveryHook func(from, to NodeID, payload []byte) (extra time.Duration, drop bool)
+
+// Stats aggregates channel-level counters. Channel accesses are the
+// quantity the paper's ConsensusBatcher minimizes: every successful or
+// colliding transmission attempt is one access competition won.
+type Stats struct {
+	Accesses   uint64        // successful transmissions
+	Collisions uint64        // collision episodes (>=2 stations)
+	Frames     uint64        // frames delivered (per receiver)
+	LostRandom uint64        // deliveries dropped by random loss
+	LostHook   uint64        // deliveries dropped by the adversary hook
+	LostBusy   uint64        // deliveries missed due to half-duplex transmit
+	BytesOnAir uint64        // payload bytes successfully transmitted
+	AirTime    time.Duration // cumulative busy time of the medium
+}
+
+type station struct {
+	id       NodeID
+	recv     Receiver
+	queue    [][]byte
+	cw       int
+	txUntil  time.Duration // half-duplex: busy transmitting until
+	accesses uint64
+}
+
+// Channel is a single shared wireless medium. All attached stations hear
+// every successful transmission (minus losses). It is driven entirely by
+// the scheduler and is not safe for concurrent use.
+type Channel struct {
+	sched    *sim.Scheduler
+	cfg      Config
+	stations map[NodeID]*station
+	order    []NodeID // deterministic iteration order
+	busyTill time.Duration
+	arbEvt   *sim.Event
+	hook     DeliveryHook
+	stats    Stats
+}
+
+// NewChannel creates a channel with the given configuration. It panics on
+// invalid configuration (programmer error, per the library's construction
+// contract).
+func NewChannel(s *sim.Scheduler, cfg Config) *Channel {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Channel{
+		sched:    s,
+		cfg:      cfg,
+		stations: make(map[NodeID]*station),
+	}
+}
+
+// Config returns the channel configuration.
+func (c *Channel) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the channel counters.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// SetDeliveryHook installs an adversarial delivery hook (nil to clear).
+func (c *Channel) SetDeliveryHook(h DeliveryHook) { c.hook = h }
+
+// Attach registers a station. The returned Station is the node's transmit
+// handle. Attaching a duplicate ID panics.
+func (c *Channel) Attach(id NodeID, r Receiver) *Station {
+	if _, dup := c.stations[id]; dup {
+		panic(fmt.Sprintf("wireless: duplicate station %d", id))
+	}
+	st := &station{id: id, recv: r, cw: c.cfg.CWMin}
+	c.stations[id] = st
+	c.order = append(c.order, id)
+	return &Station{ch: c, st: st}
+}
+
+// Station is a node's handle for transmitting on a channel.
+type Station struct {
+	ch *Channel
+	st *station
+}
+
+// ID returns the station's node ID.
+func (s *Station) ID() NodeID { return s.st.id }
+
+// QueueLen returns the number of frames waiting to be transmitted.
+func (s *Station) QueueLen() int { return len(s.st.queue) }
+
+// Accesses returns how many channel accesses this station has won.
+func (s *Station) Accesses() uint64 { return s.st.accesses }
+
+// Channel returns the channel the station is attached to.
+func (s *Station) Channel() *Channel { return s.ch }
+
+// Broadcast queues a frame for transmission. The payload is copied, so the
+// caller may reuse the buffer. Frames larger than MaxFrame panic: framing
+// and fragmentation are the transport layer's responsibility.
+func (s *Station) Broadcast(payload []byte) {
+	if len(payload) > s.ch.cfg.MaxFrame {
+		panic(fmt.Sprintf("wireless: frame of %d bytes exceeds MTU %d", len(payload), s.ch.cfg.MaxFrame))
+	}
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	s.st.queue = append(s.st.queue, buf)
+	s.ch.kick()
+}
+
+// kick ensures a contention round is scheduled when the medium next idles.
+func (c *Channel) kick() {
+	if c.arbEvt != nil && !c.arbEvt.Cancelled() {
+		return
+	}
+	at := c.busyTill
+	if now := c.sched.Now(); at < now {
+		at = now
+	}
+	c.arbEvt = c.sched.At(at, c.arbitrate)
+}
+
+// contenders returns stations with pending frames, in deterministic order.
+func (c *Channel) contenders() []*station {
+	var out []*station
+	for _, id := range c.order {
+		st := c.stations[id]
+		if len(st.queue) > 0 {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// arbitrate runs one CSMA contention round: every pending station draws a
+// backoff slot; the unique minimum transmits, ties collide.
+func (c *Channel) arbitrate() {
+	c.arbEvt = nil
+	if c.busyTill > c.sched.Now() {
+		c.kick() // medium became busy again; retry at idle
+		return
+	}
+	pending := c.contenders()
+	if len(pending) == 0 {
+		return
+	}
+	rng := c.sched.Rand()
+	minSlot := -1
+	var winners []*station
+	for _, st := range pending {
+		slot := rng.Intn(st.cw)
+		switch {
+		case minSlot == -1 || slot < minSlot:
+			minSlot = slot
+			winners = winners[:0]
+			winners = append(winners, st)
+		case slot == minSlot:
+			winners = append(winners, st)
+		}
+	}
+	start := c.sched.Now() + c.cfg.DIFS + time.Duration(minSlot)*c.cfg.SlotTime
+	if len(winners) == 1 {
+		c.beginTx(winners[0], start)
+		return
+	}
+	c.beginCollision(winners, start)
+}
+
+func (c *Channel) beginTx(st *station, start time.Duration) {
+	frame := st.queue[0]
+	end := start + c.cfg.Airtime(len(frame))
+	c.busyTill = end
+	st.txUntil = end
+	c.sched.At(end, func() {
+		st.queue = st.queue[1:]
+		st.cw = c.cfg.CWMin
+		st.accesses++
+		c.stats.Accesses++
+		c.stats.BytesOnAir += uint64(len(frame))
+		c.stats.AirTime += end - start
+		c.deliver(st, frame, start, end)
+		c.kick()
+	})
+}
+
+func (c *Channel) beginCollision(winners []*station, start time.Duration) {
+	var maxAir time.Duration
+	for _, st := range winners {
+		if a := c.cfg.Airtime(len(st.queue[0])); a > maxAir {
+			maxAir = a
+		}
+	}
+	end := start + maxAir
+	c.busyTill = end
+	for _, st := range winners {
+		st.txUntil = end
+		if st.cw*2 <= c.cfg.CWMax {
+			st.cw *= 2
+		}
+	}
+	c.sched.At(end, func() {
+		c.stats.Collisions++
+		c.stats.AirTime += maxAir
+		c.kick()
+	})
+}
+
+// deliver fans a successful frame out to every other station, applying
+// half-duplex, random loss, and the adversary hook.
+func (c *Channel) deliver(from *station, frame []byte, start, end time.Duration) {
+	rng := c.sched.Rand()
+	for _, id := range c.order {
+		st := c.stations[id]
+		if st == from {
+			continue
+		}
+		if st.txUntil > start {
+			c.stats.LostBusy++
+			continue
+		}
+		if c.cfg.LossProb > 0 && rng.Float64() < c.cfg.LossProb {
+			c.stats.LostRandom++
+			continue
+		}
+		extra := time.Duration(0)
+		if c.hook != nil {
+			d, drop := c.hook(from.id, st.id, frame)
+			if drop {
+				c.stats.LostHook++
+				continue
+			}
+			extra = d
+		}
+		c.stats.Frames++
+		recv, fromID := st.recv, from.id
+		c.sched.At(end+extra, func() {
+			recv.ReceiveFrame(fromID, frame)
+		})
+	}
+}

@@ -1,0 +1,251 @@
+package wireless
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+type sink struct {
+	frames []struct {
+		from    NodeID
+		payload []byte
+		at      time.Duration
+	}
+	sched *sim.Scheduler
+}
+
+func (s *sink) ReceiveFrame(from NodeID, payload []byte) {
+	s.frames = append(s.frames, struct {
+		from    NodeID
+		payload []byte
+		at      time.Duration
+	}{from, payload, s.sched.Now()})
+}
+
+func lossless() Config {
+	cfg := DefaultConfig()
+	cfg.LossProb = 0
+	return cfg
+}
+
+func newTestChannel(t *testing.T, n int, cfg Config) (*sim.Scheduler, *Channel, []*Station, []*sink) {
+	t.Helper()
+	s := sim.New(7)
+	ch := NewChannel(s, cfg)
+	stations := make([]*Station, n)
+	sinks := make([]*sink, n)
+	for i := 0; i < n; i++ {
+		sinks[i] = &sink{sched: s}
+		stations[i] = ch.Attach(NodeID(i), sinks[i])
+	}
+	return s, ch, stations, sinks
+}
+
+func TestBroadcastReachesAllOthers(t *testing.T) {
+	s, ch, st, sinks := newTestChannel(t, 4, lossless())
+	st[0].Broadcast([]byte("hello"))
+	s.Run()
+	for i := 1; i < 4; i++ {
+		if len(sinks[i].frames) != 1 {
+			t.Fatalf("node %d got %d frames, want 1", i, len(sinks[i].frames))
+		}
+		if string(sinks[i].frames[0].payload) != "hello" {
+			t.Errorf("node %d payload = %q", i, sinks[i].frames[0].payload)
+		}
+		if sinks[i].frames[0].from != 0 {
+			t.Errorf("node %d from = %d", i, sinks[i].frames[0].from)
+		}
+	}
+	if len(sinks[0].frames) != 0 {
+		t.Error("sender received its own frame")
+	}
+	if got := ch.Stats().Accesses; got != 1 {
+		t.Errorf("accesses = %d, want 1", got)
+	}
+}
+
+func TestAirtimeScalesWithSize(t *testing.T) {
+	cfg := lossless()
+	small := cfg.Airtime(10)
+	large := cfg.Airtime(200)
+	if large <= small {
+		t.Fatalf("airtime(200)=%v not > airtime(10)=%v", large, small)
+	}
+	// 190 extra bytes at 5470 bps is ~278 ms.
+	extra := large - small
+	want := time.Duration(190 * 8 / cfg.BitRate * float64(time.Second))
+	if diff := extra - want; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Errorf("airtime delta = %v, want ~%v", extra, want)
+	}
+}
+
+func TestSerializedMedium(t *testing.T) {
+	s, ch, st, sinks := newTestChannel(t, 3, lossless())
+	// Two stations transmit "simultaneously": the medium must serialize.
+	st[0].Broadcast(make([]byte, 100))
+	st[1].Broadcast(make([]byte, 100))
+	s.Run()
+	if got := ch.Stats().Accesses + ch.Stats().Collisions; got < 2 {
+		t.Fatalf("expected at least 2 channel events, got %d", got)
+	}
+	// Node 2 must receive both frames eventually (collisions retried).
+	if len(sinks[2].frames) != 2 {
+		t.Fatalf("node 2 received %d frames, want 2", len(sinks[2].frames))
+	}
+	if sinks[2].frames[0].at == sinks[2].frames[1].at {
+		t.Error("two frames delivered at the same instant; medium not serialized")
+	}
+}
+
+func TestContentionRetriesUntilAllDelivered(t *testing.T) {
+	// Many stations all contending: collisions occur but every frame must
+	// eventually get through (CSMA with doubling CW).
+	s, ch, st, sinks := newTestChannel(t, 8, lossless())
+	for i := range st {
+		st[i].Broadcast([]byte{byte(i)})
+	}
+	s.Run()
+	for i, sk := range sinks {
+		if len(sk.frames) != 7 {
+			t.Fatalf("node %d received %d frames, want 7", i, len(sk.frames))
+		}
+	}
+	if ch.Stats().Accesses != 8 {
+		t.Errorf("accesses = %d, want 8", ch.Stats().Accesses)
+	}
+}
+
+func TestRandomLossDropsSomeDeliveries(t *testing.T) {
+	cfg := lossless()
+	cfg.LossProb = 0.5
+	s, ch, st, sinks := newTestChannel(t, 2, cfg)
+	for i := 0; i < 200; i++ {
+		st[0].Broadcast([]byte{byte(i)})
+	}
+	s.Run()
+	got := len(sinks[1].frames)
+	if got == 0 || got == 200 {
+		t.Fatalf("with 50%% loss received %d/200 frames", got)
+	}
+	if ch.Stats().LostRandom == 0 {
+		t.Error("LostRandom counter not incremented")
+	}
+}
+
+func TestDeliveryHookDropAndDelay(t *testing.T) {
+	s, ch, st, sinks := newTestChannel(t, 3, lossless())
+	ch.SetDeliveryHook(func(from, to NodeID, _ []byte) (time.Duration, bool) {
+		if to == 1 {
+			return 0, true // partition node 1
+		}
+		return 5 * time.Second, false // delay node 2
+	})
+	st[0].Broadcast([]byte("x"))
+	s.Run()
+	if len(sinks[1].frames) != 0 {
+		t.Error("hook drop ignored")
+	}
+	if len(sinks[2].frames) != 1 {
+		t.Fatal("hook delay lost the frame")
+	}
+	if sinks[2].frames[0].at < 5*time.Second {
+		t.Errorf("frame at %v, want >= 5s", sinks[2].frames[0].at)
+	}
+	if ch.Stats().LostHook != 1 {
+		t.Errorf("LostHook = %d, want 1", ch.Stats().LostHook)
+	}
+}
+
+func TestMTUEnforced(t *testing.T) {
+	_, _, st, _ := newTestChannel(t, 2, lossless())
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized frame did not panic")
+		}
+	}()
+	st[0].Broadcast(make([]byte, 10_000))
+}
+
+func TestDuplicateStationPanics(t *testing.T) {
+	s := sim.New(1)
+	ch := NewChannel(s, lossless())
+	ch.Attach(3, &sink{sched: s})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate attach did not panic")
+		}
+	}()
+	ch.Attach(3, &sink{sched: s})
+}
+
+func TestPayloadCopiedOnBroadcast(t *testing.T) {
+	s, _, st, sinks := newTestChannel(t, 2, lossless())
+	buf := []byte("original")
+	st[0].Broadcast(buf)
+	copy(buf, "mutated!")
+	s.Run()
+	if string(sinks[1].frames[0].payload) != "original" {
+		t.Errorf("payload aliased caller buffer: %q", sinks[1].frames[0].payload)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+		ok     bool
+	}{
+		{"default", func(*Config) {}, true},
+		{"zero bitrate", func(c *Config) { c.BitRate = 0 }, false},
+		{"cw inverted", func(c *Config) { c.CWMin = 64; c.CWMax = 8 }, false},
+		{"loss 1.0", func(c *Config) { c.LossProb = 1 }, false},
+		{"tiny mtu", func(c *Config) { c.MaxFrame = 4 }, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			err := cfg.Validate()
+			if (err == nil) != tt.ok {
+				t.Errorf("Validate() err = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestDeterministicChannel(t *testing.T) {
+	run := func() []time.Duration {
+		s := sim.New(99)
+		ch := NewChannel(s, DefaultConfig())
+		sinks := make([]*sink, 4)
+		stations := make([]*Station, 4)
+		for i := range sinks {
+			sinks[i] = &sink{sched: s}
+			stations[i] = ch.Attach(NodeID(i), sinks[i])
+		}
+		for r := 0; r < 5; r++ {
+			for i := range stations {
+				stations[i].Broadcast(make([]byte, 50+10*i))
+			}
+		}
+		s.Run()
+		var times []time.Duration
+		for _, sk := range sinks {
+			for _, f := range sk.frames {
+				times = append(times, f.at)
+			}
+		}
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic delivery count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic delivery time at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
