@@ -164,3 +164,23 @@ func BenchmarkFig13bMultiHop(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkChainSustainedThroughput runs the SMR pipeline-depth sweep
+// (beyond the paper): committed payload bytes per virtual second across
+// transports, protocols, and pipeline depths 1/2/4.
+func BenchmarkChainSustainedThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.ChainThroughput(int64(i)+1, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Protocol == "HB-SC" && r.Transport == "batched" {
+					name := "Bps_depth" + string(rune('0'+r.Depth))
+					b.ReportMetric(r.ThroughputBps, name)
+				}
+			}
+		}
+	}
+}

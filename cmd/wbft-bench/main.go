@@ -3,8 +3,12 @@
 //
 // Usage:
 //
-//	wbft-bench [-exp all|table1|fig10a|fig10b|fig10c|fig10d|fig11a|fig11b|fig12a|fig12b|fig13a|fig13b]
-//	           [-seed N] [-epochs N] [-batch N] [-reps N]
+//	wbft-bench [-exp all|table1|fig10a|fig10b|fig10c|fig10d|fig11a|fig11b|fig12a|fig12b|fig13a|fig13b|chain]
+//	           [-seed N] [-epochs N] [-batch N] [-reps N] [-chain-epochs N] [-json FILE]
+//
+// The chain experiment (sustained SMR throughput vs pipeline depth) is not
+// in the paper; -json additionally writes its points as a BENCH_chain.json
+// trajectory file.
 package main
 
 import (
@@ -21,15 +25,17 @@ func main() {
 	epochs := flag.Int("epochs", 1, "epochs per protocol run")
 	batch := flag.Int("batch", 4, "transactions per proposal")
 	reps := flag.Int("reps", 3, "repetitions for crypto microbenchmarks")
+	chainEpochs := flag.Int("chain-epochs", 10, "epochs per run of the chain experiment")
+	jsonPath := flag.String("json", "", "write chain experiment points to this JSON file")
 	flag.Parse()
 
-	if err := run(*exp, *seed, *epochs, *batch, *reps); err != nil {
+	if err := run(*exp, *seed, *epochs, *batch, *reps, *chainEpochs, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "wbft-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, seed int64, epochs, batch, reps int) error {
+func run(exp string, seed int64, epochs, batch, reps, chainEpochs int, jsonPath string) error {
 	w := os.Stdout
 	all := exp == "all"
 	did := false
@@ -128,6 +134,29 @@ func run(exp string, seed int64, epochs, batch, reps int) error {
 			return err
 		}
 		bench.PrintFig13(w, "Fig. 13b — multi-hop (16 nodes, 4 clusters): 8 configurations", rows)
+		sep()
+	}
+	if all || exp == "chain" {
+		did = true
+		rows, err := bench.ChainThroughput(seed, chainEpochs)
+		if err != nil {
+			return err
+		}
+		bench.PrintChain(w, rows)
+		if jsonPath != "" {
+			f, err := os.Create(jsonPath)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteChainJSON(f, seed, rows); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote %s\n", jsonPath)
+		}
 		sep()
 	}
 	if !did {

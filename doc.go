@@ -10,9 +10,11 @@
 //	internal/wireless   shared-medium CSMA channel (airtime, loss, clusters)
 //	internal/packet     ConsensusBatcher wire format (sections, NACK bitmaps)
 //	internal/core       the batching transport (the paper's contribution)
+//	                    plus the epoch mux behind the SMR pipeline
 //	internal/crypto     threshold signatures / coin / encryption, PK schemes
 //	internal/component  RBC, PRBC, CBC, Bracha ABA, Cachin ABA, decryptor
-//	internal/protocol   HoneyBadgerBFT, BEAT, Dumbo; single- and multi-hop
+//	internal/protocol   HoneyBadgerBFT, BEAT, Dumbo; single- and multi-hop;
+//	                    the Chain SMR engine (pipelined replicated log)
 //	internal/bench      per-table/figure experiment harness
 //	cmd/...             CLI tools; examples/... runnable demos
 //

@@ -1,0 +1,67 @@
+// SMR demo: run wireless HoneyBadgerBFT-SC as a replicated log — 24 epochs
+// of continuous client traffic on the lossy LoRa-class channel — and show
+// what epoch pipelining buys over strictly sequential epochs.
+//
+//	go run ./examples/smr
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+func run(depth int, batched bool) *protocol.ChainResult {
+	opts := protocol.DefaultChainOptions(protocol.HoneyBadger, protocol.CoinSig)
+	opts.TargetEpochs = 24
+	opts.Window = depth
+	opts.Batched = batched
+	opts.TxInterval = 2 * time.Second // sustained client traffic
+	opts.Seed = 42
+	res, err := protocol.ChainRun(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func show(res *protocol.ChainResult) {
+	fmt.Printf("  committed: %d epochs, %d unique txs (%d duplicate proposals suppressed)\n",
+		res.EpochsCommitted, res.CommittedTxs, res.DedupDropped)
+	fmt.Printf("  virtual time: %v  ->  %.2f committed B/s\n",
+		res.Duration.Round(time.Second), res.ThroughputBps)
+	fmt.Printf("  epoch cadence: %v between commits; commit latency %v\n",
+		(res.Duration / time.Duration(res.EpochsCommitted)).Round(time.Millisecond),
+		res.MeanCommitLatency.Round(time.Millisecond))
+	fmt.Printf("  channel accesses: %d\n", res.Accesses)
+}
+
+func main() {
+	fmt.Println("wireless HoneyBadgerBFT-SC as a replicated log")
+	fmt.Println("4 nodes, 2% frame loss, every client tx broadcast to all mempools")
+
+	fmt.Println("\nsequential epochs (pipeline depth 1):")
+	seq := run(1, true)
+	show(seq)
+
+	fmt.Println("\npipelined epochs (depth 3 — epoch e+1 disseminates while e decides):")
+	pipe := run(3, true)
+	show(pipe)
+
+	fmt.Println("\npipelined, but ConsensusBatcher disabled (baseline transport):")
+	base := run(3, false)
+	show(base)
+
+	fmt.Printf("\npipelining speedup over sequential: %.0f%% more committed bytes/sec\n",
+		100*(pipe.ThroughputBps/seq.ThroughputBps-1))
+	fmt.Printf("batching speedup at depth 3 over baseline: %.1fx fewer channel accesses\n",
+		float64(base.Accesses)/float64(pipe.Accesses))
+
+	// The logs are checked inside ChainRun; show a slice of the total order.
+	fmt.Println("\nfirst committed epochs of the replicated log (node 0):")
+	for _, entry := range pipe.Logs[0][:3] {
+		fmt.Printf("  epoch %d: %d txs\n", entry.Epoch, len(entry.Txs))
+	}
+}

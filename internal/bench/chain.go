@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// ChainPoint is one sustained-SMR measurement: committed payload bytes per
+// virtual second at a given pipeline depth. This experiment goes beyond the
+// paper's one-epoch-at-a-time evaluation: it measures the replicated-log
+// deployment (as HoneyBadgerBFT and Dumbo report their throughput) on the
+// wireless channel, and how much epoch pipelining buys on top of
+// ConsensusBatcher.
+type ChainPoint struct {
+	Protocol       string  `json:"protocol"`
+	Transport      string  `json:"transport"` // "batched" | "baseline"
+	Depth          int     `json:"depth"`
+	Epochs         int     `json:"epochs"`
+	CommittedTxs   int     `json:"committed_txs"`
+	CommittedBytes uint64  `json:"committed_bytes"`
+	VirtualSecs    float64 `json:"virtual_s"`
+	ThroughputBps  float64 `json:"throughput_Bps"`
+	CommitLatencyS float64 `json:"commit_latency_s"`
+	Accesses       uint64  `json:"accesses"`
+	DedupDropped   int     `json:"dedup_dropped"`
+}
+
+// ChainThroughput sweeps pipeline depth for two protocol families under
+// both transports on the lossy default channel. Traffic is sized so the
+// mempool can always fill the next proposal: the sweep isolates how much
+// of the epoch cadence pipelining reclaims.
+func ChainThroughput(seed int64, epochs int) ([]ChainPoint, error) {
+	if epochs <= 0 {
+		epochs = 10
+	}
+	var out []ChainPoint
+	for _, p := range []struct {
+		name string
+		kind protocol.Kind
+		coin protocol.CoinKind
+	}{
+		{"HB-SC", protocol.HoneyBadger, protocol.CoinSig},
+		{"Dumbo-SC", protocol.DumboKind, protocol.CoinSig},
+	} {
+		for _, batched := range []bool{true, false} {
+			for _, depth := range []int{1, 2, 4} {
+				opts := protocol.DefaultChainOptions(p.kind, p.coin)
+				opts.Seed = seed
+				opts.Batched = batched
+				opts.Window = depth
+				opts.TargetEpochs = epochs
+				opts.TxInterval = time.Second // keep proposals full
+				res, err := protocol.ChainRun(opts)
+				if err != nil {
+					return nil, fmt.Errorf("bench: chain %s batched=%v depth=%d: %w", p.name, batched, depth, err)
+				}
+				tname := "baseline"
+				if batched {
+					tname = "batched"
+				}
+				out = append(out, ChainPoint{
+					Protocol:       p.name,
+					Transport:      tname,
+					Depth:          depth,
+					Epochs:         res.EpochsCommitted,
+					CommittedTxs:   res.CommittedTxs,
+					CommittedBytes: res.CommittedBytes,
+					VirtualSecs:    res.Duration.Seconds(),
+					ThroughputBps:  res.ThroughputBps,
+					CommitLatencyS: res.MeanCommitLatency.Seconds(),
+					Accesses:       res.Accesses,
+					DedupDropped:   res.DedupDropped,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// PrintChain renders the sustained-throughput sweep.
+func PrintChain(w io.Writer, rows []ChainPoint) {
+	fmt.Fprintln(w, "Chain/SMR — sustained committed bytes/sec vs pipeline depth (beyond the paper)")
+	fmt.Fprintf(w, "%-9s %-9s %5s %7s %6s %10s %10s %12s %9s\n",
+		"protocol", "transport", "depth", "epochs", "txs", "virtual_s", "Bps", "commit_lat", "accesses")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s %-9s %5d %7d %6d %10.0f %10.2f %11.0fs %9d\n",
+			r.Protocol, r.Transport, r.Depth, r.Epochs, r.CommittedTxs,
+			r.VirtualSecs, r.ThroughputBps, r.CommitLatencyS, r.Accesses)
+	}
+}
+
+// WriteChainJSON records the sweep as the BENCH_chain.json trajectory file
+// referenced by EXPERIMENTS.md.
+func WriteChainJSON(w io.Writer, seed int64, rows []ChainPoint) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Experiment string       `json:"experiment"`
+		Seed       int64        `json:"seed"`
+		Points     []ChainPoint `json:"points"`
+	}{Experiment: "chain-sustained-throughput", Seed: seed, Points: rows})
+}

@@ -5,7 +5,9 @@ import "encoding/binary"
 // Fragment header: sender(2) seq(4) idx(1) total(1). Fragments of a newer
 // logical packet from the same sender supersede any partial older one —
 // logical packets are state snapshots, so losing an old one entirely is
-// harmless once a newer one exists.
+// harmless once a newer one exists. Sequence numbers are per sender node,
+// not per epoch: a node pipelining several epochs draws all its frames from
+// one seq space so receivers keep a single reassembly buffer per peer.
 const fragHeaderLen = 8
 
 // fragment splits one logical packet into MTU-sized radio frames.
@@ -39,9 +41,25 @@ func fragment(raw []byte, sender uint16, seq uint32, mtu int) [][]byte {
 	return out
 }
 
-// reassemble feeds one radio frame into the per-sender reassembly buffer
-// and returns the completed logical packet when all fragments are present.
-func (t *Transport) reassemble(frag []byte) ([]byte, bool) {
+type partial struct {
+	seq    uint32
+	total  uint8
+	chunks map[uint8][]byte
+}
+
+// reassembler holds per-sender reassembly buffers. A standalone Transport
+// owns one; a Mux owns a single shared one for all of its epochs.
+type reassembler struct {
+	bufs map[uint16]*partial
+}
+
+func newReassembler() *reassembler {
+	return &reassembler{bufs: make(map[uint16]*partial)}
+}
+
+// feed consumes one radio frame and returns the completed logical packet
+// when all of its fragments are present.
+func (r *reassembler) feed(frag []byte) ([]byte, bool) {
 	if len(frag) < fragHeaderLen {
 		return nil, false
 	}
@@ -55,10 +73,10 @@ func (t *Transport) reassemble(frag []byte) ([]byte, bool) {
 	if total == 1 {
 		return body, true
 	}
-	p := t.reasm[sender]
+	p := r.bufs[sender]
 	if p == nil || seq > p.seq {
 		p = &partial{seq: seq, total: total, chunks: make(map[uint8][]byte, total)}
-		t.reasm[sender] = p
+		r.bufs[sender] = p
 	}
 	if seq < p.seq || total != p.total {
 		return nil, false // stale or inconsistent fragment
@@ -74,6 +92,6 @@ func (t *Transport) reassemble(frag []byte) ([]byte, bool) {
 	for i := uint8(0); i < p.total; i++ {
 		out = append(out, p.chunks[i]...)
 	}
-	delete(t.reasm, sender)
+	delete(r.bufs, sender)
 	return out, true
 }

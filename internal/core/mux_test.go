@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/wireless"
+)
+
+type muxRig struct {
+	sched *sim.Scheduler
+	ch    *wireless.Channel
+	muxes []*Mux
+}
+
+func newMuxRig(t *testing.T, n int) *muxRig {
+	t.Helper()
+	s := sim.New(5)
+	cfg := wireless.DefaultConfig()
+	cfg.LossProb = 0
+	ch := wireless.NewChannel(s, cfg)
+	r := &muxRig{sched: s, ch: ch}
+	for i := 0; i < n; i++ {
+		cpu := sim.NewCPU(s)
+		auth := &SizedAuth{Len: 56, CostSign: 5 * time.Millisecond, CostVerify: 10 * time.Millisecond}
+		tcfg := DefaultConfig(true)
+		tcfg.RetxInterval = 0
+		m := NewMux(s, cpu, auth, tcfg)
+		st := ch.Attach(wireless.NodeID(i), m)
+		m.BindStation(st)
+		r.muxes = append(r.muxes, m)
+	}
+	return r
+}
+
+func intentFor(slot uint8) Intent {
+	return Intent{
+		IntentKey: IntentKey{Kind: packet.KindRBC, Phase: packet.PhaseEcho, Slot: slot},
+		Data:      []byte{slot},
+	}
+}
+
+// collect registers a counter handler on an epoch transport.
+func collect(tr *Transport, got *int) {
+	tr.Register(packet.KindRBC, HandlerFunc(func(from uint16, sec packet.Section) {
+		*got += len(sec.Entries)
+	}))
+}
+
+func TestMuxRoutesByEpoch(t *testing.T) {
+	r := newMuxRig(t, 2)
+	send0 := r.muxes[0].Open(3)
+	send1 := r.muxes[0].Open(4)
+	var got3, got4 int
+	collect(r.muxes[1].Open(3), &got3)
+	collect(r.muxes[1].Open(4), &got4)
+
+	send0.Update(intentFor(1))
+	send1.Update(intentFor(2))
+	r.sched.Run()
+
+	if got3 != 1 || got4 != 1 {
+		t.Fatalf("epoch3=%d epoch4=%d entries, want 1 and 1", got3, got4)
+	}
+	if d := r.muxes[1].DroppedUnknownEpoch(); d != 0 {
+		t.Fatalf("dropped %d frames, want 0", d)
+	}
+}
+
+func TestMuxDropsAndSignalsUnknownEpoch(t *testing.T) {
+	r := newMuxRig(t, 2)
+	sender := r.muxes[0].Open(7)
+
+	var signalled []uint16
+	r.muxes[1].OnUnknownEpoch = func(e uint16) { signalled = append(signalled, e) }
+
+	sender.Update(intentFor(0))
+	r.sched.Run()
+
+	if d := r.muxes[1].DroppedUnknownEpoch(); d != 1 {
+		t.Fatalf("dropped = %d, want 1", d)
+	}
+	if len(signalled) != 1 || signalled[0] != 7 {
+		t.Fatalf("OnUnknownEpoch got %v, want [7]", signalled)
+	}
+
+	// Once the receiver opens the epoch, a retransmitted snapshot lands.
+	var got int
+	collect(r.muxes[1].Open(7), &got)
+	sender.Update(intentFor(0)) // snapshot resend
+	r.sched.Run()
+	if got != 1 {
+		t.Fatalf("after open: got %d entries, want 1", got)
+	}
+}
+
+func TestMuxSharedSeqSpaceAcrossEpochs(t *testing.T) {
+	r := newMuxRig(t, 2)
+	a := r.muxes[0].Open(1)
+	b := r.muxes[0].Open(2)
+	var got1, got2 int
+	collect(r.muxes[1].Open(1), &got1)
+	collect(r.muxes[1].Open(2), &got2)
+
+	// Payloads larger than one MTU force fragmentation; interleaved
+	// multi-fragment packets from two epochs of the same sender must not
+	// corrupt each other's reassembly because they share one seq space.
+	big := make([]byte, 600)
+	for i := 0; i < 4; i++ {
+		in := intentFor(uint8(i))
+		in.Data = big
+		a.Update(in)
+		r.sched.RunFor(30 * time.Second)
+		in2 := intentFor(uint8(i))
+		in2.Data = big
+		b.Update(in2)
+		r.sched.RunFor(30 * time.Second)
+	}
+	r.sched.Run()
+	if got1 == 0 || got2 == 0 {
+		t.Fatalf("epoch1=%d epoch2=%d entries, want both > 0", got1, got2)
+	}
+}
+
+func TestMuxCloseGarbageCollects(t *testing.T) {
+	r := newMuxRig(t, 2)
+	sender := r.muxes[0].Open(1)
+	var got int
+	recvTr := r.muxes[1].Open(1)
+	collect(recvTr, &got)
+
+	sender.Update(intentFor(0))
+	r.sched.Run()
+	if got != 1 {
+		t.Fatalf("pre-close: got %d entries, want 1", got)
+	}
+	sent := r.muxes[0].Stats().LogicalSent
+
+	r.muxes[1].Close(1)
+	if epochs := r.muxes[1].OpenEpochs(); len(epochs) != 0 {
+		t.Fatalf("open epochs after close: %v", epochs)
+	}
+	sender.Update(intentFor(1))
+	r.sched.Run()
+	if got != 1 {
+		t.Fatalf("post-close: got %d entries, want still 1", got)
+	}
+	if d := r.muxes[1].DroppedUnknownEpoch(); d != 1 {
+		t.Fatalf("dropped = %d, want 1", d)
+	}
+	// Closed transports' counters fold into the mux aggregate.
+	if s := r.muxes[1].Stats(); s.LogicalRecv == 0 {
+		t.Fatalf("mux stats lost closed transport counters: %+v", s)
+	}
+	if s := r.muxes[0].Stats(); s.LogicalSent <= sent-1 {
+		t.Fatalf("sender stats = %+v, want >= %d logical sent", s, sent)
+	}
+}

@@ -121,17 +121,18 @@ type Transport struct {
 
 	flushEvt *sim.Event
 	retxEvt  *sim.Event
-	frameSeq uint32
-	stopped  bool
+	// seqSrc allocates fragment sequence numbers. Standalone transports own
+	// a private counter; transports opened through a Mux share the mux's, so
+	// one node's frames across pipelined epochs form a single seq space.
+	seqSrc  *uint32
+	stopped bool
+	// quiesced switches the periodic snapshot rebroadcast to exponential
+	// backoff (retxBoost doubles per firing, capped). See Quiesce.
+	quiesced  bool
+	retxBoost int
 
-	reasm map[uint16]*partial
+	reasm *reassembler
 	stats Stats
-}
-
-type partial struct {
-	seq    uint32
-	total  uint8
-	chunks map[uint8][]byte
 }
 
 // New creates a transport bound to a station. Frames received on the
@@ -154,7 +155,8 @@ func New(sched *sim.Scheduler, cpu *sim.CPU, station *wireless.Station, auth Aut
 		nacks:    make(map[[2]uint8]packet.BitSet),
 		dirty:    make(map[IntentKey]bool),
 		handlers: make(map[packet.Kind]Handler),
-		reasm:    make(map[uint16]*partial),
+		reasm:    newReassembler(),
+		seqSrc:   new(uint32),
 	}
 }
 
@@ -188,6 +190,20 @@ func (t *Transport) Stop() {
 	t.stopped = true
 	t.flushEvt.Cancel()
 	t.retxEvt.Cancel()
+}
+
+// Quiesce backs the periodic snapshot rebroadcast off exponentially (2x
+// per firing, capped at 16x the base interval) instead of firing at the
+// base rate. An SMR pipeline quiesces an epoch once it decides locally:
+// the epoch's state is final and mostly redundant on the air, but lagging
+// peers may still need it, so it keeps flowing — just ever more slowly.
+// Inbound repair requests still answer at full speed through the normal
+// update/flush path, and Update/Remove keep working.
+func (t *Transport) Quiesce() {
+	if !t.quiesced {
+		t.quiesced = true
+		t.retxBoost = 1
+	}
 }
 
 // Update upserts an intent and schedules a flush.
@@ -256,11 +272,18 @@ func (t *Transport) ensureRetx() {
 	if t.stopped || t.cfg.RetxInterval <= 0 || (t.retxEvt != nil && !t.retxEvt.Cancelled()) {
 		return
 	}
-	jitter := time.Duration(float64(t.cfg.RetxInterval) * (0.75 + 0.5*t.sched.Rand().Float64()))
+	base := t.cfg.RetxInterval
+	if t.quiesced {
+		base *= time.Duration(t.retxBoost)
+	}
+	jitter := time.Duration(float64(base) * (0.75 + 0.5*t.sched.Rand().Float64()))
 	t.retxEvt = t.sched.After(jitter, func() {
 		t.retxEvt = nil
 		if t.stopped || len(t.intents) == 0 {
 			return
+		}
+		if t.quiesced && t.retxBoost < 16 {
+			t.retxBoost *= 2
 		}
 		// Re-send the full current snapshot: NACK-driven repair.
 		for k := range t.intents {
@@ -355,8 +378,8 @@ func (t *Transport) sendLogical(sections []packet.Section) {
 		Epoch:    t.epoch,
 		Sections: sections,
 	}
-	seq := t.frameSeq
-	t.frameSeq++
+	seq := *t.seqSrc
+	*t.seqSrc++
 	t.cpu.Exec(t.auth.SignCost(), func() {
 		if t.stopped {
 			return
@@ -386,8 +409,17 @@ func (t *Transport) ReceiveFrame(from wireless.NodeID, payload []byte) {
 	if t.stopped {
 		return
 	}
-	raw, ok := t.reassemble(payload)
+	raw, ok := t.reasm.feed(payload)
 	if !ok {
+		return
+	}
+	t.receiveLogical(raw)
+}
+
+// receiveLogical verifies and dispatches one reassembled logical packet.
+// The Mux calls this directly after its shared reassembly step.
+func (t *Transport) receiveLogical(raw []byte) {
+	if t.stopped {
 		return
 	}
 	t.cpu.Exec(t.auth.VerifyCost(), func() {

@@ -202,6 +202,20 @@ func Decode(raw []byte) (*Frame, int, error) {
 	return &f, bodyLen, nil
 }
 
+// PeekHeader reads the fixed frame header (sender, session, epoch) without
+// decoding sections or checking the signature. The epoch demultiplexer uses
+// it to route a reassembled frame to the right epoch's transport; the
+// routed transport still authenticates the full frame.
+func PeekHeader(raw []byte) (sender uint16, session uint32, epoch uint16, ok bool) {
+	if len(raw) < 10 || raw[0] != frameMagic || raw[1] != frameVersion {
+		return 0, 0, 0, false
+	}
+	sender = binary.BigEndian.Uint16(raw[2:])
+	session = binary.BigEndian.Uint32(raw[4:])
+	epoch = binary.BigEndian.Uint16(raw[8:])
+	return sender, session, epoch, true
+}
+
 func decodeSection(r *reader) (Section, error) {
 	var s Section
 	k, err := r.u8()

@@ -1,0 +1,414 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/component"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/sim"
+)
+
+// This file is the SMR layer: Chain turns the single-epoch Instance engines
+// into a replicated log. One Chain per node wraps any of the five protocol
+// variants, pipelines a window of epochs over a core.Mux (epoch e+1's RBC
+// phase runs while epoch e's ABA is still deciding), deduplicates the union
+// of accepted proposals into a total-order log, and garbage-collects old
+// epochs so memory stays bounded under sustained traffic. This is the shape
+// HoneyBadgerBFT and Dumbo deploy as — continuous multi-epoch ordering —
+// rather than the one-shot ACS the paper's evaluation times.
+
+// ChainConfig tunes one node's SMR engine.
+type ChainConfig struct {
+	Protocol Kind
+	Coin     CoinKind
+	Batched  bool
+	Encrypt  bool
+	// Window is the pipeline depth: how many epochs may run concurrently.
+	// 1 reproduces strictly sequential epochs.
+	Window int
+	// GCLag is how many epochs behind the commit frontier an epoch's
+	// transport is kept alive to serve NACK repairs to lagging peers before
+	// being closed. It must be at least Window.
+	GCLag int
+	// MaxEpochs stops the engine from starting epochs >= this (0 = no cap).
+	MaxEpochs int
+	Mempool   MempoolConfig
+}
+
+// DefaultChainConfig returns a depth-2 pipeline for a protocol variant.
+func DefaultChainConfig(p Kind, coin CoinKind) ChainConfig {
+	return ChainConfig{
+		Protocol: p,
+		Coin:     coin,
+		Batched:  true,
+		Encrypt:  p != DumboKind,
+		Window:   2,
+		GCLag:    4,
+		Mempool:  DefaultMempoolConfig(),
+	}
+}
+
+// LogEntry is one committed epoch: the deduplicated union of the epoch's
+// accepted proposals, in deterministic (slot, proposal-position) order.
+type LogEntry struct {
+	Epoch int
+	Txs   [][]byte
+}
+
+// chainEpoch is one in-flight or committed epoch at one node.
+type chainEpoch struct {
+	inst      Instance
+	tr        *core.Transport
+	startedAt time.Duration
+	decided   bool
+}
+
+// Chain is one node's replicated-log engine.
+type Chain struct {
+	n, f    int
+	me      int
+	session uint32
+	suite   *crypto.Suite
+	sched   *sim.Scheduler
+	cpu     *sim.CPU
+	mux     *core.Mux
+	rand    *rand.Rand
+	cfg     ChainConfig
+
+	mempool *Mempool
+	epochs  map[int]*chainEpoch
+	// nextStart is the lowest epoch not yet started here; nextCommit the
+	// lowest not yet committed. Invariant: nextCommit <= nextStart <
+	// nextCommit + Window.
+	nextStart  int
+	nextCommit int
+	// peerMax is the highest epoch observed in peers' frames for epochs this
+	// node has not opened: the pipeline signal that lets a node with a quiet
+	// mempool join epochs its peers are already driving. The signal arrives
+	// before frame authentication, so it never does more than start epochs
+	// the window would permit anyway; a forged epoch number cannot push the
+	// engine past nextCommit+Window.
+	peerMax int
+
+	log            []LogEntry
+	committedTxs   int
+	committedBytes uint64
+	dedupDropped   int
+	commitLatency  time.Duration // summed start->commit across committed epochs
+
+	ageEvt *sim.Event
+	// OnCommit, if set, fires after each epoch commits (driver barrier).
+	OnCommit func(epoch int)
+}
+
+// NewChain builds the engine around an epoch mux. Call Start once the
+// network is assembled.
+func NewChain(sched *sim.Scheduler, cpu *sim.CPU, mux *core.Mux, suite *crypto.Suite, n, f, me int, session uint32, rng *rand.Rand, cfg ChainConfig) *Chain {
+	if cfg.Window <= 0 {
+		cfg.Window = 1
+	}
+	if cfg.GCLag <= 0 {
+		cfg.GCLag = cfg.Window + 2
+	}
+	if cfg.GCLag < cfg.Window {
+		cfg.GCLag = cfg.Window
+	}
+	if cfg.Mempool.Shards == 0 {
+		cfg.Mempool.Shard, cfg.Mempool.Shards = me, n
+	}
+	c := &Chain{
+		n: n, f: f, me: me,
+		session: session,
+		suite:   suite,
+		sched:   sched,
+		cpu:     cpu,
+		mux:     mux,
+		rand:    rng,
+		cfg:     cfg,
+		mempool: NewMempool(cfg.Mempool),
+		epochs:  make(map[int]*chainEpoch),
+		peerMax: -1,
+	}
+	mux.OnUnknownEpoch = c.onPeerEpoch
+	return c
+}
+
+// Mempool exposes the node's pool (workload injection, tests).
+func (c *Chain) Mempool() *Mempool { return c.mempool }
+
+// Log returns the committed entries in order.
+func (c *Chain) Log() []LogEntry { return c.log }
+
+// CommittedEpochs returns the commit frontier (epochs 0..n-1 committed).
+func (c *Chain) CommittedEpochs() int { return c.nextCommit }
+
+// CommittedTxs returns the total committed transaction count.
+func (c *Chain) CommittedTxs() int { return c.committedTxs }
+
+// CommittedBytes returns the total committed payload bytes.
+func (c *Chain) CommittedBytes() uint64 { return c.committedBytes }
+
+// DedupDropped returns how many accepted-proposal transactions the commit
+// step suppressed as duplicates (proposed by several nodes, or re-proposed
+// by a pipelined epoch before its predecessor committed).
+func (c *Chain) DedupDropped() int { return c.dedupDropped }
+
+// MeanCommitLatency returns the mean epoch start-to-commit time here.
+func (c *Chain) MeanCommitLatency() time.Duration {
+	if c.nextCommit == 0 {
+		return 0
+	}
+	return c.commitLatency / time.Duration(c.nextCommit)
+}
+
+// OpenEpochs returns how many epochs currently hold live state (GC bound).
+func (c *Chain) OpenEpochs() int { return len(c.epochs) }
+
+// Submit admits one client payload and advances the pipeline if the cut
+// policy is now satisfied.
+func (c *Chain) Submit(tx []byte) bool {
+	ok := c.mempool.Add(tx, c.sched.Now())
+	if ok {
+		c.advance()
+	}
+	return ok
+}
+
+// Start arms the engine. Epochs begin as soon as the mempool's cut policy
+// or a peer's pipeline signal triggers.
+func (c *Chain) Start() { c.advance() }
+
+// Stop closes every open epoch's transport.
+func (c *Chain) Stop() {
+	c.ageEvt.Cancel()
+	c.mux.Stop()
+}
+
+// onPeerEpoch handles a frame for an epoch this node has not opened. A
+// frame for an epoch at or past nextStart means peers have already cut
+// proposals up to there, so waiting on our own batch policy only delays
+// those epochs' 2f+1 quorums: join as far as the window allows.
+func (c *Chain) onPeerEpoch(epoch uint16) {
+	e := int(epoch)
+	if e < c.nextStart {
+		return // stale: an epoch we already started (and perhaps closed)
+	}
+	if e > c.peerMax {
+		c.peerMax = e
+	}
+	c.advance()
+}
+
+// advance starts every epoch the pipeline window and cut policy allow.
+func (c *Chain) advance() {
+	for c.canStart() {
+		c.startEpoch(c.nextStart)
+		c.nextStart++
+	}
+	c.armAgeTimer()
+}
+
+func (c *Chain) canStart() bool {
+	e := c.nextStart
+	if e >= c.nextCommit+c.cfg.Window {
+		return false // window full
+	}
+	if c.cfg.MaxEpochs > 0 && e >= c.cfg.MaxEpochs {
+		return false
+	}
+	return c.mempool.Ready(c.sched.Now()) || e <= c.peerMax
+}
+
+// armAgeTimer schedules the re-evaluation at which the oldest pending
+// transaction trips the age half of the cut policy.
+func (c *Chain) armAgeTimer() {
+	c.ageEvt.Cancel()
+	c.ageEvt = nil
+	if c.nextStart >= c.nextCommit+c.cfg.Window {
+		return // window full; commit will re-advance
+	}
+	if c.cfg.MaxEpochs > 0 && c.nextStart >= c.cfg.MaxEpochs {
+		return // chain capped; nothing left to start
+	}
+	if c.mempool.Ready(c.sched.Now()) {
+		return // policy already satisfied; advance() consumed what it could
+	}
+	at, ok := c.mempool.AgeDeadline()
+	if !ok {
+		return
+	}
+	c.ageEvt = c.sched.At(at, c.advance)
+}
+
+// startEpoch opens the epoch's transport on the mux, builds the component
+// environment and the protocol instance, and submits the cut proposal.
+func (c *Chain) startEpoch(e int) {
+	tr := c.mux.Open(uint16(e))
+	env := &component.Env{
+		N:       c.n,
+		F:       c.f,
+		Me:      c.me,
+		Epoch:   uint16(e),
+		Session: c.session,
+		Suite:   c.suite,
+		T:       tr,
+		CPU:     c.cpu,
+		Sched:   c.sched,
+		Rand:    c.rand,
+	}
+	ep := &chainEpoch{tr: tr, startedAt: c.sched.Now()}
+	ep.inst = newInstance(env, c.cfg.Protocol, c.cfg.Coin, c.cfg.Batched, c.cfg.Encrypt, func() { c.onDecide(e) })
+	c.epochs[e] = ep
+	ep.inst.Start(EncodeBatch(c.mempool.Cut(e, c.sched.Now())))
+}
+
+// onDecide records the epoch's local decision and commits every contiguous
+// decided epoch at the frontier, in order — the log never has gaps.
+func (c *Chain) onDecide(e int) {
+	ep := c.epochs[e]
+	if ep == nil || ep.decided {
+		return
+	}
+	ep.decided = true
+	// The epoch's outbound state is final: back its rebroadcasts off so
+	// they stop contending with the epochs still deciding. Lagging peers
+	// keep receiving (slowing) snapshots until GC closes the epoch.
+	ep.tr.Quiesce()
+	for {
+		cur := c.epochs[c.nextCommit]
+		if cur == nil || !cur.decided {
+			break
+		}
+		c.commit(c.nextCommit, cur)
+		c.nextCommit++
+		// Epoch GC: everything GCLag behind the frontier stops serving
+		// NACK repairs and is discarded.
+		if old := c.nextCommit - 1 - c.cfg.GCLag; old >= 0 {
+			c.mux.Close(uint16(old))
+			delete(c.epochs, old)
+		}
+	}
+	c.advance()
+}
+
+// commit folds one decided epoch into the log: decode each accepted slot's
+// batch, drop duplicates (within the union and against the recent-commit
+// horizon), and append the survivors in slot order.
+func (c *Chain) commit(e int, ep *chainEpoch) {
+	var txs [][]byte
+	var keys []txKey
+	seen := make(map[txKey]bool)
+	for _, prop := range ep.inst.Outputs() {
+		if len(prop) == 0 {
+			continue
+		}
+		batch, err := DecodeBatch(prop)
+		if err != nil {
+			continue // malformed batch from a Byzantine proposer
+		}
+		for _, tx := range batch {
+			k := txDigest(tx)
+			if seen[k] || c.mempool.WasCommitted(k) {
+				c.dedupDropped++
+				continue
+			}
+			seen[k] = true
+			txs = append(txs, tx)
+			keys = append(keys, k)
+			c.committedBytes += uint64(len(tx))
+		}
+	}
+	c.log = append(c.log, LogEntry{Epoch: e, Txs: txs})
+	c.committedTxs += len(txs)
+	c.commitLatency += c.sched.Now() - ep.startedAt
+	c.mempool.MarkCommitted(keys, e)
+	// Our own proposals that lost the common subset go back in the pool.
+	c.mempool.Requeue(e)
+	c.mempool.GC(e)
+	if c.OnCommit != nil {
+		c.OnCommit(e)
+	}
+}
+
+// EncodeBatch serializes a proposal batch: u16 count, then u16-length-
+// prefixed transactions. An empty batch encodes to a 2-byte header, so a
+// node with nothing to propose still participates in the epoch.
+func EncodeBatch(txs [][]byte) []byte {
+	out := binary.BigEndian.AppendUint16(nil, uint16(len(txs)))
+	for _, tx := range txs {
+		out = binary.BigEndian.AppendUint16(out, uint16(len(tx)))
+		out = append(out, tx...)
+	}
+	return out
+}
+
+var errBadBatch = errors.New("protocol: malformed proposal batch")
+
+// DecodeBatch parses EncodeBatch's format, rejecting trailing garbage.
+func DecodeBatch(raw []byte) ([][]byte, error) {
+	if len(raw) < 2 {
+		return nil, errBadBatch
+	}
+	count := int(binary.BigEndian.Uint16(raw))
+	raw = raw[2:]
+	txs := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		if len(raw) < 2 {
+			return nil, errBadBatch
+		}
+		n := int(binary.BigEndian.Uint16(raw))
+		raw = raw[2:]
+		if len(raw) < n {
+			return nil, errBadBatch
+		}
+		txs = append(txs, raw[:n])
+		raw = raw[n:]
+	}
+	if len(raw) != 0 {
+		return nil, errBadBatch
+	}
+	return txs, nil
+}
+
+// CheckLogs verifies SMR safety across nodes: every node's log must be
+// gap-free from epoch 0 and identical to the others' over the shared
+// prefix. Exported for the property tests and the ChainRun driver.
+func CheckLogs(chains []*Chain) error {
+	var ref *Chain
+	for _, c := range chains {
+		if c == nil {
+			continue
+		}
+		for i, entry := range c.log {
+			if entry.Epoch != i {
+				return fmt.Errorf("protocol: node %d log has gap: entry %d is epoch %d", c.me, i, entry.Epoch)
+			}
+		}
+		if ref == nil {
+			ref = c
+			continue
+		}
+		n := len(ref.log)
+		if len(c.log) < n {
+			n = len(c.log)
+		}
+		for i := 0; i < n; i++ {
+			a, b := ref.log[i], c.log[i]
+			if len(a.Txs) != len(b.Txs) {
+				return fmt.Errorf("protocol: epoch %d: node %d committed %d txs, node %d committed %d",
+					i, ref.me, len(a.Txs), c.me, len(b.Txs))
+			}
+			for j := range a.Txs {
+				if string(a.Txs[j]) != string(b.Txs[j]) {
+					return fmt.Errorf("protocol: epoch %d tx %d differs between nodes %d and %d", i, j, ref.me, c.me)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,291 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/sim"
+	"repro/internal/wireless"
+)
+
+// ChainOptions configures a sustained multi-epoch SMR simulation: N Chain
+// engines on one lossy wireless channel, fed continuous client traffic,
+// running until every correct node has committed TargetEpochs epochs.
+type ChainOptions struct {
+	Protocol Kind
+	Coin     CoinKind
+	Batched  bool // ConsensusBatcher vs baseline transport
+	N, F     int
+	// Window is the pipeline depth (1 = sequential epochs).
+	Window int
+	// TargetEpochs is the commit frontier every correct node must reach.
+	TargetEpochs int
+	// TxSize is the client payload size; TxInterval the mean gap between
+	// client submissions. Each transaction is broadcast to every node's
+	// mempool (the usual BFT client pattern), which is what makes commit-
+	// time deduplication load-bearing.
+	TxSize     int
+	TxInterval time.Duration
+	Mempool    MempoolConfig
+	GCLag      int
+	Seed       int64
+	Net        wireless.Config
+	Crypto     crypto.Config
+	Transport  core.Config
+	Faults     FaultPlan
+	// Deadline bounds the whole run in virtual time (default 8 h).
+	Deadline time.Duration
+}
+
+// DefaultChainOptions returns the paper-calibrated SMR setup: N=4 on the
+// lossy LoRa-class channel, depth-2 pipeline, 20 epochs of 64-byte client
+// transactions, ConsensusBatcher on.
+func DefaultChainOptions(p Kind, coin CoinKind) ChainOptions {
+	return ChainOptions{
+		Protocol:     p,
+		Coin:         coin,
+		Batched:      true,
+		N:            4,
+		F:            1,
+		Window:       2,
+		TargetEpochs: 20,
+		TxSize:       64,
+		TxInterval:   4 * time.Second,
+		Mempool:      DefaultMempoolConfig(),
+		Seed:         1,
+		Net:          wireless.DefaultConfig(),
+		Crypto:       crypto.LightConfig(),
+		Deadline:     8 * time.Hour,
+	}
+}
+
+// ChainResult aggregates a sustained run's measurements.
+type ChainResult struct {
+	EpochsCommitted int
+	CommittedTxs    int           // unique transactions in the log (node 0)
+	CommittedBytes  uint64        // unique payload bytes in the log (node 0)
+	Duration        time.Duration // virtual time until the last node reached the target
+	// ThroughputBps is committed payload bytes per virtual second — the
+	// sustained-SMR metric (contrast with the one-shot Result.TPM).
+	ThroughputBps float64
+	// MeanCommitLatency is the mean epoch start->commit time at node 0.
+	// Under pipelining, epochs overlap, so commit latency exceeds the
+	// per-epoch interval Duration/EpochsCommitted.
+	MeanCommitLatency time.Duration
+	DedupDropped      int // duplicate txs suppressed at commit (node 0)
+	// SubmittedTxs counts client transactions offered over the whole run.
+	// Offered load normally exceeds what TargetEpochs can order; the
+	// shortfall is mempool backlog at run end, not transaction loss.
+	SubmittedTxs  int
+	MaxOpenEpochs int // peak concurrent epoch state at any node (GC bound)
+
+	Accesses    uint64
+	Collisions  uint64
+	BytesOnAir  uint64
+	LogicalSent uint64
+
+	// Logs holds each correct node's committed log (index = node id; nil
+	// for crashed nodes), already checked for agreement and gap-freedom.
+	Logs [][]LogEntry
+}
+
+// ChainRun executes a sustained SMR simulation and returns measurements.
+// It fails if any correct pair of nodes commits diverging logs, if a log
+// has a gap, or if the deadline passes before every correct node commits
+// TargetEpochs epochs.
+func ChainRun(opts ChainOptions) (*ChainResult, error) {
+	if opts.N != 3*opts.F+1 {
+		return nil, fmt.Errorf("protocol: need N = 3F+1, got N=%d F=%d", opts.N, opts.F)
+	}
+	if opts.Window <= 0 {
+		opts.Window = 1
+	}
+	if opts.TargetEpochs <= 0 {
+		opts.TargetEpochs = 1
+	}
+	if opts.TxSize < 12 {
+		opts.TxSize = 12
+	}
+	if opts.TxInterval <= 0 {
+		opts.TxInterval = 4 * time.Second
+	}
+	if opts.Deadline <= 0 {
+		opts.Deadline = 8 * time.Hour
+	}
+	sched := sim.New(opts.Seed)
+	ch := wireless.NewChannel(sched, opts.Net)
+	installFaultHook(sched, ch, opts.Faults)
+
+	suites, err := crypto.Deal(opts.N, opts.F, opts.Crypto, rand.New(rand.NewSource(opts.Seed^0x5eed)))
+	if err != nil {
+		return nil, err
+	}
+	crashed := make(map[int]bool, len(opts.Faults.Crash))
+	for _, c := range opts.Faults.Crash {
+		crashed[c] = true
+	}
+	correct := 0
+	for i := 0; i < opts.N; i++ {
+		if !crashed[i] {
+			correct++
+		}
+	}
+	if correct == 0 {
+		return nil, fmt.Errorf("protocol: all %d nodes crashed; nothing to run", opts.N)
+	}
+
+	ccfg := DefaultChainConfig(opts.Protocol, opts.Coin)
+	ccfg.Batched = opts.Batched
+	ccfg.Window = opts.Window
+	ccfg.GCLag = opts.GCLag
+	ccfg.MaxEpochs = opts.TargetEpochs
+	ccfg.Mempool = opts.Mempool
+	if max := opts.Mempool.withDefaults().MaxBatchBytes; opts.TxSize > max {
+		return nil, fmt.Errorf("protocol: TxSize %d exceeds proposal cap MaxBatchBytes %d", opts.TxSize, max)
+	}
+	chains := make([]*Chain, opts.N)
+	muxes := make([]*core.Mux, opts.N)
+	maxOpen := 0
+	for i := 0; i < opts.N; i++ {
+		cpu := sim.NewCPU(sched)
+		auth := &core.SizedAuth{
+			Len:        suites[i].Signer.Scheme().SignatureLen(),
+			CostSign:   suites[i].Cost.PKSign,
+			CostVerify: suites[i].Cost.PKVerify,
+		}
+		tcfg := opts.Transport
+		if tcfg.FlushDelay == 0 && tcfg.RetxInterval == 0 && tcfg.MaxQueue == 0 {
+			tcfg = core.DefaultConfig(opts.Batched)
+		}
+		tcfg.Batched = opts.Batched
+		mux := core.NewMux(sched, cpu, auth, tcfg)
+		var recv wireless.Receiver = mux
+		if crashed[i] {
+			recv = dropReceiver{}
+		}
+		st := ch.Attach(wireless.NodeID(i), recv)
+		mux.BindStation(st)
+		muxes[i] = mux
+		if crashed[i] {
+			continue
+		}
+		rng := rand.New(rand.NewSource(opts.Seed + int64(i)*7919))
+		c := NewChain(sched, cpu, mux, suites[i], opts.N, opts.F, i, tcfg.Session, rng, ccfg)
+		c.OnCommit = func(int) {
+			if o := c.OpenEpochs(); o > maxOpen {
+				maxOpen = o
+			}
+		}
+		chains[i] = c
+	}
+
+	// Client workload: one TxSize-byte transaction every TxInterval,
+	// broadcast to every correct node's mempool, sustained for the whole
+	// run — this is an offered-load experiment, so injection only ceases
+	// with the run itself. Whatever the chain cannot absorb stays behind
+	// as mempool backlog (SubmittedTxs - CommittedTxs), not loss.
+	submitted := 0
+	var inject func()
+	inject = func() {
+		if done(chains, opts.TargetEpochs) {
+			return
+		}
+		tx := makeClientTx(submitted, opts.TxSize)
+		submitted++
+		for _, c := range chains {
+			if c != nil {
+				c.Submit(tx)
+			}
+		}
+		sched.After(opts.TxInterval, inject)
+	}
+	sched.After(100*time.Millisecond, inject)
+	for _, c := range chains {
+		if c != nil {
+			c.Start()
+		}
+	}
+
+	for !done(chains, opts.TargetEpochs) {
+		if sched.Now() > opts.Deadline {
+			return nil, fmt.Errorf("protocol: chain run missed deadline %v at frontier %v (%s %s batched=%v depth=%d)",
+				opts.Deadline, frontiers(chains), opts.Protocol, opts.Coin, opts.Batched, opts.Window)
+		}
+		if !sched.Step() {
+			return nil, fmt.Errorf("protocol: chain run deadlocked at %v, frontier %v", sched.Now(), frontiers(chains))
+		}
+	}
+	res := &ChainResult{
+		EpochsCommitted: opts.TargetEpochs,
+		Duration:        sched.Now(),
+		SubmittedTxs:    submitted,
+		MaxOpenEpochs:   maxOpen,
+		Logs:            make([][]LogEntry, opts.N),
+	}
+	if err := CheckLogs(chains); err != nil {
+		return nil, err
+	}
+	for i, c := range chains {
+		if c == nil {
+			continue
+		}
+		res.Logs[i] = c.Log()
+		if res.CommittedTxs == 0 {
+			res.CommittedTxs = c.CommittedTxs()
+			res.CommittedBytes = c.CommittedBytes()
+			res.MeanCommitLatency = c.MeanCommitLatency()
+			res.DedupDropped = c.DedupDropped()
+		}
+	}
+	if res.Duration > 0 {
+		res.ThroughputBps = float64(res.CommittedBytes) / res.Duration.Seconds()
+	}
+	st := ch.Stats()
+	res.Accesses = st.Accesses
+	res.Collisions = st.Collisions
+	res.BytesOnAir = st.BytesOnAir
+	for _, m := range muxes {
+		res.LogicalSent += m.Stats().LogicalSent
+	}
+	return res, nil
+}
+
+// done reports whether every correct node's commit frontier reached target.
+func done(chains []*Chain, target int) bool {
+	for _, c := range chains {
+		if c != nil && c.CommittedEpochs() < target {
+			return false
+		}
+	}
+	return true
+}
+
+func frontiers(chains []*Chain) []int {
+	out := make([]int, 0, len(chains))
+	for _, c := range chains {
+		if c != nil {
+			out = append(out, c.CommittedEpochs())
+		}
+	}
+	return out
+}
+
+// makeClientTx builds a deterministic client payload: a sequence number
+// followed by pseudo-random filler derived from it.
+func makeClientTx(seq, size int) []byte {
+	tx := make([]byte, size)
+	binary.BigEndian.PutUint64(tx, uint64(seq))
+	for i := 8; i < size; i++ {
+		tx[i] = byte((seq*131 + i*17) ^ (i >> 3))
+	}
+	return tx
+}
+
+// dropReceiver swallows frames addressed to a crashed node.
+type dropReceiver struct{}
+
+func (dropReceiver) ReceiveFrame(wireless.NodeID, []byte) {}

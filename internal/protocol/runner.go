@@ -209,22 +209,45 @@ func (n *runNode) startEpoch(sched *sim.Scheduler, epoch uint16, opts Options) {
 		Sched:   sched,
 		Rand:    n.rand,
 	}
-	markDone := func() { n.done = true }
-	switch opts.Protocol {
+	n.inst = newInstance(env, opts.Protocol, opts.Coin, opts.Batched, opts.Encrypt, func() { n.done = true })
+	n.inst.Start(makeProposal(n.idx, int(epoch), opts))
+}
+
+// newInstance builds one epoch's consensus engine for a protocol variant.
+// Both the one-shot runner and the Chain SMR engine construct epochs
+// through this factory.
+func newInstance(env *component.Env, p Kind, coin CoinKind, batched, encrypt bool, onDecide func()) Instance {
+	switch p {
 	case HoneyBadger:
-		n.inst = NewACS(env, ACSOptions{Coin: opts.Coin, Batched: opts.Batched, Encrypt: opts.Encrypt, OnDecide: markDone})
+		return NewACS(env, ACSOptions{Coin: coin, Batched: batched, Encrypt: encrypt, OnDecide: onDecide})
 	case BEAT:
-		coin := opts.Coin
 		if coin == "" {
 			coin = CoinFlip
 		}
-		n.inst = NewACS(env, ACSOptions{Coin: coin, Batched: opts.Batched, Encrypt: true, OnDecide: markDone})
+		return NewACS(env, ACSOptions{Coin: coin, Batched: batched, Encrypt: true, OnDecide: onDecide})
 	case DumboKind:
-		n.inst = NewDumbo(env, DumboOptions{Coin: opts.Coin, Batched: opts.Batched, OnDecide: markDone})
+		return NewDumbo(env, DumboOptions{Coin: coin, Batched: batched, OnDecide: onDecide})
 	default:
-		panic(fmt.Sprintf("protocol: unknown protocol %q", opts.Protocol))
+		panic(fmt.Sprintf("protocol: unknown protocol %q", p))
 	}
-	n.inst.Start(makeProposal(n.idx, int(epoch), opts))
+}
+
+// Variant names one of the paper's five protocol configurations.
+type Variant struct {
+	Name string
+	Kind Kind
+	Coin CoinKind
+}
+
+// Variants returns the paper's five protocol variants (Fig. 13 legend).
+func Variants() []Variant {
+	return []Variant{
+		{"HB-LC", HoneyBadger, CoinLocal},
+		{"HB-SC", HoneyBadger, CoinSig},
+		{"BEAT", BEAT, CoinFlip},
+		{"Dumbo-LC", DumboKind, CoinLocal},
+		{"Dumbo-SC", DumboKind, CoinSig},
+	}
 }
 
 // makeProposal builds a deterministic batch of transactions.
