@@ -184,3 +184,22 @@ func BenchmarkChainSustainedThroughput(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFaultScenarios runs the scripted fault sweep (beyond the
+// paper): sustained SMR throughput under crash, crash+recovery, delay
+// adversary, jamming bursts, and partition/heal, per transport.
+func BenchmarkFaultScenarios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.FaultSweep(int64(i)+1, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Protocol == "HB-SC" && r.Transport == "batched" && r.Error == "" {
+					b.ReportMetric(r.ThroughputBps, "Bps_"+r.Scenario)
+				}
+			}
+		}
+	}
+}

@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	wbft-bench [-exp all|table1|fig10a|fig10b|fig10c|fig10d|fig11a|fig11b|fig12a|fig12b|fig13a|fig13b|chain]
+//	wbft-bench [-exp all|table1|fig10a|fig10b|fig10c|fig10d|fig11a|fig11b|fig12a|fig12b|fig13a|fig13b|chain|faults]
 //	           [-seed N] [-epochs N] [-batch N] [-reps N] [-chain-epochs N] [-json FILE]
 //
-// The chain experiment (sustained SMR throughput vs pipeline depth) is not
-// in the paper; -json additionally writes its points as a BENCH_chain.json
-// trajectory file.
+// The chain experiment (sustained SMR throughput vs pipeline depth) and
+// the faults experiment (scenario x protocol x transport sweep of the
+// scripted fault engine) are not in the paper; -json writes the selected
+// experiment's points as a trajectory file (BENCH_chain.json or
+// BENCH_faults.json; with -exp all it applies to chain).
 package main
 
 import (
@@ -144,23 +146,49 @@ func run(exp string, seed int64, epochs, batch, reps, chainEpochs int, jsonPath 
 		}
 		bench.PrintChain(w, rows)
 		if jsonPath != "" {
-			f, err := os.Create(jsonPath)
-			if err != nil {
+			if err := writeJSON(w, jsonPath, func(f *os.File) error {
+				return bench.WriteChainJSON(f, seed, rows)
+			}); err != nil {
 				return err
 			}
-			if err := bench.WriteChainJSON(f, seed, rows); err != nil {
-				f.Close()
+		}
+		sep()
+	}
+	if all || exp == "faults" {
+		did = true
+		rows, err := bench.FaultSweep(seed, chainEpochs)
+		if err != nil {
+			return err
+		}
+		bench.PrintFaults(w, rows)
+		if jsonPath != "" && exp == "faults" {
+			if err := writeJSON(w, jsonPath, func(f *os.File) error {
+				return bench.WriteFaultsJSON(f, seed, rows)
+			}); err != nil {
 				return err
 			}
-			if err := f.Close(); err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "wrote %s\n", jsonPath)
 		}
 		sep()
 	}
 	if !did {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+	return nil
+}
+
+// writeJSON writes one experiment's trajectory file and reports it.
+func writeJSON(w *os.File, path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", path)
 	return nil
 }

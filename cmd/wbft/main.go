@@ -5,13 +5,19 @@
 //
 //	wbft -protocol honeybadger|beat|dumbo -coin LC|SC|CP [-baseline]
 //	     [-epochs N] [-batch N] [-txsize N] [-seed N] [-loss P]
-//	     [-crash 3] [-multihop] [-heavy]
+//	     [-crash 3] [-scenario SPEC] [-multihop] [-heavy]
 //
 //	wbft chain [-protocol P] [-coin C] [-baseline] [-depth N] [-epochs N]
 //	           [-txsize N] [-txinterval D] [-seed N] [-loss P] [-crash 3]
+//	           [-scenario SPEC]
 //
 // The chain subcommand runs the pipelined SMR deployment: continuous
 // client traffic ordered into a replicated log across many epochs.
+//
+// -scenario scripts timed faults in the scenario DSL, e.g.
+// "crash@30m:3;recover@55m:3" or "partition@10m:0,1/2,3;heal@20m;jam@40m+60s"
+// (see internal/scenario.Parse). -crash N is shorthand for a crash at t=0
+// that never recovers.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 
 	"repro/internal/crypto"
 	"repro/internal/protocol"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -34,18 +41,25 @@ func main() {
 	runSingle()
 }
 
-func parseCrash(spec string, into *[]int) {
-	if spec == "" {
-		return
+// buildScenario combines the -scenario DSL with the -crash shorthand
+// (comma-separated node ids crashed at t=0, never recovered).
+func buildScenario(spec, crash string) scenario.Plan {
+	plan, err := scenario.Parse(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wbft:", err)
+		os.Exit(2)
 	}
-	for _, part := range strings.Split(spec, ",") {
-		id, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "wbft: bad -crash value %q\n", part)
-			os.Exit(2)
+	if crash != "" {
+		for _, part := range strings.Split(crash, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wbft: bad -crash value %q\n", part)
+				os.Exit(2)
+			}
+			plan = plan.Then(scenario.CrashAt(0, id))
 		}
-		*into = append(*into, id)
 	}
+	return plan
 }
 
 func checkKind(proto string) protocol.Kind {
@@ -73,7 +87,8 @@ func runChain(args []string) {
 		txinterval = fs.Duration("txinterval", 4*time.Second, "client submission interval")
 		seed       = fs.Int64("seed", 1, "simulation seed")
 		loss       = fs.Float64("loss", 0.02, "per-receiver frame loss probability")
-		crash      = fs.String("crash", "", "comma-separated node ids to crash")
+		crash      = fs.String("crash", "", "comma-separated node ids to crash at t=0")
+		scen       = fs.String("scenario", "", "scripted fault scenario DSL (crash@30m:3;recover@55m:3;...)")
 	)
 	fs.Parse(args)
 
@@ -85,7 +100,7 @@ func runChain(args []string) {
 	opts.TxInterval = *txinterval
 	opts.Seed = *seed
 	opts.Net.LossProb = *loss
-	parseCrash(*crash, &opts.Faults.Crash)
+	opts.Scenario = buildScenario(*scen, *crash)
 
 	res, err := protocol.ChainRun(opts)
 	if err != nil {
@@ -116,7 +131,8 @@ func runSingle() {
 		txsize   = flag.Int("txsize", 64, "bytes per transaction")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		loss     = flag.Float64("loss", 0.02, "per-receiver frame loss probability")
-		crash    = flag.String("crash", "", "comma-separated node ids to crash")
+		crash    = flag.String("crash", "", "comma-separated node ids to crash at t=0")
+		scen     = flag.String("scenario", "", "scripted fault scenario DSL (crash@30m:3;recover@55m:3;...)")
 		multihop = flag.Bool("multihop", false, "16 nodes in 4 clusters instead of single-hop")
 		heavy    = flag.Bool("heavy", false, "heavy crypto parameter set (BN254-equivalent)")
 	)
@@ -134,7 +150,7 @@ func runSingle() {
 	if *heavy {
 		opts.Crypto = crypto.HeavyConfig()
 	}
-	parseCrash(*crash, &opts.Faults.Crash)
+	opts.Scenario = buildScenario(*scen, *crash)
 
 	if *multihop {
 		mh := protocol.DefaultMultihopOptions(kind, protocol.CoinKind(*coin))

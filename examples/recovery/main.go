@@ -1,0 +1,56 @@
+// Recovery: crash a replica mid-run and watch it rejoin the replicated
+// log. Node 2 goes down around epoch 5, comes back around epoch 10 with
+// only its stable storage (committed log, mempool digests, keys), and
+// catches up through the epoch mux's unknown-epoch signal and NACK
+// retransmission — converging to the same gap-free log as everyone else.
+//
+//	go run ./examples/recovery
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/scenario"
+)
+
+func main() {
+	opts := protocol.DefaultChainOptions(protocol.HoneyBadger, protocol.CoinSig)
+	opts.Seed = 42
+	opts.TargetEpochs = 14
+	// Peers serve catch-up repairs only for epochs their GC hasn't closed:
+	// keep the window as long as the planned outage.
+	opts.GCLag = opts.TargetEpochs
+	opts.Scenario = scenario.Plan{}.Then(
+		scenario.CrashAt(30*time.Minute, 2),   // ~epoch 5 at the default cadence
+		scenario.RecoverAt(60*time.Minute, 2), // ~epoch 10
+	)
+
+	fmt.Println("4-node wireless HoneyBadgerBFT-SC chain; node 2 crashes at 30m, recovers at 60m")
+	res, err := protocol.ChainRun(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nall %d epochs committed in %v of simulated time\n",
+		res.EpochsCommitted, res.Duration.Round(time.Second))
+	for i, nodeLog := range res.Logs {
+		txs := 0
+		for _, e := range nodeLog {
+			txs += len(e.Txs)
+		}
+		role := ""
+		if i == 2 {
+			role = "  <- crashed at 30m, recovered at 60m, caught up"
+		}
+		fmt.Printf("  node %d: %2d epochs, %3d txs committed%s\n", i, len(nodeLog), txs, role)
+	}
+	fmt.Printf("\nthroughput %.2f B/s; %d channel accesses (%d collisions)\n",
+		res.ThroughputBps, res.Accesses, res.Collisions)
+	fmt.Println("\nthe recovered replica rejoined mid-run: frames for epochs it had never")
+	fmt.Println("opened tripped core.Mux.OnUnknownEpoch, the chain re-opened its pipeline")
+	fmt.Println("at the commit frontier, and peers' quiesced epochs answered its NACKs")
+	fmt.Println("with the proposals, votes, and decryption shares it lost.")
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/protocol"
+	"repro/internal/scenario"
 )
 
 // Tasks the swarm must partition among robots each round.
@@ -23,9 +24,9 @@ func main() {
 	opts.Epochs = 3
 	opts.BatchSize = len(tasks)
 	opts.Seed = 7
-	opts.Net.LossProb = 0.05      // noisy field conditions
-	opts.Faults.Crash = []int{3}  // robot 3 is down
-	opts.Deadline = 4 * time.Hour // generous virtual-time bound
+	opts.Net.LossProb = 0.05          // noisy field conditions
+	opts.Scenario = scenario.Crash(3) // robot 3 is down from the start
+	opts.Deadline = 4 * time.Hour     // generous virtual-time bound
 
 	fmt.Println("4-robot swarm, BEAT consensus, robot 3 crashed, 5% frame loss")
 	res, err := protocol.Run(opts)

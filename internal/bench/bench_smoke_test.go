@@ -111,3 +111,25 @@ func TestFig10CryptoOpsFast(t *testing.T) {
 		t.Errorf("SG-3072 sign (%v) not slower than SG-512 (%v)", bySet["SG-3072"], bySet["SG-512"])
 	}
 }
+
+func TestFaultSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("24 chain runs")
+	}
+	rows, err := FaultSweep(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6*2*2 {
+		t.Fatalf("got %d rows, want 24 (6 scenarios x 2 protocols x 2 transports)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Error != "" {
+			t.Errorf("%s/%s/%s failed: %s", r.Scenario, r.Protocol, r.Transport, r.Error)
+			continue
+		}
+		if r.Epochs != 2 || r.CommittedTxs == 0 {
+			t.Errorf("%s/%s/%s: no progress: %+v", r.Scenario, r.Protocol, r.Transport, r)
+		}
+	}
+}

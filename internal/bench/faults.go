@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/scenario"
+)
+
+// FaultPoint is one sustained-SMR measurement under a scripted fault
+// scenario. The fault sweep is the evaluation the paper leaves out: its
+// runs are fault-free (plus a t=0 crash), but the asynchronous-BFT value
+// proposition only shows under the conditions wireless deployments face —
+// crashes with recovery, partitions, jamming bursts, and the adversarial
+// delay schedule the asynchronous model is defined against.
+type FaultPoint struct {
+	Scenario       string  `json:"scenario"`
+	Spec           string  `json:"spec"` // the scenario DSL actually run
+	Protocol       string  `json:"protocol"`
+	Transport      string  `json:"transport"` // "batched" | "baseline"
+	Epochs         int     `json:"epochs"`
+	CommittedTxs   int     `json:"committed_txs"`
+	VirtualSecs    float64 `json:"virtual_s"`
+	ThroughputBps  float64 `json:"throughput_Bps"`
+	CommitLatencyS float64 `json:"commit_latency_s"`
+	Accesses       uint64  `json:"accesses"`
+	Collisions     uint64  `json:"collisions"`
+	Error          string  `json:"error,omitempty"` // deadline/deadlock, if the scenario defeated the run
+}
+
+// faultScenario names one scripted plan of the sweep. Crash/recovery times
+// are placed against the ~5m45s default epoch cadence: the crash lands
+// around epoch 5 and the recovery around epoch 10.
+type faultScenario struct {
+	name string
+	plan scenario.Plan
+}
+
+func faultScenarios() []faultScenario {
+	return []faultScenario{
+		{"fault-free", scenario.Plan{}},
+		{"crash-f", scenario.Crash(3)},
+		{"crash-recover", scenario.Plan{}.Then(
+			scenario.CrashAt(30*time.Minute, 2),
+			scenario.RecoverAt(60*time.Minute, 2),
+		)},
+		{"delay-adversary", scenario.Delay(0.25, 10*time.Second)},
+		{"jam-burst", scenario.Plan{}.Then(
+			scenario.JamAt(20*time.Minute, 90*time.Second),
+			scenario.LossBurst(40*time.Minute, 5*time.Minute, 0.3),
+		)},
+		{"partition-heal", scenario.Plan{}.Then(
+			scenario.PartitionAt(15*time.Minute, []int{0, 1}, []int{2, 3}),
+			scenario.HealAt(45*time.Minute),
+		)},
+	}
+}
+
+// FaultSweep runs every fault scenario against two protocol families under
+// both transports on the sustained SMR deployment and reports throughput,
+// latency, and contention under each condition. A scenario that defeats a
+// run (deadline or deadlock) is recorded as a row with Error set rather
+// than aborting the sweep — "this configuration does not survive this
+// fault" is itself the measurement.
+func FaultSweep(seed int64, epochs int) ([]FaultPoint, error) {
+	if epochs <= 0 {
+		epochs = 12
+	}
+	var out []FaultPoint
+	for _, sc := range faultScenarios() {
+		for _, p := range []struct {
+			name string
+			kind protocol.Kind
+			coin protocol.CoinKind
+		}{
+			{"HB-SC", protocol.HoneyBadger, protocol.CoinSig},
+			{"Dumbo-SC", protocol.DumboKind, protocol.CoinSig},
+		} {
+			for _, batched := range []bool{true, false} {
+				opts := protocol.DefaultChainOptions(p.kind, p.coin)
+				opts.Seed = seed
+				opts.Batched = batched
+				opts.TargetEpochs = epochs
+				opts.TxInterval = time.Second // keep proposals full
+				// Recovery catch-up needs peers to keep the missing epochs
+				// alive; give every run the same (generous) GC window so
+				// the scenarios stay comparable.
+				opts.GCLag = epochs
+				opts.Scenario = sc.plan
+				tname := "baseline"
+				if batched {
+					tname = "batched"
+				}
+				pt := FaultPoint{
+					Scenario:  sc.name,
+					Spec:      sc.plan.String(),
+					Protocol:  p.name,
+					Transport: tname,
+				}
+				res, err := protocol.ChainRun(opts)
+				if err != nil {
+					pt.Error = err.Error()
+				} else {
+					pt.Epochs = res.EpochsCommitted
+					pt.CommittedTxs = res.CommittedTxs
+					pt.VirtualSecs = res.Duration.Seconds()
+					pt.ThroughputBps = res.ThroughputBps
+					pt.CommitLatencyS = res.MeanCommitLatency.Seconds()
+					pt.Accesses = res.Accesses
+					pt.Collisions = res.Collisions
+				}
+				out = append(out, pt)
+			}
+		}
+	}
+	return out, nil
+}
+
+// PrintFaults renders the fault sweep.
+func PrintFaults(w io.Writer, rows []FaultPoint) {
+	fmt.Fprintln(w, "Faults — sustained SMR under scripted fault scenarios (beyond the paper)")
+	fmt.Fprintf(w, "%-15s %-9s %-9s %7s %6s %10s %8s %12s %9s\n",
+		"scenario", "protocol", "transport", "epochs", "txs", "virtual_s", "Bps", "commit_lat", "accesses")
+	for _, r := range rows {
+		if r.Error != "" {
+			fmt.Fprintf(w, "%-15s %-9s %-9s %s\n", r.Scenario, r.Protocol, r.Transport, "FAILED: "+r.Error)
+			continue
+		}
+		fmt.Fprintf(w, "%-15s %-9s %-9s %7d %6d %10.0f %8.2f %11.0fs %9d\n",
+			r.Scenario, r.Protocol, r.Transport, r.Epochs, r.CommittedTxs,
+			r.VirtualSecs, r.ThroughputBps, r.CommitLatencyS, r.Accesses)
+	}
+}
+
+// WriteFaultsJSON records the sweep as the BENCH_faults.json trajectory
+// file referenced by EXPERIMENTS.md.
+func WriteFaultsJSON(w io.Writer, seed int64, rows []FaultPoint) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Experiment string       `json:"experiment"`
+		Seed       int64        `json:"seed"`
+		Points     []FaultPoint `json:"points"`
+	}{Experiment: "fault-scenario-sweep", Seed: seed, Points: rows})
+}

@@ -12,8 +12,8 @@ import (
 	"time"
 
 	"repro/internal/component"
-	"repro/internal/core"
 	"repro/internal/crypto"
+	"repro/internal/node"
 	"repro/internal/sim"
 	"repro/internal/wireless"
 )
@@ -36,23 +36,18 @@ func NewComponentRig(seed int64, batched bool, cfg crypto.Config, net wireless.C
 		return nil, err
 	}
 	rig := &ComponentRig{Sched: sched, Ch: ch}
+	ncfg := node.Config{Batched: batched, Seed: seed}
 	for i := 0; i < n; i++ {
-		cpu := sim.NewCPU(sched)
-		auth := &core.SizedAuth{
-			Len:        suites[i].Signer.Scheme().SignatureLen(),
-			CostSign:   suites[i].Cost.PKSign,
-			CostVerify: suites[i].Cost.PKVerify,
-		}
-		tr := core.New(sched, cpu, nil, auth, core.DefaultConfig(batched))
-		st := ch.Attach(wireless.NodeID(i), tr)
-		tr.BindStation(st)
+		nd := node.New(sched, ch, wireless.NodeID(i), suites[i], ncfg)
 		rig.Envs = append(rig.Envs, &component.Env{
 			N: n, F: f, Me: i,
 			Suite: suites[i],
-			T:     tr,
-			CPU:   cpu,
+			T:     nd.Transport(),
+			CPU:   nd.CPU,
 			Sched: sched,
-			Rand:  rand.New(rand.NewSource(seed + int64(i)*337)),
+			// The rig keeps its historical RNG derivation so component
+			// benchmark trajectories stay comparable across PRs.
+			Rand: rand.New(rand.NewSource(seed + int64(i)*337)),
 		})
 	}
 	return rig, nil

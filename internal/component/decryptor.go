@@ -81,11 +81,29 @@ func (d *Decryptor) HandleSection(from uint16, sec packet.Section) {
 		return
 	}
 	w := int(from)
-	// Prune our share intents only when every peer confirms completion.
-	// Iterate in slot order: map order must not leak into scheduling.
+	// Prune our share intents only when every peer confirms completion —
+	// and re-announce them when a peer that had confirmed turns up without
+	// the done bit again: it lost its state (crash recovery) and needs the
+	// f+1 shares back on the air. Iterate in slot order: map order must not
+	// leak into scheduling.
 	for slot := 0; slot < len(d.done)*8; slot++ {
 		s, ok := d.slots[slot]
-		if !ok || !sec.Nack.Get(slot) {
+		if !ok {
+			continue
+		}
+		if !sec.Nack.Get(slot) {
+			if s.peersDone != nil && s.peersDone.Get(w) {
+				wasPruned := s.peersDone.Count() >= d.env.N-1
+				s.peersDone.Clear(w)
+				if wasPruned {
+					if share, ok := s.shares[d.env.Me]; ok {
+						d.env.T.Update(core.Intent{
+							IntentKey: core.IntentKey{Kind: packet.KindDec, Phase: packet.PhaseDecShare, Slot: uint8(slot), Sub: uint8(d.env.Me)},
+							Data:      EncodeDecShare(share),
+						})
+					}
+				}
+			}
 			continue
 		}
 		if s.peersDone == nil {

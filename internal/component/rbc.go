@@ -326,6 +326,19 @@ func (r *RBC) maybeDeliver(slot int) {
 	}
 }
 
+// RequestRepair asks peers to re-announce a slot's INITIAL fragments and
+// READY votes. The quorum path calls it automatically; late joiners (SMR
+// crash recovery) call it for slots that external evidence — an ABA
+// DECIDED quorum — says must deliver, because peers may have pruned their
+// vote intents back when every node of the time had confirmed completion.
+// Delivery still requires a full READY quorum on the repaired value, so a
+// forged repair response cannot smuggle in a wrong value.
+func (r *RBC) RequestRepair(slot int) {
+	if slot < len(r.slots) && !r.slots[slot].delivered {
+		r.requestRepair(slot)
+	}
+}
+
 // requestRepair asks peers for the INITIAL fragments of a slot we are
 // missing while holding a READY quorum for it.
 func (r *RBC) requestRepair(slot int) {
@@ -361,6 +374,23 @@ func (r *RBC) handleRepairRequest(slot int, have packet.BitSet) {
 		return // rate-limit repair responses
 	}
 	s.repairAt = now
+	// Re-announce our ECHO and READY votes alongside the fragments: a
+	// requester that lost its state (crash recovery) needs the vote quorum
+	// back on the air, and trackPeerDone may have pruned those intents when
+	// every node of the time had confirmed the slot.
+	if s.sentEcho {
+		h := HashValue(s.value)
+		r.env.T.Update(core.Intent{
+			IntentKey: core.IntentKey{Kind: r.kind, Phase: packet.PhaseEcho, Slot: uint8(slot)},
+			Data:      h[:],
+		})
+	}
+	if s.sentReady {
+		r.env.T.Update(core.Intent{
+			IntentKey: core.IntentKey{Kind: r.kind, Phase: packet.PhaseReady, Slot: uint8(slot)},
+			Data:      s.readyHash[:],
+		})
+	}
 	delay := time.Duration(float64(300*time.Millisecond) * (0.5 + r.env.Rand.Float64()))
 	value := s.value
 	r.env.Sched.After(delay, func() {

@@ -105,7 +105,7 @@ func (m *Mux) Close(epoch uint16) {
 		return
 	}
 	t.Stop()
-	m.addStats(t.Stats())
+	m.closedStats = AddStats(m.closedStats, t.Stats())
 	delete(m.epochs, epoch)
 }
 
@@ -128,15 +128,15 @@ func (m *Mux) DroppedSession() uint64 { return m.droppedSess }
 func (m *Mux) Stats() Stats {
 	s := m.closedStats
 	for _, t := range m.epochs {
-		s = addStats(s, t.Stats())
+		s = AddStats(s, t.Stats())
 	}
 	s.DroppedEpoch += m.dropped
 	return s
 }
 
-func (m *Mux) addStats(o Stats) { m.closedStats = addStats(m.closedStats, o) }
-
-func addStats(a, b Stats) Stats {
+// AddStats sums two transport counter snapshots field-by-field. Deployment
+// layers use it to fold discarded transports into run-level aggregates.
+func AddStats(a, b Stats) Stats {
 	a.LogicalSent += b.LogicalSent
 	a.FragmentsSent += b.FragmentsSent
 	a.BytesSent += b.BytesSent

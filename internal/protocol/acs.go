@@ -14,6 +14,7 @@ package protocol
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/component"
 )
@@ -163,8 +164,22 @@ func (a *ACS) onRBCDeliver(slot int, _ []byte) {
 	a.maybeFinish()
 }
 
+// abaRepairGrace is how long an accepted slot's RBC may stay undelivered
+// after its ABA decides before the node requests an explicit repair. In
+// steady state totality closes the gap by itself; the explicit request is
+// the late-joiner path (SMR crash recovery), where peers pruned their vote
+// intents long ago and only a repair request brings them back on the air.
+const abaRepairGrace = 8 * time.Second
+
 func (a *ACS) onABADecide(slot int, v bool) {
 	a.decisions[slot] = v
+	if v && !a.delivered[slot] {
+		a.env.Sched.After(abaRepairGrace, func() {
+			if !a.delivered[slot] {
+				a.rbc.RequestRepair(slot)
+			}
+		})
+	}
 	a.maybeFinish()
 }
 

@@ -189,6 +189,35 @@ func (c *Chain) Stop() {
 	c.mux.Stop()
 }
 
+// Crash models a process failure with stable storage: the committed log,
+// the mempool (pending transactions and committed-digest horizon), and the
+// commit frontier survive; every in-flight epoch's protocol state and
+// per-epoch transport are discarded. The node-level crash (radio off,
+// inbound gated) is the deployment layer's job — see node.Node.Crash.
+func (c *Chain) Crash() {
+	c.ageEvt.Cancel()
+	c.ageEvt = nil
+	c.mux.Stop()
+	for e := range c.epochs {
+		delete(c.epochs, e)
+	}
+}
+
+// Recover restarts the engine after Crash: the pipeline resumes at the
+// commit frontier (the epochs lost in flight are re-opened with fresh
+// instances) and converges to the same log as everyone else — decided
+// epochs are repaired from peers' NACK retransmissions, and the DECIDED
+// gadget carries their ABAs over the line. This is the late-join path
+// core.Mux.OnUnknownEpoch exists for: frames from epochs the peers are
+// already driving pull the recovered node forward as fast as the pipeline
+// window allows. Peers must still hold the frontier epochs (GCLag bounds
+// how far back they serve repairs).
+func (c *Chain) Recover() {
+	c.nextStart = c.nextCommit
+	c.peerMax = -1 // re-learn the peers' frontier from their frames
+	c.advance()
+}
+
 // onPeerEpoch handles a frame for an epoch this node has not opened. A
 // frame for an epoch at or past nextStart means peers have already cut
 // proposals up to there, so waiting on our own batch policy only delays

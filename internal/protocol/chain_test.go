@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"repro/internal/scenario"
 )
 
 func quickChainOpts(p Kind, coin CoinKind, batched bool, seed int64) ChainOptions {
@@ -80,7 +82,7 @@ func TestChainDeeperPipelineKeepsAgreement(t *testing.T) {
 func TestChainWithCrashFault(t *testing.T) {
 	opts := quickChainOpts(HoneyBadger, CoinSig, true, 4)
 	opts.TargetEpochs = 5
-	opts.Faults.Crash = []int{3}
+	opts.Scenario = scenario.Crash(3)
 	res, err := ChainRun(opts)
 	if err != nil {
 		t.Fatal(err)
@@ -150,6 +152,144 @@ func TestChainDedup(t *testing.T) {
 	}
 	if res.CommittedTxs > res.SubmittedTxs {
 		t.Errorf("committed %d txs > submitted %d", res.CommittedTxs, res.SubmittedTxs)
+	}
+}
+
+// TestChainCrashRecovery is the crash-recovery acceptance run: node 2
+// crashes around epoch 5 and recovers around epoch 10 (the default cadence
+// is ~5m45s per epoch). The recovered node must rejoin mid-run through
+// core.Mux.OnUnknownEpoch, catch up on the epochs it lost through NACK
+// retransmission and repair, and commit the same gap-free log as everyone
+// else — under both transports.
+func TestChainCrashRecovery(t *testing.T) {
+	for _, batched := range []bool{true, false} {
+		batched := batched
+		t.Run(fmt.Sprintf("batched=%v", batched), func(t *testing.T) {
+			t.Parallel()
+			opts := quickChainOpts(HoneyBadger, CoinSig, batched, 1)
+			opts.TargetEpochs = 14
+			// Peers must still hold the recovered node's missing epochs:
+			// keep the GC window as long as the run.
+			opts.GCLag = opts.TargetEpochs
+			opts.Scenario = scenario.Plan{}.Then(
+				scenario.CrashAt(30*time.Minute, 2),   // ~epoch 5
+				scenario.RecoverAt(60*time.Minute, 2), // ~epoch 10
+			)
+			res, err := ChainRun(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, log := range res.Logs {
+				if len(log) != opts.TargetEpochs {
+					t.Fatalf("node %d committed %d epochs, want %d (recovered node must catch up)",
+						i, len(log), opts.TargetEpochs)
+				}
+				for e, entry := range log {
+					if entry.Epoch != e {
+						t.Fatalf("node %d log has a gap at %d (epoch %d)", i, e, entry.Epoch)
+					}
+				}
+			}
+			// The recovered node's log must be byte-identical to node 0's.
+			for e := range res.Logs[0] {
+				a, b := res.Logs[0][e], res.Logs[2][e]
+				if len(a.Txs) != len(b.Txs) {
+					t.Fatalf("epoch %d: node0 %d txs, recovered node %d txs", e, len(a.Txs), len(b.Txs))
+				}
+				for j := range a.Txs {
+					if string(a.Txs[j]) != string(b.Txs[j]) {
+						t.Fatalf("epoch %d tx %d differs between node 0 and the recovered node", e, j)
+					}
+				}
+			}
+			t.Logf("batched=%v: recovered node caught up; %d epochs in %v",
+				batched, res.EpochsCommitted, res.Duration.Round(time.Second))
+		})
+	}
+}
+
+// TestChainCrashRecoveryAllFamilies runs the same crash-recovery scenario
+// across the other protocol families (Dumbo's serial-ABA catch-up and
+// BEAT's coin-flipping path are distinct code).
+func TestChainCrashRecoveryAllFamilies(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		kind Kind
+		coin CoinKind
+	}{
+		{"Dumbo-SC", DumboKind, CoinSig},
+		{"BEAT", BEAT, CoinFlip},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			opts := quickChainOpts(tc.kind, tc.coin, true, 2)
+			opts.TargetEpochs = 12
+			opts.GCLag = opts.TargetEpochs
+			opts.Scenario = scenario.Plan{}.Then(
+				scenario.CrashAt(25*time.Minute, 1),
+				scenario.RecoverAt(55*time.Minute, 1),
+			)
+			res, err := ChainRun(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Logs[1]) != opts.TargetEpochs {
+				t.Fatalf("recovered node committed %d epochs, want %d", len(res.Logs[1]), opts.TargetEpochs)
+			}
+		})
+	}
+}
+
+// TestChainPartitionHeals: a partition that splits the quorum stalls the
+// asynchronous protocol (safety holds, liveness waits); healing it lets
+// the run complete.
+func TestChainPartitionHeals(t *testing.T) {
+	opts := quickChainOpts(HoneyBadger, CoinSig, true, 3)
+	opts.TargetEpochs = 8
+	opts.Scenario = scenario.Plan{}.Then(
+		scenario.PartitionAt(10*time.Minute, []int{0, 1}, []int{2, 3}),
+		scenario.HealAt(40*time.Minute),
+	)
+	res, err := ChainRun(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 30-minute partition must show up as lost time relative to the
+	// fault-free run of the same seed.
+	opts.Scenario = scenario.Plan{}
+	free, err := ChainRun(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration <= free.Duration {
+		t.Errorf("partitioned run (%v) not slower than fault-free (%v)", res.Duration, free.Duration)
+	}
+}
+
+// TestChainScenarioDeterministic: the scenario engine (crash, recovery,
+// catch-up, and the seed-derived adversary randomness) must not break
+// run-level determinism.
+func TestChainScenarioDeterministic(t *testing.T) {
+	opts := quickChainOpts(HoneyBadger, CoinSig, true, 9)
+	opts.TargetEpochs = 10
+	opts.GCLag = 10
+	opts.Scenario = scenario.Plan{}.Then(
+		scenario.CrashAt(20*time.Minute, 3),
+		scenario.RecoverAt(45*time.Minute, 3),
+		scenario.LossBurst(15*time.Minute, 5*time.Minute, 0.3),
+	)
+	a, err := ChainRun(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChainRun(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Duration != b.Duration || a.CommittedTxs != b.CommittedTxs || a.Accesses != b.Accesses {
+		t.Errorf("same seed differs under scenario: %v/%d/%d vs %v/%d/%d",
+			a.Duration, a.CommittedTxs, a.Accesses, b.Duration, b.CommittedTxs, b.Accesses)
 	}
 }
 

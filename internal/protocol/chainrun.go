@@ -8,6 +8,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/crypto"
+	"repro/internal/node"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/wireless"
 )
@@ -36,7 +38,14 @@ type ChainOptions struct {
 	Net        wireless.Config
 	Crypto     crypto.Config
 	Transport  core.Config
-	Faults     FaultPlan
+	// Scenario scripts faults into the run. This driver supports the full
+	// vocabulary including mid-run recovery: a recovered node restarts its
+	// chain engine at the commit frontier (its log and mempool digests are
+	// stable storage) and catches up through core.Mux.OnUnknownEpoch and
+	// peers' NACK retransmissions. Mind GCLag: peers serve repairs only for
+	// epochs the GC hasn't closed, so recovery gaps longer than GCLag
+	// epochs leave the node unable to catch up (a deadline error).
+	Scenario scenario.Plan
 	// Deadline bounds the whole run in virtual time (default 8 h).
 	Deadline time.Duration
 }
@@ -89,8 +98,34 @@ type ChainResult struct {
 	LogicalSent uint64
 
 	// Logs holds each correct node's committed log (index = node id; nil
-	// for crashed nodes), already checked for agreement and gap-freedom.
+	// for nodes scripted to stay crashed), already checked for agreement
+	// and gap-freedom. A crashed-and-recovered node appears with a full
+	// log: catch-up is part of the acceptance bar.
 	Logs [][]LogEntry
+}
+
+// chainLifecycle adapts the SMR deployment to the scenario engine. Unlike
+// the one-shot drivers, recovery here is mid-run: the chain engine resumes
+// at its commit frontier and catches up on the live pipeline.
+type chainLifecycle struct {
+	nodes  []*node.Node
+	chains []*Chain
+}
+
+func (l chainLifecycle) CrashNode(i int) {
+	if i < 0 || i >= len(l.nodes) || l.nodes[i].Down() {
+		return
+	}
+	l.chains[i].Crash()
+	l.nodes[i].Crash()
+}
+
+func (l chainLifecycle) RecoverNode(i int) {
+	if i < 0 || i >= len(l.nodes) || !l.nodes[i].Down() {
+		return
+	}
+	l.nodes[i].Recover()
+	l.chains[i].Recover()
 }
 
 // ChainRun executes a sustained SMR simulation and returns measurements.
@@ -116,26 +151,16 @@ func ChainRun(opts ChainOptions) (*ChainResult, error) {
 	if opts.Deadline <= 0 {
 		opts.Deadline = 8 * time.Hour
 	}
+	perma := opts.Scenario.DownForever()
+	if len(perma) >= opts.N {
+		return nil, fmt.Errorf("protocol: all %d nodes crashed; nothing to run", opts.N)
+	}
 	sched := sim.New(opts.Seed)
 	ch := wireless.NewChannel(sched, opts.Net)
-	installFaultHook(sched, ch, opts.Faults)
 
 	suites, err := crypto.Deal(opts.N, opts.F, opts.Crypto, rand.New(rand.NewSource(opts.Seed^0x5eed)))
 	if err != nil {
 		return nil, err
-	}
-	crashed := make(map[int]bool, len(opts.Faults.Crash))
-	for _, c := range opts.Faults.Crash {
-		crashed[c] = true
-	}
-	correct := 0
-	for i := 0; i < opts.N; i++ {
-		if !crashed[i] {
-			correct++
-		}
-	}
-	if correct == 0 {
-		return nil, fmt.Errorf("protocol: all %d nodes crashed; nothing to run", opts.N)
 	}
 
 	ccfg := DefaultChainConfig(opts.Protocol, opts.Coin)
@@ -147,34 +172,14 @@ func ChainRun(opts ChainOptions) (*ChainResult, error) {
 	if max := opts.Mempool.withDefaults().MaxBatchBytes; opts.TxSize > max {
 		return nil, fmt.Errorf("protocol: TxSize %d exceeds proposal cap MaxBatchBytes %d", opts.TxSize, max)
 	}
+	ncfg := node.Config{Transport: opts.Transport, Batched: opts.Batched, Seed: opts.Seed}
+	nodes := make([]*node.Node, opts.N)
 	chains := make([]*Chain, opts.N)
-	muxes := make([]*core.Mux, opts.N)
 	maxOpen := 0
 	for i := 0; i < opts.N; i++ {
-		cpu := sim.NewCPU(sched)
-		auth := &core.SizedAuth{
-			Len:        suites[i].Signer.Scheme().SignatureLen(),
-			CostSign:   suites[i].Cost.PKSign,
-			CostVerify: suites[i].Cost.PKVerify,
-		}
-		tcfg := opts.Transport
-		if tcfg.FlushDelay == 0 && tcfg.RetxInterval == 0 && tcfg.MaxQueue == 0 {
-			tcfg = core.DefaultConfig(opts.Batched)
-		}
-		tcfg.Batched = opts.Batched
-		mux := core.NewMux(sched, cpu, auth, tcfg)
-		var recv wireless.Receiver = mux
-		if crashed[i] {
-			recv = dropReceiver{}
-		}
-		st := ch.Attach(wireless.NodeID(i), recv)
-		mux.BindStation(st)
-		muxes[i] = mux
-		if crashed[i] {
-			continue
-		}
-		rng := rand.New(rand.NewSource(opts.Seed + int64(i)*7919))
-		c := NewChain(sched, cpu, mux, suites[i], opts.N, opts.F, i, tcfg.Session, rng, ccfg)
+		nodes[i] = node.NewMux(sched, ch, wireless.NodeID(i), suites[i], ncfg)
+		c := NewChain(sched, nodes[i].CPU, nodes[i].Mux(), suites[i], opts.N, opts.F, i,
+			nodes[i].TransportConfig().Session, nodes[i].Rand, ccfg)
 		c.OnCommit = func(int) {
 			if o := c.OpenEpochs(); o > maxOpen {
 				maxOpen = o
@@ -182,22 +187,38 @@ func ChainRun(opts ChainOptions) (*ChainResult, error) {
 		}
 		chains[i] = c
 	}
+	eng := scenario.Start(sched, opts.Scenario, opts.Seed, chainLifecycle{nodes: nodes, chains: chains})
+	ch.SetDeliveryHook(eng.Hook())
 
 	// Client workload: one TxSize-byte transaction every TxInterval,
-	// broadcast to every correct node's mempool, sustained for the whole
+	// broadcast to every live node's mempool, sustained for the whole
 	// run — this is an offered-load experiment, so injection only ceases
 	// with the run itself. Whatever the chain cannot absorb stays behind
-	// as mempool backlog (SubmittedTxs - CommittedTxs), not loss.
+	// as mempool backlog (SubmittedTxs - CommittedTxs), not loss. A node
+	// that is down misses the submissions of its outage (clients cannot
+	// reach it), which commit-time dedup makes harmless.
+	target := opts.TargetEpochs
+	chainsDone := func() bool {
+		for i, c := range chains {
+			if perma[i] {
+				continue // scripted to stay dead; never reaches the target
+			}
+			if c.CommittedEpochs() < target {
+				return false
+			}
+		}
+		return true
+	}
 	submitted := 0
 	var inject func()
 	inject = func() {
-		if done(chains, opts.TargetEpochs) {
+		if chainsDone() {
 			return
 		}
 		tx := makeClientTx(submitted, opts.TxSize)
 		submitted++
-		for _, c := range chains {
-			if c != nil {
+		for i, c := range chains {
+			if !nodes[i].Down() {
 				c.Submit(tx)
 			}
 		}
@@ -205,19 +226,12 @@ func ChainRun(opts ChainOptions) (*ChainResult, error) {
 	}
 	sched.After(100*time.Millisecond, inject)
 	for _, c := range chains {
-		if c != nil {
-			c.Start()
-		}
+		c.Start()
 	}
 
-	for !done(chains, opts.TargetEpochs) {
-		if sched.Now() > opts.Deadline {
-			return nil, fmt.Errorf("protocol: chain run missed deadline %v at frontier %v (%s %s batched=%v depth=%d)",
-				opts.Deadline, frontiers(chains), opts.Protocol, opts.Coin, opts.Batched, opts.Window)
-		}
-		if !sched.Step() {
-			return nil, fmt.Errorf("protocol: chain run deadlocked at %v, frontier %v", sched.Now(), frontiers(chains))
-		}
+	if err := node.Drive(sched, opts.Deadline, chainsDone); err != nil {
+		return nil, fmt.Errorf("protocol: chain run (%s %s batched=%v depth=%d) at frontier %v: %w",
+			opts.Protocol, opts.Coin, opts.Batched, opts.Window, frontiers(chains), err)
 	}
 	res := &ChainResult{
 		EpochsCommitted: opts.TargetEpochs,
@@ -229,12 +243,14 @@ func ChainRun(opts ChainOptions) (*ChainResult, error) {
 	if err := CheckLogs(chains); err != nil {
 		return nil, err
 	}
+	first := true
 	for i, c := range chains {
-		if c == nil {
+		if perma[i] {
 			continue
 		}
 		res.Logs[i] = c.Log()
-		if res.CommittedTxs == 0 {
+		if first {
+			first = false
 			res.CommittedTxs = c.CommittedTxs()
 			res.CommittedBytes = c.CommittedBytes()
 			res.MeanCommitLatency = c.MeanCommitLatency()
@@ -248,20 +264,8 @@ func ChainRun(opts ChainOptions) (*ChainResult, error) {
 	res.Accesses = st.Accesses
 	res.Collisions = st.Collisions
 	res.BytesOnAir = st.BytesOnAir
-	for _, m := range muxes {
-		res.LogicalSent += m.Stats().LogicalSent
-	}
+	res.LogicalSent = node.SumStats(nodes).LogicalSent
 	return res, nil
-}
-
-// done reports whether every correct node's commit frontier reached target.
-func done(chains []*Chain, target int) bool {
-	for _, c := range chains {
-		if c != nil && c.CommittedEpochs() < target {
-			return false
-		}
-	}
-	return true
 }
 
 func frontiers(chains []*Chain) []int {
@@ -284,8 +288,3 @@ func makeClientTx(seq, size int) []byte {
 	}
 	return tx
 }
-
-// dropReceiver swallows frames addressed to a crashed node.
-type dropReceiver struct{}
-
-func (dropReceiver) ReceiveFrame(wireless.NodeID, []byte) {}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/component"
 	"repro/internal/crypto"
+	"repro/internal/node"
 	"repro/internal/sim"
 	"repro/internal/wireless"
 )
@@ -23,16 +24,17 @@ func TestDebugHoneyBadgerTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ncfg := node.Config{Transport: opts.Transport, Batched: opts.Batched, Seed: opts.Seed}
 	nodes := make([]*runNode, opts.N)
 	insts := make([]*ACS, opts.N)
 	for i := 0; i < opts.N; i++ {
-		nodes[i] = newRunNode(sched, ch, wireless.NodeID(i), suites[i], opts, false)
+		nodes[i] = &runNode{Node: node.New(sched, ch, wireless.NodeID(i), suites[i], ncfg), idx: i}
 	}
 	for i, n := range nodes {
-		n.tr.SetEpoch(0)
+		n.Transport().SetEpoch(0)
 		env := &component.Env{
 			N: opts.N, F: opts.F, Me: i, Epoch: 0,
-			Suite: n.suite, T: n.tr, CPU: n.cpu, Sched: sched, Rand: n.rand,
+			Suite: n.Suite, T: n.Transport(), CPU: n.CPU, Sched: sched, Rand: n.Rand,
 		}
 		i := i
 		insts[i] = NewACS(env, ACSOptions{Coin: CoinSig, Batched: true, Encrypt: true,

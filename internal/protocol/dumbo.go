@@ -142,33 +142,48 @@ func (d *Dumbo) onCBCCommit(int, []byte, []byte) {
 }
 
 // runNextCandidate inputs the next serial ABA in π order: 1 if this node
-// saw the candidate's CBC-value complete, 0 otherwise.
+// saw the candidate's CBC-value complete, 0 otherwise. A candidate that
+// already decided (its peers' DECIDED claims arrived while this node was
+// still in the CBC phase — the late-join case) is consumed directly.
 func (d *Dumbo) runNextCandidate() {
 	if d.abaRunning || d.selected >= 0 || d.abaIdx >= len(d.abaSeq) {
 		return
 	}
-	d.abaRunning = true
 	c := d.abaSeq[d.abaIdx]
+	if dec := d.aba.Decided(c); dec != nil {
+		d.onABADecide(c, *dec)
+		return
+	}
+	d.abaRunning = true
 	d.aba.Input(c, d.cbcValue.Delivered(c))
 }
 
 func (d *Dumbo) onABADecide(slot int, v bool) {
-	if d.selected >= 0 || d.abaIdx >= len(d.abaSeq) || slot != d.abaSeq[d.abaIdx] {
+	if d.selected >= 0 {
+		return
+	}
+	if v {
+		// The serial schedule accepts exactly one candidate, so any
+		// 1-decision identifies it — even when it arrives out of π order
+		// through peers' DECIDED claims before this (recovering) node has
+		// fixed π or run the earlier candidates itself.
+		d.abaRunning = false
+		d.selected = slot
+		if !d.cbcValue.Delivered(slot) {
+			// CBC has no totality: fetch the accepted vector explicitly.
+			d.cbcValue.Fetch(slot)
+			return
+		}
+		d.pumpSelected()
+		return
+	}
+	// 0-decisions advance the serial schedule strictly in π order.
+	if d.abaSeq == nil || d.abaIdx >= len(d.abaSeq) || slot != d.abaSeq[d.abaIdx] {
 		return
 	}
 	d.abaRunning = false
-	if !v {
-		d.abaIdx++
-		d.runNextCandidate()
-		return
-	}
-	d.selected = slot
-	if !d.cbcValue.Delivered(slot) {
-		// CBC has no totality: fetch the accepted vector explicitly.
-		d.cbcValue.Fetch(slot)
-		return
-	}
-	d.pumpSelected()
+	d.abaIdx++
+	d.runNextCandidate()
 }
 
 // pumpSelected advances output assembly once the accepted candidate's
@@ -224,7 +239,13 @@ func (d *Dumbo) maybeFinish() {
 	rbc := d.prbc.RBC()
 	for _, e := range d.wantSlots {
 		if !rbc.Delivered(e.slot) {
-			return // totality will deliver; repair machinery is running
+			// The verified proof is evidence the slot must deliver; ask for
+			// repair explicitly (idempotent). In steady state totality is
+			// already under way, but a recovering node faces peers that
+			// pruned their vote intents long ago and re-announces them only
+			// on request.
+			rbc.RequestRepair(e.slot)
+			return
 		}
 	}
 	outputs := make([][]byte, d.env.N)

@@ -10,7 +10,9 @@ import (
 	"repro/internal/component"
 	"repro/internal/core"
 	"repro/internal/crypto"
+	"repro/internal/node"
 	"repro/internal/packet"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/wireless"
 )
@@ -21,6 +23,14 @@ import (
 // (the paper uses separate channels to avoid interference), which orders
 // the clusters' proposals; leaders then disseminate the global order back
 // into their clusters.
+//
+// Single.Scenario applies across the deployment: node indices are flat
+// (cluster*PerCluster + in-cluster index), crash/recovery and partitions
+// act on the cluster channels, and the network-level effects (loss, jam,
+// delay) also cover the global channel. Crashing a node that is the
+// cluster leader for the current epoch stalls that cluster's global seat
+// for the epoch — the deployment has no leader failover, so such a
+// scenario ends in a deadline error, which is itself a measurable outcome.
 type MultihopOptions struct {
 	Single   Options // protocol, coin, batching, crypto, channel template
 	Clusters int     // M (must be 3f_g+1; the paper uses 4)
@@ -33,22 +43,31 @@ func DefaultMultihopOptions(p Kind, coin CoinKind) MultihopOptions {
 	return MultihopOptions{Single: DefaultOptions(p, coin), Clusters: 4, PerCluster: 4}
 }
 
-// MultihopResult extends Result with per-tier channel counters.
+// MultihopResult extends Result with per-tier counters. The flat Result
+// counters (LogicalSent, SignOps, VerifyOps) cover both tiers: cluster
+// members' radios and the leaders' global-tier radios.
 type MultihopResult struct {
 	Result
 	GlobalAccesses uint64
 	LocalAccesses  uint64
+	// GlobalLogicalSent counts the signed logical packets of the global
+	// tier alone (also included in LogicalSent).
+	GlobalLogicalSent uint64
 }
 
+// globalSession derives the global tier's session id from the local one,
+// domain-separating the two tiers' coins and signed transcripts.
+func globalSession(local uint32) uint32 { return local ^ 0x006C0BA1 }
+
 type mhCluster struct {
-	ch     *wireless.Channel
-	nodes  []*runNode
-	leader int // index within cluster this epoch
-	// Global-tier state for the leader.
-	globalTr   *core.Transport
-	globalCPU  *sim.CPU
+	idx   int
+	ch    *wireless.Channel
+	nodes []*runNode
+	// Global-tier state: one persistent seat per cluster, occupied by the
+	// epoch's leader.
+	global     *node.Node
+	leader     int // index within cluster this epoch
 	globalInst Instance
-	globalDone bool
 	resultSent bool
 	// Followers' completion flags.
 	gotResult []bool
@@ -75,19 +94,29 @@ func RunMultihop(opts MultihopOptions) (*MultihopResult, error) {
 		return nil, err
 	}
 
+	ncfg := node.Config{Transport: so.Transport, Batched: so.Batched, Seed: so.Seed}
 	clusters := make([]*mhCluster, opts.Clusters)
+	var flat []*runNode // scenario node-id space: cluster*PerCluster + i
 	for c := range clusters {
 		ch := wireless.NewChannel(sched, so.Net)
 		suites, err := crypto.Deal(opts.PerCluster, so.F, so.Crypto, rand.New(rand.NewSource(so.Seed+int64(c)*101)))
 		if err != nil {
 			return nil, err
 		}
-		cl := &mhCluster{ch: ch, gotResult: make([]bool, opts.PerCluster)}
+		cl := &mhCluster{idx: c, ch: ch, gotResult: make([]bool, opts.PerCluster)}
 		for i := 0; i < opts.PerCluster; i++ {
-			cl.nodes = append(cl.nodes, newRunNode(sched, ch, wireless.NodeID(i), suites[i], so, false))
+			n := &runNode{Node: node.New(sched, ch, wireless.NodeID(i), suites[i], ncfg), idx: i}
+			cl.nodes = append(cl.nodes, n)
+			flat = append(flat, n)
 		}
 		clusters[c] = cl
 	}
+	eng := scenario.Start(sched, so.Scenario, so.Seed, runLifecycle{flat})
+	for c, cl := range clusters {
+		base := c * opts.PerCluster
+		cl.ch.SetDeliveryHook(eng.HookMapped(func(id wireless.NodeID) int { return base + int(id) }))
+	}
+	globalCh.SetDeliveryHook(eng.HookNetOnly())
 
 	res := &MultihopResult{}
 	for epoch := 0; epoch < so.Epochs; epoch++ {
@@ -95,32 +124,33 @@ func RunMultihop(opts MultihopOptions) (*MultihopResult, error) {
 		leaderIdx := epoch % opts.PerCluster
 		for c, cl := range clusters {
 			cl.leader = leaderIdx
-			cl.globalDone = false
 			cl.resultSent = false
 			for i := range cl.gotResult {
 				cl.gotResult[i] = false
 			}
+			// The global instance must exist before the leader's local
+			// decision callback can feed it the cluster digest.
+			cl.attachGlobal(sched, globalCh, globalSuites[c], uint16(epoch), so, opts.Clusters)
 			cl.startLocalEpoch(sched, uint16(epoch), so)
-			cl.attachGlobal(sched, globalCh, globalSuites[c], wireless.NodeID(c), uint16(epoch), so, clusters)
 		}
-		deadline := start + so.Deadline
 		done := func() bool {
 			for _, cl := range clusters {
 				for i := range cl.gotResult {
-					if !cl.gotResult[i] {
+					// Only nodes participating in this epoch are waited on:
+					// inst is nil for nodes that were down at the epoch start
+					// or crashed mid-epoch, and stays nil for a node that
+					// recovered mid-epoch (it has no RESULT handler yet; it
+					// sits the rest of the epoch out and rejoins at the next
+					// boundary, like the single-hop driver).
+					if !cl.gotResult[i] && cl.nodes[i].inst != nil {
 						return false
 					}
 				}
 			}
 			return true
 		}
-		for !done() {
-			if sched.Now() > deadline {
-				return nil, fmt.Errorf("protocol: multihop epoch %d missed deadline (%s %s)", epoch, so.Protocol, so.Coin)
-			}
-			if !sched.Step() {
-				return nil, fmt.Errorf("protocol: multihop epoch %d deadlocked at %v", epoch, sched.Now())
-			}
+		if err := node.Drive(sched, start+so.Deadline, done); err != nil {
+			return nil, fmt.Errorf("protocol: multihop epoch %d (%s %s): %w", epoch, so.Protocol, so.Coin, err)
 		}
 		res.EpochLatencies = append(res.EpochLatencies, sched.Now()-start)
 		for _, cl := range clusters {
@@ -139,6 +169,7 @@ func RunMultihop(opts MultihopOptions) (*MultihopResult, error) {
 		res.TPM = float64(res.DeliveredTxs) / now.Minutes()
 	}
 	res.GlobalAccesses = globalCh.Stats().Accesses
+	var all []*node.Node
 	for _, cl := range clusters {
 		st := cl.ch.Stats()
 		res.LocalAccesses += st.Accesses
@@ -146,24 +177,47 @@ func RunMultihop(opts MultihopOptions) (*MultihopResult, error) {
 		res.Frames += st.Frames
 		res.BytesOnAir += st.BytesOnAir
 		for _, n := range cl.nodes {
-			ts := n.tr.Stats()
-			res.LogicalSent += ts.LogicalSent
-			res.SignOps += ts.SignOps
-			res.VerifyOps += ts.VerifyOps
+			all = append(all, n.Node)
+		}
+		if cl.global != nil {
+			all = append(all, cl.global)
+			res.GlobalLogicalSent += cl.global.Stats().LogicalSent
 		}
 	}
+	gst := globalCh.Stats()
+	res.Collisions += gst.Collisions
+	res.Frames += gst.Frames
+	res.BytesOnAir += gst.BytesOnAir
+	// Fold both tiers' transport counters: cluster radios and the leaders'
+	// global-tier radios (the latter were dropped before this refactor).
+	ts := node.SumStats(all)
+	res.LogicalSent = ts.LogicalSent
+	res.SignOps = ts.SignOps
+	res.VerifyOps = ts.VerifyOps
 	res.Accesses = res.LocalAccesses + res.GlobalAccesses
 	return res, nil
 }
 
+// startLocalEpoch starts every cluster member's epoch. The leader's local
+// decision submits the cluster digest to the global tier — a completion
+// callback, not a polling loop.
 func (cl *mhCluster) startLocalEpoch(sched *sim.Scheduler, epoch uint16, so Options) {
+	leader := cl.nodes[cl.leader]
 	for _, n := range cl.nodes {
-		n.startEpoch(sched, epoch, so)
+		var onDone func()
+		if n == leader {
+			inst := cl.globalInst
+			onDone = func() { inst.Start(clusterDigest(leader, epoch)) }
+		}
+		n.startEpoch(sched, epoch, so, onDone)
 	}
 	// Followers additionally listen for the leader's global RESULT.
 	for i, n := range cl.nodes {
-		i, n := i, n
-		n.tr.Register(packet.KindGlobal, core.HandlerFunc(func(from uint16, sec packet.Section) {
+		if n.crashed {
+			continue
+		}
+		i := i
+		n.Transport().Register(packet.KindGlobal, core.HandlerFunc(func(from uint16, sec packet.Section) {
 			if sec.Phase == packet.PhaseFinish && int(from) == cl.leader {
 				cl.gotResult[i] = true
 			}
@@ -171,43 +225,38 @@ func (cl *mhCluster) startLocalEpoch(sched *sim.Scheduler, epoch uint16, so Opti
 	}
 }
 
-// attachGlobal wires this epoch's cluster leader into the global tier.
-func (cl *mhCluster) attachGlobal(sched *sim.Scheduler, globalCh *wireless.Channel, suite *crypto.Suite, seat wireless.NodeID, epoch uint16, so Options, clusters []*mhCluster) {
+// attachGlobal wires this epoch's cluster leader into the global tier and
+// builds the epoch's global consensus instance.
+func (cl *mhCluster) attachGlobal(sched *sim.Scheduler, globalCh *wireless.Channel, suite *crypto.Suite, epoch uint16, so Options, clusters int) {
 	leader := cl.nodes[cl.leader]
-	if cl.globalCPU == nil {
+	if cl.global == nil {
 		// The leader's radio on the global channel is a second interface;
 		// compute, however, shares the node's single core. For simplicity
-		// each seat keeps one transport attached across epochs.
-		cl.globalCPU = leader.cpu
-		auth := &core.SizedAuth{
-			Len:        suite.Signer.Scheme().SignatureLen(),
-			CostSign:   suite.Cost.PKSign,
-			CostVerify: suite.Cost.PKVerify,
+		// each seat keeps one deployment node attached across epochs.
+		gcfg := node.Config{
+			Transport: so.Transport,
+			Batched:   so.Batched,
+			Seed:      so.Seed ^ 0x61,
+			CPU:       leader.CPU,
 		}
-		tcfg := core.DefaultConfig(so.Batched)
-		tcfg.Batched = so.Batched
-		tr := core.New(sched, cl.globalCPU, nil, auth, tcfg)
-		st := globalCh.Attach(seat, tr)
-		tr.BindStation(st)
-		cl.globalTr = tr
+		gcfg.Transport.Session = globalSession(so.Transport.Session)
+		cl.global = node.New(sched, globalCh, wireless.NodeID(cl.idx), suite, gcfg)
 	}
-	cl.globalTr.SetEpoch(epoch)
+	gtr := cl.global.Transport()
+	gtr.SetEpoch(epoch)
 	env := &component.Env{
-		N:       len(clusters),
-		F:       (len(clusters) - 1) / 3,
-		Me:      int(seat),
+		N:       clusters,
+		F:       (clusters - 1) / 3,
+		Me:      cl.idx,
 		Epoch:   epoch,
-		Session: so.Transport.Session ^ 0x006C0BA1, // distinct global-tier session
+		Session: cl.global.TransportConfig().Session,
 		Suite:   suite,
-		T:       cl.globalTr,
-		CPU:     cl.globalCPU,
+		T:       gtr,
+		CPU:     cl.global.CPU,
 		Sched:   sched,
-		Rand:    leader.rand,
+		Rand:    leader.Rand,
 	}
-	onGlobalDecide := func() {
-		cl.globalDone = true
-		cl.publishResult(epoch)
-	}
+	onGlobalDecide := func() { cl.publishResult(epoch) }
 	switch so.Protocol {
 	case DumboKind:
 		cl.globalInst = NewDumbo(env, DumboOptions{Coin: so.Coin, Batched: so.Batched, OnDecide: onGlobalDecide})
@@ -218,38 +267,6 @@ func (cl *mhCluster) attachGlobal(sched *sim.Scheduler, globalCh *wireless.Chann
 		}
 		cl.globalInst = NewACS(env, ACSOptions{Coin: coin, Batched: so.Batched, Encrypt: false, OnDecide: onGlobalDecide})
 	}
-	// The leader submits the cluster digest once local consensus finishes.
-	waitLocal(sched, cl, epoch, so)
-}
-
-// waitLocal polls for local completion, then starts the global instance
-// with the cluster digest. (Polling stays on the event queue, so virtual
-// time accounting is exact.)
-func waitLocal(sched *sim.Scheduler, cl *mhCluster, epoch uint16, so Options) {
-	leader := cl.nodes[cl.leader]
-	var check func()
-	check = func() {
-		if !leader.done {
-			sched.After(100*time.Millisecond, check)
-			return
-		}
-		digest := clusterDigest(leader, epoch)
-		cl.globalInst.Start(digest)
-		waitGlobalResult(sched, cl, epoch)
-	}
-	sched.After(100*time.Millisecond, check)
-}
-
-func waitGlobalResult(sched *sim.Scheduler, cl *mhCluster, epoch uint16) {
-	var check func()
-	check = func() {
-		if !cl.globalDone {
-			sched.After(100*time.Millisecond, check)
-			return
-		}
-		cl.publishResult(epoch)
-	}
-	sched.After(100*time.Millisecond, check)
 }
 
 // publishResult broadcasts the global order into the cluster. The leader
@@ -258,14 +275,17 @@ func (cl *mhCluster) publishResult(epoch uint16) {
 	if cl.resultSent {
 		return
 	}
-	cl.resultSent = true
 	leader := cl.nodes[cl.leader]
+	if leader.crashed {
+		return // a dead leader cannot disseminate; the epoch stalls
+	}
+	cl.resultSent = true
 	var digest []byte
 	for _, out := range cl.globalInst.Outputs() {
 		d := sha256.Sum256(out)
 		digest = append(digest, d[:8]...)
 	}
-	leader.tr.Update(core.Intent{
+	leader.Transport().Update(core.Intent{
 		IntentKey: core.IntentKey{Kind: packet.KindGlobal, Phase: packet.PhaseFinish, Slot: 0},
 		Data:      digest,
 	})

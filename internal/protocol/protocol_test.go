@@ -2,8 +2,11 @@ package protocol
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 	"time"
+
+	"repro/internal/scenario"
 )
 
 func quickOpts(p Kind, coin CoinKind, batched bool, seed int64) Options {
@@ -129,7 +132,7 @@ func TestWithCrashFault(t *testing.T) {
 		p := p
 		t.Run(string(p.kind), func(t *testing.T) {
 			opts := quickOpts(p.kind, p.coin, true, 9)
-			opts.Faults.Crash = []int{3}
+			opts.Scenario = scenario.Crash(3)
 			opts.Deadline = 120 * time.Minute
 			res, err := Run(opts)
 			if err != nil {
@@ -144,14 +147,60 @@ func TestWithCrashFault(t *testing.T) {
 
 func TestWithAdversarialDelays(t *testing.T) {
 	opts := quickOpts(HoneyBadger, CoinSig, true, 10)
-	opts.Faults.DelayProb = 0.3
-	opts.Faults.DelayMax = 5 * time.Second
+	opts.Scenario = scenario.Delay(0.3, 5*time.Second)
 	res, err := Run(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.DeliveredTxs == 0 {
 		t.Error("no delivery under adversarial delay")
+	}
+}
+
+// TestCrashRecoverAtEpochBoundary: in the one-shot driver a node crashed
+// mid-run rejoins at the next epoch boundary and participates again.
+func TestCrashRecoverAtEpochBoundary(t *testing.T) {
+	opts := quickOpts(HoneyBadger, CoinSig, true, 14)
+	opts.Epochs = 4
+	opts.Deadline = 120 * time.Minute
+	// Crash node 3 during epoch 0 and recover it a while later: it sits
+	// out the rest of the epoch in progress and rejoins at the boundary.
+	opts.Scenario = scenario.Plan{}.Then(
+		scenario.CrashAt(30*time.Second, 3),
+		scenario.RecoverAt(10*time.Minute, 3),
+	)
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EpochLatencies) != 4 {
+		t.Fatalf("got %d epochs", len(res.EpochLatencies))
+	}
+	if res.DeliveredTxs == 0 {
+		t.Error("no delivery across crash/recovery")
+	}
+}
+
+// TestRunScenarioDeterministic: scripted faults must preserve determinism
+// in the one-shot driver, and full Results must match field-for-field.
+func TestRunScenarioDeterministic(t *testing.T) {
+	opts := quickOpts(HoneyBadger, CoinSig, true, 15)
+	opts.Epochs = 2
+	opts.Deadline = 4 * time.Hour
+	opts.Scenario = scenario.Plan{}.Then(
+		scenario.DelayFrom(0, 0.25, 8*time.Second, 0),
+		scenario.JamAt(2*time.Minute, 30*time.Second),
+	)
+	a, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed differs under scenario:\n%+v\nvs\n%+v", a, b)
 	}
 }
 
@@ -233,5 +282,64 @@ func TestMultihop(t *testing.T) {
 	if res.GlobalAccesses == 0 || res.LocalAccesses == 0 {
 		t.Error("expected traffic on both tiers")
 	}
-	t.Logf("multihop: latency=%v local=%d global=%d", res.MeanLatency, res.LocalAccesses, res.GlobalAccesses)
+	// Regression for the stats-aggregation fix: the global tier's signed
+	// packets must be measured and folded into the flat counters.
+	if res.GlobalLogicalSent == 0 {
+		t.Error("global-tier transport counters not folded into the result")
+	}
+	if res.LogicalSent <= res.GlobalLogicalSent {
+		t.Errorf("LogicalSent %d does not include local tiers on top of global %d",
+			res.LogicalSent, res.GlobalLogicalSent)
+	}
+	t.Logf("multihop: latency=%v local=%d global=%d globalSent=%d", res.MeanLatency,
+		res.LocalAccesses, res.GlobalAccesses, res.GlobalLogicalSent)
+}
+
+// TestMultihopCrashRecovery: a follower crashed mid-epoch is excused from
+// the epoch barrier, sits out the rest of the epoch after recovering
+// mid-epoch (its fresh transport has no RESULT handler yet), and rejoins
+// at the next boundary — here even rotating into the leader seat.
+func TestMultihopCrashRecovery(t *testing.T) {
+	opts := DefaultMultihopOptions(HoneyBadger, CoinSig)
+	opts.Single.Epochs = 2
+	opts.Single.BatchSize = 2
+	opts.Single.Net.LossProb = 0
+	opts.Single.Seed = 32
+	opts.Single.Scenario = scenario.Plan{}.Then(
+		scenario.CrashAt(10*time.Second, 1), // cluster 0, follower in epoch 0
+		scenario.RecoverAt(2*time.Minute, 1),
+	)
+	res, err := RunMultihop(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EpochLatencies) != 2 {
+		t.Fatalf("got %d epochs", len(res.EpochLatencies))
+	}
+	if res.DeliveredTxs == 0 {
+		t.Error("no delivery across the crash/recovery")
+	}
+}
+
+// TestMultihopScenarioDelay: scripted network effects apply across the
+// multihop tiers and keep the run deterministic.
+func TestMultihopScenarioDelay(t *testing.T) {
+	opts := DefaultMultihopOptions(HoneyBadger, CoinSig)
+	opts.Single.Epochs = 1
+	opts.Single.BatchSize = 2
+	opts.Single.Net.LossProb = 0
+	opts.Single.Seed = 31
+	opts.Single.Scenario = scenario.Delay(0.2, 5*time.Second)
+	a, err := RunMultihop(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMultihop(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanLatency != b.MeanLatency || a.Accesses != b.Accesses {
+		t.Errorf("multihop scenario run not deterministic: %v/%d vs %v/%d",
+			a.MeanLatency, a.Accesses, b.MeanLatency, b.Accesses)
+	}
 }

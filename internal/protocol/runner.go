@@ -9,6 +9,8 @@ import (
 	"repro/internal/component"
 	"repro/internal/core"
 	"repro/internal/crypto"
+	"repro/internal/node"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/wireless"
 )
@@ -22,16 +24,6 @@ const (
 	BEAT        Kind = "beat"
 	DumboKind   Kind = "dumbo"
 )
-
-// FaultPlan injects failures into a run.
-type FaultPlan struct {
-	// Crash lists node indices that never send anything.
-	Crash []int
-	// DelayProb adds DelayMax-bounded random extra delivery delay with
-	// this probability per (frame, receiver) — the asynchronous adversary.
-	DelayProb float64
-	DelayMax  time.Duration
-}
 
 // Options configures a single-hop protocol run.
 type Options struct {
@@ -47,7 +39,11 @@ type Options struct {
 	Net       wireless.Config
 	Crypto    crypto.Config
 	Transport core.Config // Session/FlushDelay/RetxInterval; zero = defaults
-	Faults    FaultPlan
+	// Scenario scripts faults into the run: crashes, recoveries,
+	// partitions, loss/jam bursts, and the asynchronous delay adversary.
+	// The zero value is the fault-free run. In this one-shot driver a
+	// recovered node rejoins at the next epoch boundary.
+	Scenario scenario.Plan
 	// Deadline bounds each epoch in virtual time (default 60 min).
 	Deadline time.Duration
 }
@@ -88,16 +84,47 @@ type Result struct {
 	VerifyOps   uint64
 }
 
-// runNode bundles one node's per-run state.
+// runNode bundles one node's per-run state on top of the deployment layer.
 type runNode struct {
+	*node.Node
 	idx     int
-	cpu     *sim.CPU
-	tr      *core.Transport
-	suite   *crypto.Suite
-	rand    *rand.Rand
-	crashed bool
+	crashed bool // currently down (scenario-driven)
 	inst    Instance
 	done    bool
+}
+
+// runLifecycle adapts a slice of runNodes to the scenario engine. Crash
+// takes the node off the air immediately and excludes it from the epoch
+// barrier; recovery re-admits it at the next epoch boundary (one-shot
+// epochs have no mid-epoch join protocol — contrast with Chain, which
+// rejoins mid-run).
+type runLifecycle struct{ nodes []*runNode }
+
+func (l runLifecycle) CrashNode(i int) {
+	if i < 0 || i >= len(l.nodes) {
+		return
+	}
+	n := l.nodes[i]
+	if n.crashed {
+		return
+	}
+	n.crashed = true
+	n.inst = nil  // in-memory epoch state is gone
+	n.done = true // excluded from the epoch barrier
+	n.Node.Crash()
+}
+
+func (l runLifecycle) RecoverNode(i int) {
+	if i < 0 || i >= len(l.nodes) {
+		return
+	}
+	n := l.nodes[i]
+	if !n.crashed {
+		return
+	}
+	n.Node.Recover()
+	n.crashed = false
+	// done stays true: the node sits out the rest of the current epoch.
 }
 
 // Run executes a single-hop protocol simulation and returns measurements.
@@ -110,36 +137,29 @@ func Run(opts Options) (*Result, error) {
 	}
 	sched := sim.New(opts.Seed)
 	ch := wireless.NewChannel(sched, opts.Net)
-	installFaultHook(sched, ch, opts.Faults)
 
 	suites, err := crypto.Deal(opts.N, opts.F, opts.Crypto, rand.New(rand.NewSource(opts.Seed^0x5eed)))
 	if err != nil {
 		return nil, err
 	}
+	ncfg := node.Config{Transport: opts.Transport, Batched: opts.Batched, Seed: opts.Seed}
 	nodes := make([]*runNode, opts.N)
-	crashed := make(map[int]bool, len(opts.Faults.Crash))
-	for _, c := range opts.Faults.Crash {
-		crashed[c] = true
+	for i := range nodes {
+		nodes[i] = &runNode{Node: node.New(sched, ch, wireless.NodeID(i), suites[i], ncfg), idx: i}
 	}
-	for i := 0; i < opts.N; i++ {
-		nodes[i] = newRunNode(sched, ch, wireless.NodeID(i), suites[i], opts, crashed[i])
-	}
+	eng := scenario.Start(sched, opts.Scenario, opts.Seed, runLifecycle{nodes})
+	ch.SetDeliveryHook(eng.Hook())
 
 	res := &Result{}
 	for epoch := 0; epoch < opts.Epochs; epoch++ {
 		start := sched.Now()
 		for _, n := range nodes {
-			n.startEpoch(sched, uint16(epoch), opts)
+			n.startEpoch(sched, uint16(epoch), opts, nil)
 		}
-		deadline := start + opts.Deadline
-		for !allHonestDone(nodes) {
-			if sched.Now() > deadline {
-				return nil, fmt.Errorf("protocol: epoch %d missed deadline %v (%s %s batched=%v)",
-					epoch, opts.Deadline, opts.Protocol, opts.Coin, opts.Batched)
-			}
-			if !sched.Step() {
-				return nil, fmt.Errorf("protocol: epoch %d deadlocked at %v", epoch, sched.Now())
-			}
+		err := node.Drive(sched, start+opts.Deadline, func() bool { return allHonestDone(nodes) })
+		if err != nil {
+			return nil, fmt.Errorf("protocol: epoch %d (%s %s batched=%v): %w",
+				epoch, opts.Protocol, opts.Coin, opts.Batched, err)
 		}
 		res.EpochLatencies = append(res.EpochLatencies, sched.Now()-start)
 		res.DeliveredTxs += countTxs(nodes, opts)
@@ -158,58 +178,36 @@ func Run(opts Options) (*Result, error) {
 	return res, nil
 }
 
-func newRunNode(sched *sim.Scheduler, ch *wireless.Channel, id wireless.NodeID, suite *crypto.Suite, opts Options, crashed bool) *runNode {
-	cpu := sim.NewCPU(sched)
-	auth := &core.SizedAuth{
-		Len:        suite.Signer.Scheme().SignatureLen(),
-		CostSign:   suite.Cost.PKSign,
-		CostVerify: suite.Cost.PKVerify,
-	}
-	tcfg := opts.Transport
-	if tcfg.FlushDelay == 0 && tcfg.RetxInterval == 0 && tcfg.MaxQueue == 0 {
-		tcfg = core.DefaultConfig(opts.Batched)
-	}
-	tcfg.Batched = opts.Batched
-	tr := core.New(sched, cpu, nil, auth, tcfg)
-	st := ch.Attach(id, tr)
-	tr.BindStation(st)
-	n := &runNode{
-		idx:     int(id),
-		cpu:     cpu,
-		tr:      tr,
-		suite:   suite,
-		rand:    rand.New(rand.NewSource(opts.Seed + int64(id)*7919)),
-		crashed: crashed,
-	}
-	if crashed {
-		tr.Stop()
-	}
-	return n
-}
-
 // startEpoch rebuilds the node's components for a fresh epoch and submits
-// its proposal.
-func (n *runNode) startEpoch(sched *sim.Scheduler, epoch uint16, opts Options) {
+// its proposal. onDone, if non-nil, fires when the node decides the epoch
+// locally (the multihop driver chains the global tier off it).
+func (n *runNode) startEpoch(sched *sim.Scheduler, epoch uint16, opts Options, onDone func()) {
 	n.done = false
 	n.inst = nil
 	if n.crashed {
 		n.done = true // crashed nodes never finish; exclude from barrier
 		return
 	}
-	n.tr.SetEpoch(epoch)
+	tr := n.Transport()
+	tr.SetEpoch(epoch)
 	env := &component.Env{
 		N:       opts.N,
 		F:       opts.F,
 		Me:      n.idx,
 		Epoch:   epoch,
-		Session: opts.Transport.Session,
-		Suite:   n.suite,
-		T:       n.tr,
-		CPU:     n.cpu,
+		Session: n.TransportConfig().Session,
+		Suite:   n.Suite,
+		T:       tr,
+		CPU:     n.CPU,
 		Sched:   sched,
-		Rand:    n.rand,
+		Rand:    n.Rand,
 	}
-	n.inst = newInstance(env, opts.Protocol, opts.Coin, opts.Batched, opts.Encrypt, func() { n.done = true })
+	n.inst = newInstance(env, opts.Protocol, opts.Coin, opts.Batched, opts.Encrypt, func() {
+		n.done = true
+		if onDone != nil {
+			onDone()
+		}
+	})
 	n.inst.Start(makeProposal(n.idx, int(epoch), opts))
 }
 
@@ -306,25 +304,14 @@ func finalize(res *Result, sched *sim.Scheduler, ch *wireless.Channel, nodes []*
 	res.Collisions = st.Collisions
 	res.Frames = st.Frames
 	res.BytesOnAir = st.BytesOnAir
-	for _, n := range nodes {
-		ts := n.tr.Stats()
-		res.LogicalSent += ts.LogicalSent
-		res.SignOps += ts.SignOps
-		res.VerifyOps += ts.VerifyOps
+	deployed := make([]*node.Node, len(nodes))
+	for i, n := range nodes {
+		deployed[i] = n.Node
 	}
-}
-
-func installFaultHook(sched *sim.Scheduler, ch *wireless.Channel, f FaultPlan) {
-	if f.DelayProb <= 0 || f.DelayMax <= 0 {
-		return
-	}
-	rng := rand.New(rand.NewSource(0xAD7E))
-	ch.SetDeliveryHook(func(_, _ wireless.NodeID, _ []byte) (time.Duration, bool) {
-		if rng.Float64() < f.DelayProb {
-			return time.Duration(rng.Int63n(int64(f.DelayMax))), false
-		}
-		return 0, false
-	})
+	ts := node.SumStats(deployed)
+	res.LogicalSent = ts.LogicalSent
+	res.SignOps = ts.SignOps
+	res.VerifyOps = ts.VerifyOps
 }
 
 // AgreementCheck verifies that all honest nodes produced identical outputs

@@ -1,0 +1,149 @@
+package scenario
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/wireless"
+)
+
+// Lifecycle is the driver-side interface the engine drives crash and
+// recovery events through. Implementations must be idempotent: crashing a
+// dead node or recovering a live one is a no-op.
+type Lifecycle interface {
+	CrashNode(i int)
+	RecoverNode(i int)
+}
+
+// Engine compiles one Plan onto a running simulation: timed events fire on
+// the scheduler, network effects apply through delivery hooks installed on
+// one or more channels, and crash/recovery flows through the Lifecycle.
+// All randomness (loss draws, delay draws) comes from a generator derived
+// from the run seed, so different seeds see different adversary behaviour
+// and identical seeds reproduce exactly.
+type Engine struct {
+	sched *sim.Scheduler
+	rng   *rand.Rand
+	life  Lifecycle
+
+	group     map[int]int // node -> partition group; nil = healed
+	lossProb  float64
+	lossGen   int // invalidates a burst's scheduled clear when superseded
+	delayProb float64
+	delayMax  time.Duration
+	delayGen  int
+}
+
+// Start schedules a plan's events on the scheduler and returns the engine.
+// life may be nil when the plan contains no crash/recover events (or when
+// the caller only wants the delivery-level effects). Install the returned
+// engine's Hook on every channel the scenario should affect.
+func Start(sched *sim.Scheduler, plan Plan, seed int64, life Lifecycle) *Engine {
+	e := &Engine{
+		sched: sched,
+		// Derived from the run seed (not a constant): different seeds must
+		// see different adversary randomness.
+		rng:  rand.New(rand.NewSource(seed ^ 0x05CEA210)),
+		life: life,
+	}
+	for _, ev := range plan.sorted() {
+		ev := ev
+		switch ev.Kind {
+		case KindCrash:
+			sched.At(ev.At, func() {
+				if e.life != nil {
+					e.life.CrashNode(ev.Node)
+				}
+			})
+		case KindRecover:
+			sched.At(ev.At, func() {
+				if e.life != nil {
+					e.life.RecoverNode(ev.Node)
+				}
+			})
+		case KindPartition:
+			sched.At(ev.At, func() {
+				e.group = make(map[int]int)
+				for g, ids := range ev.Groups {
+					for _, nd := range ids {
+						e.group[nd] = g
+					}
+				}
+			})
+		case KindHeal:
+			sched.At(ev.At, func() { e.group = nil })
+		case KindLoss, KindJam:
+			sched.At(ev.At, func() {
+				e.lossProb = ev.Prob
+				e.lossGen++
+				gen := e.lossGen
+				if ev.Duration > 0 {
+					sched.At(ev.At+ev.Duration, func() {
+						if e.lossGen == gen {
+							e.lossProb = 0
+						}
+					})
+				}
+			})
+		case KindDelay:
+			sched.At(ev.At, func() {
+				e.delayProb, e.delayMax = ev.Prob, ev.Max
+				e.delayGen++
+				gen := e.delayGen
+				if ev.Duration > 0 {
+					sched.At(ev.At+ev.Duration, func() {
+						if e.delayGen == gen {
+							e.delayProb, e.delayMax = 0, 0
+						}
+					})
+				}
+			})
+		}
+	}
+	return e
+}
+
+// Hook returns the delivery hook for a channel whose station IDs are the
+// scenario's node indices directly (single-hop deployments).
+func (e *Engine) Hook() wireless.DeliveryHook {
+	return e.HookMapped(func(id wireless.NodeID) int { return int(id) })
+}
+
+// HookMapped returns a delivery hook for a channel whose station IDs must
+// first be translated into scenario node indices (multihop clusters attach
+// stations 0..N_i-1 on every cluster channel; the driver maps them to flat
+// node indices).
+func (e *Engine) HookMapped(mapID func(wireless.NodeID) int) wireless.DeliveryHook {
+	return func(from, to wireless.NodeID, _ []byte) (time.Duration, bool) {
+		return e.apply(mapID(from), mapID(to), true)
+	}
+}
+
+// HookNetOnly returns a hook that applies only the network-level effects
+// (loss bursts, jamming, the delay adversary) and ignores partitions —
+// used for tiers whose station IDs do not live in the scenario's node-id
+// space, like the multihop global channel.
+func (e *Engine) HookNetOnly() wireless.DeliveryHook {
+	return func(from, to wireless.NodeID, _ []byte) (time.Duration, bool) {
+		return e.apply(int(from), int(to), false)
+	}
+}
+
+// apply evaluates the current network state for one delivery.
+func (e *Engine) apply(from, to int, partitions bool) (time.Duration, bool) {
+	if partitions && e.group != nil {
+		gf, okf := e.group[from]
+		gt, okt := e.group[to]
+		if !okf || !okt || gf != gt {
+			return 0, true
+		}
+	}
+	if e.lossProb > 0 && e.rng.Float64() < e.lossProb {
+		return 0, true
+	}
+	if e.delayProb > 0 && e.delayMax > 0 && e.rng.Float64() < e.delayProb {
+		return time.Duration(e.rng.Int63n(int64(e.delayMax))), false
+	}
+	return 0, false
+}

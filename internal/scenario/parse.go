@@ -1,0 +1,134 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse reads the -scenario DSL: events separated by ';', each of the form
+//
+//	kind[@at[+duration]][:args]
+//
+// with times in Go duration syntax. Examples:
+//
+//	crash@30m:3                   crash node 3 at t=30m
+//	recover@55m:3                 recover node 3 at t=55m
+//	partition@10m:0,1/2,3         split {0,1} from {2,3} at t=10m
+//	heal@20m                      end the partition
+//	loss@5m+90s:0.5               50% delivery loss for 90s
+//	jam@5m+60s                    total loss for 60s
+//	delay:0.25,10s                delay adversary for the whole run
+//	delay@1h+30m:0.25,10s         ... for 30m starting at t=1h
+//
+// The empty string and "fault-free" parse to the empty plan.
+func Parse(spec string) (Plan, error) {
+	var p Plan
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "fault-free" {
+		return p, nil
+	}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ev, err := parseEvent(part)
+		if err != nil {
+			return Plan{}, fmt.Errorf("scenario: %q: %w", part, err)
+		}
+		p.Events = append(p.Events, ev)
+	}
+	return p, nil
+}
+
+// MustParse is Parse for trusted literals (tests, benches); it panics on error.
+func MustParse(spec string) Plan {
+	p, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseEvent(s string) (Event, error) {
+	head, args := s, ""
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		head, args = s[:i], s[i+1:]
+	}
+	kind := head
+	var at, dur time.Duration
+	if i := strings.IndexByte(head, '@'); i >= 0 {
+		kind = head[:i]
+		timing := head[i+1:]
+		durSpec := ""
+		if j := strings.IndexByte(timing, '+'); j >= 0 {
+			timing, durSpec = timing[:j], timing[j+1:]
+		}
+		var err error
+		if at, err = time.ParseDuration(timing); err != nil {
+			return Event{}, fmt.Errorf("bad time %q: %w", timing, err)
+		}
+		if durSpec != "" {
+			if dur, err = time.ParseDuration(durSpec); err != nil {
+				return Event{}, fmt.Errorf("bad duration %q: %w", durSpec, err)
+			}
+		}
+	}
+
+	switch Kind(kind) {
+	case KindCrash, KindRecover:
+		nd, err := strconv.Atoi(args)
+		if err != nil {
+			return Event{}, fmt.Errorf("bad node id %q", args)
+		}
+		if Kind(kind) == KindCrash {
+			return CrashAt(at, nd), nil
+		}
+		return RecoverAt(at, nd), nil
+	case KindPartition:
+		if args == "" {
+			return Event{}, fmt.Errorf("partition needs groups, e.g. 0,1/2,3")
+		}
+		var groups [][]int
+		for _, gspec := range strings.Split(args, "/") {
+			var g []int
+			for _, idSpec := range strings.Split(gspec, ",") {
+				nd, err := strconv.Atoi(strings.TrimSpace(idSpec))
+				if err != nil {
+					return Event{}, fmt.Errorf("bad node id %q", idSpec)
+				}
+				g = append(g, nd)
+			}
+			groups = append(groups, g)
+		}
+		return PartitionAt(at, groups...), nil
+	case KindHeal:
+		return HealAt(at), nil
+	case KindLoss:
+		prob, err := strconv.ParseFloat(args, 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return Event{}, fmt.Errorf("bad loss probability %q", args)
+		}
+		return LossBurst(at, dur, prob), nil
+	case KindJam:
+		return JamAt(at, dur), nil
+	case KindDelay:
+		fields := strings.SplitN(args, ",", 2)
+		if len(fields) != 2 {
+			return Event{}, fmt.Errorf("delay needs prob,maxDelay (e.g. 0.25,10s)")
+		}
+		prob, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return Event{}, fmt.Errorf("bad delay probability %q", fields[0])
+		}
+		max, err := time.ParseDuration(fields[1])
+		if err != nil || max <= 0 {
+			return Event{}, fmt.Errorf("bad delay bound %q", fields[1])
+		}
+		return DelayFrom(at, prob, max, dur), nil
+	default:
+		return Event{}, fmt.Errorf("unknown event kind %q", kind)
+	}
+}

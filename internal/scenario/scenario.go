@@ -1,0 +1,210 @@
+// Package scenario is the scripted fault-scenario engine: a Plan is an
+// ordered set of timed events — node crashes and recoveries, network
+// partitions, loss and jamming bursts, and the asynchronous delay
+// adversary — that a driver compiles onto the wireless delivery hook and
+// its node lifecycle. One engine drives one simulation; its randomness is
+// derived from the run seed, so a scenario is as reproducible as the rest
+// of the simulation.
+//
+// The same Plan runs against all three drivers (protocol.Run,
+// protocol.RunMultihop, protocol.ChainRun); what differs is the lifecycle
+// the driver exposes. The one-shot drivers rejoin a recovered node at the
+// next epoch boundary; the SMR driver rejoins it mid-run through
+// core.Mux.OnUnknownEpoch and NACK retransmission catch-up.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind names a scripted fault event type.
+type Kind string
+
+// The event vocabulary.
+const (
+	KindCrash     Kind = "crash"     // node goes off the air, memory lost
+	KindRecover   Kind = "recover"   // node rejoins with stable storage only
+	KindPartition Kind = "partition" // frames cross groups are dropped
+	KindHeal      Kind = "heal"      // partition ends
+	KindLoss      Kind = "loss"      // elevated random loss for a window
+	KindJam       Kind = "jam"       // total loss for a window (interference burst)
+	KindDelay     Kind = "delay"     // the paper's asynchronous delay adversary
+)
+
+// Event is one timed scripted fault.
+type Event struct {
+	At   time.Duration
+	Kind Kind
+	// Node is the crash/recover target.
+	Node int
+	// Groups partitions the node-id space; frames between different groups
+	// (or to/from a node in no group) are dropped. Nil outside partitions.
+	Groups [][]int
+	// Prob is the per-delivery probability for loss and delay events.
+	Prob float64
+	// Max bounds the extra delivery delay drawn by the delay adversary.
+	Max time.Duration
+	// Duration bounds loss/jam/delay windows; 0 means until the run ends.
+	Duration time.Duration
+}
+
+// Plan is a scripted fault scenario. The zero value is the fault-free run.
+type Plan struct {
+	Events []Event
+}
+
+// CrashAt schedules a crash of one node: it stops sending, its radio queue
+// is flushed, inbound frames are discarded, and its in-memory protocol
+// state is lost. Committed state (the SMR log, mempool digests) survives,
+// modelling a process crash with stable storage.
+func CrashAt(at time.Duration, nd int) Event {
+	return Event{At: at, Kind: KindCrash, Node: nd}
+}
+
+// RecoverAt schedules the recovery of a crashed node. How it rejoins is
+// driver-specific: the one-shot drivers re-admit it at the next epoch
+// boundary; the SMR driver restarts its chain engine at the commit
+// frontier and lets it catch up over NACK retransmission.
+func RecoverAt(at time.Duration, nd int) Event {
+	return Event{At: at, Kind: KindRecover, Node: nd}
+}
+
+// PartitionAt splits the network: frames between nodes in different groups
+// (or involving a node listed in no group) are dropped until HealAt.
+func PartitionAt(at time.Duration, groups ...[]int) Event {
+	return Event{At: at, Kind: KindPartition, Groups: groups}
+}
+
+// HealAt ends the current partition.
+func HealAt(at time.Duration) Event {
+	return Event{At: at, Kind: KindHeal}
+}
+
+// LossBurst raises the per-delivery drop probability to prob for dur
+// (0 = rest of the run) — bursty interference.
+func LossBurst(at, dur time.Duration, prob float64) Event {
+	return Event{At: at, Kind: KindLoss, Prob: prob, Duration: dur}
+}
+
+// JamAt blanks the channel entirely for dur: every delivery in the window
+// is dropped. Equivalent to LossBurst with probability 1.
+func JamAt(at, dur time.Duration) Event {
+	return Event{At: at, Kind: KindJam, Prob: 1, Duration: dur}
+}
+
+// DelayFrom activates the asynchronous delay adversary from at (for dur;
+// 0 = rest of the run): each delivery is independently delayed by up to
+// max with probability prob.
+func DelayFrom(at time.Duration, prob float64, max time.Duration, dur time.Duration) Event {
+	return Event{At: at, Kind: KindDelay, Prob: prob, Max: max, Duration: dur}
+}
+
+// Crash is the classic static fault plan: the listed nodes are down from
+// the start and never recover.
+func Crash(nodes ...int) Plan {
+	p := Plan{}
+	for _, nd := range nodes {
+		p.Events = append(p.Events, CrashAt(0, nd))
+	}
+	return p
+}
+
+// Delay is the delay-adversary-only plan active for the whole run.
+func Delay(prob float64, max time.Duration) Plan {
+	return Plan{Events: []Event{DelayFrom(0, prob, max, 0)}}
+}
+
+// Then appends events, returning the plan for chaining.
+func (p Plan) Then(evs ...Event) Plan {
+	p.Events = append(append([]Event(nil), p.Events...), evs...)
+	return p
+}
+
+// Empty reports whether the plan has no events (fault-free run).
+func (p Plan) Empty() bool { return len(p.Events) == 0 }
+
+// DownForever returns the nodes that crash and never recover afterwards.
+// Drivers exclude them from completion barriers: waiting on a node that is
+// scripted to stay dead would deadline every run.
+func (p Plan) DownForever() map[int]bool {
+	last := map[int]Event{}
+	for _, e := range p.sorted() {
+		if e.Kind == KindCrash || e.Kind == KindRecover {
+			prev, ok := last[e.Node]
+			if !ok || e.At > prev.At || (e.At == prev.At && e.Kind == KindRecover) {
+				last[e.Node] = e
+			}
+		}
+	}
+	down := map[int]bool{}
+	for nd, e := range last {
+		if e.Kind == KindCrash {
+			down[nd] = true
+		}
+	}
+	return down
+}
+
+// CrashedNodes returns every node a crash event targets, recovered or not.
+func (p Plan) CrashedNodes() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, e := range p.Events {
+		if e.Kind == KindCrash && !seen[e.Node] {
+			seen[e.Node] = true
+			out = append(out, e.Node)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// sorted returns the events in firing order (stable on equal times).
+func (p Plan) sorted() []Event {
+	evs := append([]Event(nil), p.Events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs
+}
+
+// String renders the plan in the -scenario DSL (see Parse).
+func (p Plan) String() string {
+	if p.Empty() {
+		return "fault-free"
+	}
+	parts := make([]string, 0, len(p.Events))
+	for _, e := range p.Events {
+		parts = append(parts, e.String())
+	}
+	return strings.Join(parts, ";")
+}
+
+// String renders one event in the DSL.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s@%s", e.Kind, e.At)
+	if e.Duration > 0 {
+		fmt.Fprintf(&b, "+%s", e.Duration)
+	}
+	switch e.Kind {
+	case KindCrash, KindRecover:
+		fmt.Fprintf(&b, ":%d", e.Node)
+	case KindPartition:
+		groups := make([]string, 0, len(e.Groups))
+		for _, g := range e.Groups {
+			ids := make([]string, 0, len(g))
+			for _, nd := range g {
+				ids = append(ids, fmt.Sprint(nd))
+			}
+			groups = append(groups, strings.Join(ids, ","))
+		}
+		fmt.Fprintf(&b, ":%s", strings.Join(groups, "/"))
+	case KindLoss:
+		fmt.Fprintf(&b, ":%g", e.Prob)
+	case KindDelay:
+		fmt.Fprintf(&b, ":%g,%s", e.Prob, e.Max)
+	}
+	return b.String()
+}

@@ -1,0 +1,181 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/wireless"
+)
+
+type recorder struct {
+	crashes, recovers []struct {
+		node int
+		at   time.Duration
+	}
+	sched *sim.Scheduler
+}
+
+func (r *recorder) CrashNode(i int) {
+	r.crashes = append(r.crashes, struct {
+		node int
+		at   time.Duration
+	}{i, r.sched.Now()})
+}
+
+func (r *recorder) RecoverNode(i int) {
+	r.recovers = append(r.recovers, struct {
+		node int
+		at   time.Duration
+	}{i, r.sched.Now()})
+}
+
+func TestEngineFiresLifecycleEvents(t *testing.T) {
+	sched := sim.New(1)
+	rec := &recorder{sched: sched}
+	plan := Plan{}.Then(CrashAt(time.Minute, 2), RecoverAt(3*time.Minute, 2))
+	Start(sched, plan, 1, rec)
+	sched.Run()
+	if len(rec.crashes) != 1 || rec.crashes[0].node != 2 || rec.crashes[0].at != time.Minute {
+		t.Fatalf("crashes = %+v", rec.crashes)
+	}
+	if len(rec.recovers) != 1 || rec.recovers[0].node != 2 || rec.recovers[0].at != 3*time.Minute {
+		t.Fatalf("recovers = %+v", rec.recovers)
+	}
+}
+
+func TestEnginePartitionAndHeal(t *testing.T) {
+	sched := sim.New(1)
+	eng := Start(sched, Plan{}.Then(
+		PartitionAt(time.Minute, []int{0, 1}, []int{2, 3}),
+		HealAt(2*time.Minute),
+	), 1, nil)
+	hook := eng.Hook()
+	drop := func(from, to wireless.NodeID) bool {
+		_, d := hook(from, to, nil)
+		return d
+	}
+	if drop(0, 3) {
+		t.Error("dropped before partition")
+	}
+	sched.RunUntil(time.Minute)
+	if !drop(0, 3) || !drop(3, 0) {
+		t.Error("cross-group delivery survived the partition")
+	}
+	if drop(0, 1) || drop(2, 3) {
+		t.Error("intra-group delivery dropped")
+	}
+	if !drop(0, 7) {
+		t.Error("node outside every group reachable during partition")
+	}
+	sched.RunUntil(2 * time.Minute)
+	if drop(0, 3) {
+		t.Error("dropped after heal")
+	}
+}
+
+func TestEngineJamWindowAndDelay(t *testing.T) {
+	sched := sim.New(1)
+	eng := Start(sched, Plan{}.Then(
+		JamAt(time.Minute, 30*time.Second),
+		DelayFrom(10*time.Minute, 1.0, 5*time.Second, 0),
+	), 7, nil)
+	hook := eng.Hook()
+	sched.RunUntil(time.Minute)
+	if _, drop := hook(0, 1, nil); !drop {
+		t.Error("jam window not dropping")
+	}
+	sched.RunUntil(time.Minute + 31*time.Second)
+	if _, drop := hook(0, 1, nil); drop {
+		t.Error("jam persisted past its window")
+	}
+	sched.RunUntil(10 * time.Minute)
+	for i := 0; i < 32; i++ {
+		extra, drop := hook(0, 1, nil)
+		if drop {
+			t.Fatal("delay adversary dropped a frame")
+		}
+		if extra < 0 || extra >= 5*time.Second {
+			t.Fatalf("delay %v outside [0, 5s)", extra)
+		}
+	}
+}
+
+func TestEngineSeedVariesAdversary(t *testing.T) {
+	sample := func(seed int64) []time.Duration {
+		sched := sim.New(1)
+		eng := Start(sched, Delay(1.0, time.Minute), seed, nil)
+		hook := eng.Hook()
+		sched.RunUntil(time.Second)
+		var out []time.Duration
+		for i := 0; i < 8; i++ {
+			extra, _ := hook(0, 1, nil)
+			out = append(out, extra)
+		}
+		return out
+	}
+	a, b, a2 := sample(1), sample(2), sample(1)
+	same := true
+	for i := range a {
+		if a[i] != a2[i] {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, a[i], a2[i])
+		}
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical delay pattern (constant-seed bug)")
+	}
+}
+
+func TestDownForever(t *testing.T) {
+	p := Plan{}.Then(
+		CrashAt(0, 3),
+		CrashAt(time.Minute, 1),
+		RecoverAt(2*time.Minute, 1),
+	)
+	down := p.DownForever()
+	if !down[3] || down[1] || len(down) != 1 {
+		t.Fatalf("DownForever = %v, want {3}", down)
+	}
+	if got := p.CrashedNodes(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("CrashedNodes = %v", got)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	specs := []string{
+		"crash@30m:3",
+		"crash@0s:3;recover@55m:3",
+		"partition@10m:0,1/2,3;heal@20m",
+		"loss@5m+90s:0.5",
+		"jam@5m+60s",
+		"delay@0s:0.25,10s",
+		"delay@1h+30m:0.25,10s",
+	}
+	for _, spec := range specs {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		back, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q -> %q): %v", spec, p.String(), err)
+		}
+		if back.String() != p.String() {
+			t.Errorf("round trip %q -> %q -> %q", spec, p.String(), back.String())
+		}
+	}
+	if p, err := Parse(""); err != nil || !p.Empty() {
+		t.Error("empty spec must parse to the empty plan")
+	}
+	if p, err := Parse("fault-free"); err != nil || !p.Empty() {
+		t.Error("fault-free must parse to the empty plan")
+	}
+	for _, bad := range []string{"crash@30m", "explode@1m:2", "delay:oops", "partition@1m", "loss@1m:1.5"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}

@@ -28,8 +28,10 @@ func (e *Event) Cancel() {
 	}
 }
 
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e.cancelled }
+// Cancelled reports whether Cancel was called on the event. Like Cancel,
+// it is nil-safe: a nil event (never scheduled) reports true, since it will
+// certainly never fire.
+func (e *Event) Cancelled() bool { return e == nil || e.cancelled }
 
 // At returns the virtual time at which the event is scheduled to fire.
 func (e *Event) At() time.Duration { return e.at }

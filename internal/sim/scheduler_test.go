@@ -212,3 +212,22 @@ func TestCPUIdleGapThenWork(t *testing.T) {
 		t.Error("CPU still busy after drain")
 	}
 }
+
+func TestEventNilSafety(t *testing.T) {
+	// Cancel and Cancelled must both tolerate a nil event: drivers keep
+	// "current timer" fields that are nil until first armed.
+	var e *Event
+	e.Cancel() // must not panic
+	if !e.Cancelled() {
+		t.Error("nil event not Cancelled: a nil timer can never fire")
+	}
+	s := New(1)
+	live := s.After(time.Second, func() {})
+	if live.Cancelled() {
+		t.Error("pending event reported cancelled")
+	}
+	live.Cancel()
+	if !live.Cancelled() {
+		t.Error("cancelled event not reported cancelled")
+	}
+}

@@ -39,6 +39,7 @@ type station struct {
 	id       NodeID
 	recv     Receiver
 	queue    [][]byte
+	gen      uint64 // incremented by Reset; stale completions skip the pop
 	cw       int
 	txUntil  time.Duration // half-duplex: busy transmitting until
 	accesses uint64
@@ -110,6 +111,17 @@ func (s *Station) Accesses() uint64 { return s.st.accesses }
 
 // Channel returns the channel the station is attached to.
 func (s *Station) Channel() *Channel { return s.ch }
+
+// Reset discards every frame queued for transmission and restores the
+// initial contention window. Deployment layers call it when a node
+// crashes: a dead radio neither drains its queue nor keeps contending. A
+// frame already mid-air when Reset is called still completes (the energy
+// is already committed), but nothing queued behind it transmits.
+func (s *Station) Reset() {
+	s.st.queue = s.st.queue[:0]
+	s.st.gen++
+	s.st.cw = s.ch.cfg.CWMin
+}
 
 // Broadcast queues a frame for transmission. The payload is copied, so the
 // caller may reuse the buffer. Frames larger than MaxFrame panic: framing
@@ -184,11 +196,17 @@ func (c *Channel) arbitrate() {
 
 func (c *Channel) beginTx(st *station, start time.Duration) {
 	frame := st.queue[0]
+	gen := st.gen
 	end := start + c.cfg.Airtime(len(frame))
 	c.busyTill = end
 	st.txUntil = end
 	c.sched.At(end, func() {
-		st.queue = st.queue[1:]
+		// The queue may have been Reset (node crash) while this frame was
+		// on the air; frames queued since then belong to a new generation
+		// and must not be popped by this stale completion.
+		if gen == st.gen && len(st.queue) > 0 {
+			st.queue = st.queue[1:]
+		}
 		st.cw = c.cfg.CWMin
 		st.accesses++
 		c.stats.Accesses++

@@ -249,3 +249,31 @@ func TestDeterministicChannel(t *testing.T) {
 		}
 	}
 }
+
+func TestStationResetFlushesQueue(t *testing.T) {
+	s, ch, st, sinks := newTestChannel(t, 3, lossless())
+	// Queue several frames, let the first go on air, then crash the sender.
+	for i := 0; i < 4; i++ {
+		st[0].Broadcast([]byte{byte(i), 1, 2, 3})
+	}
+	s.RunFor(time.Millisecond) // into the first transmission
+	st[0].Reset()
+	s.Run()
+	// At most the mid-air frame is delivered; the queued rest is gone.
+	if got := len(sinks[1].frames); got > 1 {
+		t.Errorf("receiver got %d frames after Reset, want <= 1", got)
+	}
+	if st[0].QueueLen() != 0 {
+		t.Errorf("queue not flushed: %d frames", st[0].QueueLen())
+	}
+	// The station keeps working after a Reset (recovery).
+	st[0].Broadcast([]byte("back"))
+	s.Run()
+	last := sinks[1].frames[len(sinks[1].frames)-1]
+	if string(last.payload) != "back" {
+		t.Errorf("post-recovery frame not delivered, last = %q", last.payload)
+	}
+	if got := ch.Stats().Accesses; got == 0 {
+		t.Error("no accesses counted")
+	}
+}
