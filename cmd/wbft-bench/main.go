@@ -3,14 +3,16 @@
 //
 // Usage:
 //
-//	wbft-bench [-exp all|table1|fig10a|fig10b|fig10c|fig10d|fig11a|fig11b|fig12a|fig12b|fig13a|fig13b|chain|faults]
+//	wbft-bench [-exp all|table1|fig10a|fig10b|fig10c|fig10d|fig11a|fig11b|fig12a|fig12b|fig13a|fig13b|chain|faults|byz]
 //	           [-seed N] [-epochs N] [-batch N] [-reps N] [-chain-epochs N] [-json FILE]
 //
-// The chain experiment (sustained SMR throughput vs pipeline depth) and
-// the faults experiment (scenario x protocol x transport sweep of the
-// scripted fault engine) are not in the paper; -json writes the selected
-// experiment's points as a trajectory file (BENCH_chain.json or
-// BENCH_faults.json; with -exp all it applies to chain).
+// The chain experiment (sustained SMR throughput vs pipeline depth), the
+// faults experiment (scenario x protocol x transport sweep of the
+// scripted fault engine), and the byz experiment (active-Byzantine
+// behavior x protocol x transport sweep with f misbehaving replicas) are
+// not in the paper; -json writes the selected experiment's points as a
+// trajectory file (BENCH_chain.json, BENCH_faults.json, or
+// BENCH_byz.json; with -exp all it applies to chain).
 package main
 
 import (
@@ -164,6 +166,22 @@ func run(exp string, seed int64, epochs, batch, reps, chainEpochs int, jsonPath 
 		if jsonPath != "" && exp == "faults" {
 			if err := writeJSON(w, jsonPath, func(f *os.File) error {
 				return bench.WriteFaultsJSON(f, seed, rows)
+			}); err != nil {
+				return err
+			}
+		}
+		sep()
+	}
+	if all || exp == "byz" {
+		did = true
+		rows, err := bench.ByzSweep(seed, chainEpochs)
+		if err != nil {
+			return err
+		}
+		bench.PrintByz(w, rows)
+		if jsonPath != "" && exp == "byz" {
+			if err := writeJSON(w, jsonPath, func(f *os.File) error {
+				return bench.WriteByzJSON(f, seed, rows)
 			}); err != nil {
 				return err
 			}

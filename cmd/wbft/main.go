@@ -14,10 +14,21 @@
 // The chain subcommand runs the pipelined SMR deployment: continuous
 // client traffic ordered into a replicated log across many epochs.
 //
-// -scenario scripts timed faults in the scenario DSL, e.g.
-// "crash@30m:3;recover@55m:3" or "partition@10m:0,1/2,3;heal@20m;jam@40m+60s"
-// (see internal/scenario.Parse). -crash N is shorthand for a crash at t=0
-// that never recovers.
+// -scenario scripts timed faults in the scenario DSL (see
+// internal/scenario.Parse): ';'-separated events of the form
+// kind[@at[+duration]][:args], with the full event vocabulary
+//
+//	crash@30m:3              node 3 off the air, memory lost
+//	recover@55m:3            node 3 rejoins with stable storage only
+//	partition@10m:0,1/2,3    split {0,1} from {2,3}
+//	heal@20m                 end the partition
+//	loss@5m+90s:0.5          50% delivery loss for 90s
+//	jam@40m+60s              total loss for 60s
+//	delay:0.25,10s           async delay adversary (prob, max extra delay)
+//	byz@0s:3:equivocate      node 3 actively Byzantine: equivocate,
+//	                         withhold, garbage, or flipvotes (internal/byz)
+//
+// -crash N is shorthand for a crash at t=0 that never recovers.
 package main
 
 import (
@@ -88,7 +99,7 @@ func runChain(args []string) {
 		seed       = fs.Int64("seed", 1, "simulation seed")
 		loss       = fs.Float64("loss", 0.02, "per-receiver frame loss probability")
 		crash      = fs.String("crash", "", "comma-separated node ids to crash at t=0")
-		scen       = fs.String("scenario", "", "scripted fault scenario DSL (crash@30m:3;recover@55m:3;...)")
+		scen       = fs.String("scenario", "", "scripted fault DSL: crash|recover|partition|heal|loss|jam|delay|byz events (e.g. crash@30m:3;byz@0s:2:garbage)")
 	)
 	fs.Parse(args)
 
@@ -132,7 +143,7 @@ func runSingle() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		loss     = flag.Float64("loss", 0.02, "per-receiver frame loss probability")
 		crash    = flag.String("crash", "", "comma-separated node ids to crash at t=0")
-		scen     = flag.String("scenario", "", "scripted fault scenario DSL (crash@30m:3;recover@55m:3;...)")
+		scen     = flag.String("scenario", "", "scripted fault DSL: crash|recover|partition|heal|loss|jam|delay|byz events (e.g. crash@30m:3;byz@0s:2:garbage)")
 		multihop = flag.Bool("multihop", false, "16 nodes in 4 clusters instead of single-hop")
 		heavy    = flag.Bool("heavy", false, "heavy crypto parameter set (BN254-equivalent)")
 	)

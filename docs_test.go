@@ -1,0 +1,82 @@
+package repro
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/byz"
+	"repro/internal/scenario"
+)
+
+// TestDocsFreshnessPackageComments fails when any internal/* package
+// lacks a `// Package ...` godoc comment: the layer map in DESIGN.md and
+// the godoc are the two entry points new readers get, and a silent
+// package keeps falling out of both. CI runs this as the docs-freshness
+// gate.
+func TestDocsFreshnessPackageComments(t *testing.T) {
+	pkgFiles := map[string][]string{} // dir -> non-test .go files
+	err := filepath.WalkDir("internal", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			pkgFiles[dir] = append(pkgFiles[dir], path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for dir, files := range pkgFiles {
+		documented := false
+		for _, f := range files {
+			af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				t.Fatalf("%s: %v", f, err)
+			}
+			if af.Doc != nil && strings.HasPrefix(af.Doc.Text(), "Package ") {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			t.Errorf("package %s has no `// Package ...` godoc comment in any file", dir)
+		}
+	}
+}
+
+// TestDocsFreshnessScenarioDSL fails when the scenario DSL grammar
+// documented in EXPERIMENTS.md misses an event kind or a Byzantine
+// behavior name — the docs drift this PR fixed must not reopen. The
+// same check covers the Parse grammar comment and the wbft usage string,
+// the two places PR 2's vocabulary additions were forgotten.
+func TestDocsFreshnessScenarioDSL(t *testing.T) {
+	for _, src := range []string{
+		"EXPERIMENTS.md",
+		filepath.Join("internal", "scenario", "parse.go"),
+		filepath.Join("cmd", "wbft", "main.go"),
+	} {
+		raw, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(raw)
+		for _, k := range scenario.Kinds() {
+			if !strings.Contains(text, string(k)) {
+				t.Errorf("%s does not mention scenario kind %q", src, k)
+			}
+		}
+		for _, b := range byz.Names() {
+			if !strings.Contains(text, b) {
+				t.Errorf("%s does not mention Byzantine behavior %q", src, b)
+			}
+		}
+	}
+}

@@ -133,3 +133,35 @@ func TestFaultSweepSmoke(t *testing.T) {
 		}
 	}
 }
+
+func TestByzSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16 chain runs")
+	}
+	rows, err := ByzSweep(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4*2*2 {
+		t.Fatalf("got %d rows, want 16 (4 behaviors x 2 protocols x 2 transports)", len(rows))
+	}
+	sawRejected := false
+	for _, r := range rows {
+		if r.Error != "" {
+			t.Errorf("%s/%s/%s failed: %s", r.Behavior, r.Protocol, r.Transport, r.Error)
+			continue
+		}
+		if !r.HonestSafe {
+			t.Errorf("%s/%s/%s: honest-safety check failed", r.Behavior, r.Protocol, r.Transport)
+		}
+		if r.Epochs != 2 || r.CommittedTxs == 0 {
+			t.Errorf("%s/%s/%s: no progress: %+v", r.Behavior, r.Protocol, r.Transport, r)
+		}
+		if r.RejectedMsgs > 0 {
+			sawRejected = true
+		}
+	}
+	if !sawRejected {
+		t.Error("no configuration rejected any Byzantine message; the defenses were never exercised")
+	}
+}

@@ -398,7 +398,8 @@ func (a *CachinABA) handleCoinShare(slot uint8, round uint16, w int, data []byte
 			return
 		}
 		if err := a.coin.VerifyShare(name, data); err != nil {
-			return // Byzantine share
+			env.Reject() // Byzantine share
+			return
 		}
 		a.acceptCoinShare(k, w, data)
 	})

@@ -255,6 +255,7 @@ func (c *CBC) handleShareData(slot, w int, raw []byte) {
 	}
 	share, err := DecodeSigShare(raw)
 	if err != nil {
+		c.env.Reject()
 		return
 	}
 	msg := c.shareMessage(slot, HashValue(s.value))
@@ -264,6 +265,7 @@ func (c *CBC) handleShareData(slot, w int, raw []byte) {
 			return
 		}
 		if err := env.Suite.TSHigh.VerifyShare(msg, share); err != nil {
+			env.Reject()
 			return
 		}
 		c.applyShare(slot, w, share)
@@ -314,6 +316,7 @@ func (c *CBC) handleFinish(slot, w int, raw []byte) {
 	}
 	h, cert, err := DecodeFinish(raw)
 	if err != nil {
+		c.env.Reject()
 		return
 	}
 	msg := c.shareMessage(slot, h)
@@ -323,6 +326,7 @@ func (c *CBC) handleFinish(slot, w int, raw []byte) {
 			return
 		}
 		if err := env.Suite.TSHigh.Verify(msg, &threshsig.Signature{S: bigFromBytes(cert)}); err != nil {
+			env.Reject()
 			return
 		}
 		s.cert = cert

@@ -170,6 +170,7 @@ func (d *Decryptor) handleShareData(slot, w int, raw []byte) {
 	}
 	share, err := DecodeDecShare(raw)
 	if err != nil {
+		d.env.Reject()
 		return
 	}
 	env := d.env
@@ -178,7 +179,8 @@ func (d *Decryptor) handleShareData(slot, w int, raw []byte) {
 			return
 		}
 		if err := env.Suite.TE.VerifyShare(s.ct, share); err != nil {
-			return // Byzantine share
+			env.Reject() // Byzantine share
+			return
 		}
 		d.applyShare(slot, w, share)
 	})

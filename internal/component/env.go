@@ -43,6 +43,12 @@ func (e *Env) Weak() int { return e.F + 1 }
 // Exec charges cost to the node's CPU and then runs fn.
 func (e *Env) Exec(cost time.Duration, fn func()) { e.CPU.Exec(cost, fn) }
 
+// Reject counts one discarded invalid inbound contribution — a share,
+// certificate, proof, or proposal that failed verification — in the
+// transport's Stats.Rejected. Under active-Byzantine scenarios this is
+// how much adversarial traffic the component defenses absorbed.
+func (e *Env) Reject() { e.T.NoteRejected() }
+
 // Hash8 is the truncated proposal digest used inside batched vote packets
 // (the paper's "hash part" identifies each of the N proposals).
 type Hash8 [8]byte

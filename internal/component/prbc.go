@@ -183,6 +183,7 @@ func (p *PRBC) handleShareData(slot, w int, raw []byte) {
 	}
 	share, err := DecodeSigShare(raw)
 	if err != nil {
+		p.env.Reject()
 		return
 	}
 	msg := p.doneMessage(slot, s.hash)
@@ -192,7 +193,8 @@ func (p *PRBC) handleShareData(slot, w int, raw []byte) {
 			return
 		}
 		if err := env.Suite.TSLow.VerifyShare(msg, share); err != nil {
-			return // Byzantine share: discard
+			env.Reject() // Byzantine share: discard
+			return
 		}
 		p.applyShare(slot, w, share)
 	})

@@ -311,6 +311,7 @@ func (r *RBC) maybeDeliver(slot int) {
 	if HashValue(s.value) != qh {
 		// The quorum converged on a different proposal than the one we
 		// assembled (equivocating leader). Drop ours and repair.
+		r.env.Reject()
 		s.assembled = false
 		s.value = nil
 		s.frags = nil

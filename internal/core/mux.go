@@ -34,6 +34,7 @@ type Mux struct {
 	epochs  map[uint16]*Transport
 	seq     uint32
 	reasm   *reassembler
+	icept   Interceptor // propagated onto every per-epoch transport
 
 	// OnUnknownEpoch, if set, is invoked when a frame for an epoch with no
 	// open transport arrives. The callback may open the epoch, but the
@@ -69,8 +70,19 @@ func (m *Mux) BindStation(st *wireless.Station) {
 	}
 }
 
+// SetInterceptor installs (or clears) the outbound-intent interceptor on
+// every open epoch's transport and every transport opened afterwards, so a
+// node that turns Byzantine mid-run misbehaves across its whole pipeline.
+func (m *Mux) SetInterceptor(ic Interceptor) {
+	m.icept = ic
+	for _, t := range m.epochs {
+		t.SetInterceptor(ic)
+	}
+}
+
 // Open creates (or returns) the transport for an epoch. The transport
-// shares the mux's station, CPU, auth, and fragment sequence space.
+// shares the mux's station, CPU, auth, fragment sequence space, and
+// interceptor.
 func (m *Mux) Open(epoch uint16) *Transport {
 	if t, ok := m.epochs[epoch]; ok {
 		return t
@@ -78,6 +90,7 @@ func (m *Mux) Open(epoch uint16) *Transport {
 	t := New(m.sched, m.cpu, m.station, m.auth, m.cfg)
 	t.epoch = epoch
 	t.seqSrc = &m.seq
+	t.icept = m.icept
 	m.epochs[epoch] = t
 	return t
 }
@@ -145,6 +158,7 @@ func AddStats(a, b Stats) Stats {
 	a.DroppedEpoch += b.DroppedEpoch
 	a.SignOps += b.SignOps
 	a.VerifyOps += b.VerifyOps
+	a.Rejected += b.Rejected
 	return a
 }
 

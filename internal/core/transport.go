@@ -60,6 +60,17 @@ type HandlerFunc func(from uint16, sec packet.Section)
 // HandleSection implements Handler.
 func (f HandlerFunc) HandleSection(from uint16, sec packet.Section) { f(from, sec) }
 
+// Interceptor rewrites a node's outbound intents before they enter the
+// transport's snapshot state. It is the behavior-interposition point the
+// active-Byzantine layer (internal/byz) hooks: the returned set replaces
+// the intent, so an interceptor can pass it through unchanged, drop it
+// (withholding), corrupt it, or fork conflicting variants (equivocation).
+// The transport is passed so an interceptor can schedule later injections
+// against the same epoch's state via Inject.
+type Interceptor interface {
+	Outbound(t *Transport, in Intent) []Intent
+}
+
 // Auth signs and verifies logical frames. RealAuth (package node) uses the
 // crypto suite; SizedAuth produces correctly sized placeholder signatures
 // for large honest-only sweeps, while still charging virtual compute cost.
@@ -102,6 +113,12 @@ type Stats struct {
 	DroppedEpoch  uint64 // frames for other epochs
 	SignOps       uint64
 	VerifyOps     uint64
+	// Rejected counts component-level discards of invalid inbound state:
+	// threshold shares, certificates, and proofs that fail verification,
+	// undecodable payloads, and equivocating proposals caught against a
+	// quorum. Under an active-Byzantine scenario this is the measure of how
+	// much adversarial traffic the defenses absorbed.
+	Rejected uint64
 }
 
 // Transport is one node's ConsensusBatcher (or baseline) instance.
@@ -111,6 +128,8 @@ type Transport struct {
 	station *wireless.Station
 	auth    Auth
 	cfg     Config
+
+	icept Interceptor
 
 	epoch    uint16
 	intents  map[IntentKey]Intent
@@ -169,6 +188,16 @@ func (t *Transport) Register(kind packet.Kind, h Handler) { t.handlers[kind] = h
 // nil station, attach it to the channel, then bind the returned station.
 func (t *Transport) BindStation(st *wireless.Station) { t.station = st }
 
+// SetInterceptor installs (or, with nil, clears) the outbound-intent
+// interceptor. Honest nodes run without one; the deployment layer installs
+// one to make a node Byzantine.
+func (t *Transport) SetInterceptor(ic Interceptor) { t.icept = ic }
+
+// NoteRejected counts one component-level discard of invalid inbound
+// state (see Stats.Rejected). Components call it through their Env when a
+// share, certificate, proof, or proposal fails verification.
+func (t *Transport) NoteRejected() { t.stats.Rejected++ }
+
 // Stats returns a snapshot of the counters.
 func (t *Transport) Stats() Stats { return t.stats }
 
@@ -206,8 +235,30 @@ func (t *Transport) Quiesce() {
 	}
 }
 
-// Update upserts an intent and schedules a flush.
+// Update upserts an intent and schedules a flush. With an interceptor
+// installed, the intent first passes through it and whatever comes back —
+// possibly nothing — is applied instead.
 func (t *Transport) Update(in Intent) {
+	if t.icept == nil {
+		t.apply(in)
+		return
+	}
+	for _, out := range t.icept.Outbound(t, in) {
+		t.apply(out)
+	}
+}
+
+// Inject upserts an intent bypassing the interceptor. Interceptors use it
+// to plant delayed conflicting state (equivocation) without re-entering
+// themselves.
+func (t *Transport) Inject(in Intent) {
+	if t.stopped {
+		return
+	}
+	t.apply(in)
+}
+
+func (t *Transport) apply(in Intent) {
 	if _, ok := t.intents[in.IntentKey]; !ok {
 		t.order = append(t.order, in.IntentKey)
 	}

@@ -9,12 +9,16 @@
 // Crash takes the node off the air (inbound gate closed, radio queue
 // flushed, transports stopped, in-memory state forfeited) and Recover
 // brings it back with only its "stable storage" — keys, station, and
-// whatever state the protocol layer chose to persist.
+// whatever state the protocol layer chose to persist — and the node's
+// trust status: a node assembled (or later armed) with a non-nil
+// byz.Behavior becomes actively Byzantine, its outbound component state
+// rewritten by the behavior before it reaches the air.
 package node
 
 import (
 	"math/rand"
 
+	"repro/internal/byz"
 	"repro/internal/core"
 	"repro/internal/crypto"
 	"repro/internal/sim"
@@ -36,6 +40,9 @@ type Config struct {
 	// one (a multihop leader's global-tier radio is a second interface on
 	// the same processor).
 	CPU *sim.CPU
+	// Behavior, if non-nil, makes the node Byzantine from the start (the
+	// scenario engine can also arm one mid-run through SetBehavior).
+	Behavior byz.Behavior
 }
 
 // resolve returns the effective transport configuration.
@@ -68,6 +75,9 @@ type Node struct {
 	mux     *core.Mux
 	down    bool
 	closed  core.Stats // counters of transports discarded by Crash
+
+	behavior byz.Behavior
+	icept    *byz.Interceptor
 }
 
 // New wires a single-transport node (the one-shot drivers and bench rigs).
@@ -76,6 +86,7 @@ func New(sched *sim.Scheduler, ch *wireless.Channel, id wireless.NodeID, suite *
 	n.tr = core.New(sched, n.CPU, nil, n.auth(), n.tcfg)
 	n.tr.BindStation(n.station)
 	n.recv = n.tr
+	n.SetBehavior(cfg.Behavior)
 	return n
 }
 
@@ -86,6 +97,7 @@ func NewMux(sched *sim.Scheduler, ch *wireless.Channel, id wireless.NodeID, suit
 	n.mux = core.NewMux(sched, n.CPU, n.auth(), n.tcfg)
 	n.mux.BindStation(n.station)
 	n.recv = n.mux
+	n.SetBehavior(cfg.Behavior)
 	return n
 }
 
@@ -131,6 +143,40 @@ func (n *Node) TransportConfig() core.Config { return n.tcfg }
 // Down reports whether the node is currently crashed.
 func (n *Node) Down() bool { return n.down }
 
+// SetBehavior arms (or, with nil, disarms) an active-Byzantine behavior:
+// an interceptor seeded from the node's private randomness is installed
+// on the live transport — for mux nodes, on every open and future epoch
+// transport — and survives crash/recovery (a restarted adversary is still
+// an adversary).
+func (n *Node) SetBehavior(b byz.Behavior) {
+	n.behavior = b
+	if b == nil {
+		n.icept = nil
+	} else {
+		n.icept = &byz.Interceptor{Rand: n.Rand, Sched: n.sched, Behavior: b}
+	}
+	n.installInterceptor()
+}
+
+func (n *Node) installInterceptor() {
+	var ic core.Interceptor
+	if n.icept != nil {
+		ic = n.icept
+	}
+	if n.mux != nil {
+		n.mux.SetInterceptor(ic)
+	} else if n.tr != nil {
+		n.tr.SetInterceptor(ic)
+	}
+}
+
+// Behavior returns the armed Byzantine behavior, or nil for an honest
+// node.
+func (n *Node) Behavior() byz.Behavior { return n.behavior }
+
+// Byzantine reports whether a behavior is armed.
+func (n *Node) Byzantine() bool { return n.behavior != nil }
+
 // ReceiveFrame implements wireless.Receiver: the node is the station's
 // receiver so that crash/recovery can gate inbound delivery and swap the
 // underlying transport without re-attaching to the channel.
@@ -174,6 +220,7 @@ func (n *Node) Recover() {
 		n.tr = core.New(n.sched, n.CPU, nil, n.auth(), n.tcfg)
 		n.tr.BindStation(n.station)
 		n.recv = n.tr
+		n.installInterceptor()
 	}
 }
 

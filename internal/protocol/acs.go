@@ -209,6 +209,7 @@ func (a *ACS) maybeFinish() {
 				if err != nil {
 					// Malformed ciphertext from a Byzantine proposer: the
 					// slot contributes nothing.
+					a.env.Reject()
 					a.plains[slot] = nil
 					continue
 				}

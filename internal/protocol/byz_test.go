@@ -1,0 +1,130 @@
+package protocol
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/byz"
+	"repro/internal/scenario"
+)
+
+// TestHonestSafetyUnderByzantineBehaviors runs every active-Byzantine
+// behavior against both protocol families with f Byzantine nodes. The
+// driver itself enforces the honest-safety bar: Run fails if the honest
+// nodes' outputs disagree (AgreementCheck), so a nil error plus progress
+// is the assertion.
+func TestHonestSafetyUnderByzantineBehaviors(t *testing.T) {
+	for _, behavior := range byz.Names() {
+		for _, p := range []struct {
+			name string
+			kind Kind
+		}{
+			{"ACS", HoneyBadger},
+			{"Dumbo", DumboKind},
+		} {
+			behavior, p := behavior, p
+			t.Run(p.name+"/"+behavior, func(t *testing.T) {
+				t.Parallel()
+				opts := DefaultOptions(p.kind, CoinSig)
+				opts.Epochs = 2
+				opts.Seed = 11
+				opts.Scenario = scenario.Byz(behavior, opts.N-1) // f = 1 of N = 4
+				res, err := Run(opts)
+				if err != nil {
+					t.Fatalf("honest safety/liveness violated: %v", err)
+				}
+				if res.DeliveredTxs == 0 {
+					t.Fatal("no transactions delivered: the adversary stalled the honest nodes")
+				}
+				// Garbage produces cryptographically invalid shares and
+				// undecodable payloads every epoch: the defenses must have
+				// visibly rejected some, and Stats must surface the count.
+				if behavior == byz.NameGarbage && res.Rejected == 0 {
+					t.Error("garbage behavior ran but Stats.Rejected == 0")
+				}
+			})
+		}
+	}
+}
+
+// TestChainHonestSafetyUnderMidRunByzantine arms a behavior mid-run on
+// the SMR pipeline: the honest chains must still commit identical
+// gap-free logs of genuine client transactions, and the Byzantine node's
+// mux must misbehave across the epochs opened after activation.
+func TestChainHonestSafetyUnderMidRunByzantine(t *testing.T) {
+	for _, behavior := range []string{byz.NameGarbage, byz.NameEquivocate} {
+		behavior := behavior
+		t.Run(behavior, func(t *testing.T) {
+			t.Parallel()
+			opts := DefaultChainOptions(HoneyBadger, CoinSig)
+			opts.Seed = 5
+			opts.TargetEpochs = 5
+			opts.GCLag = opts.TargetEpochs
+			opts.Scenario = scenario.Plan{}.Then(scenario.ByzAt(10*time.Minute, 3, behavior))
+			res, err := ChainRun(opts)
+			if err != nil {
+				t.Fatalf("honest safety/liveness violated: %v", err)
+			}
+			if res.Logs[3] != nil {
+				t.Error("Byzantine node's log included in the honest result set")
+			}
+			for i, log := range res.Logs[:3] {
+				if len(log) != opts.TargetEpochs {
+					t.Fatalf("honest node %d committed %d epochs, want %d", i, len(log), opts.TargetEpochs)
+				}
+			}
+			if forged := CountForged(res.Logs, opts.TxSize, res.SubmittedTxs); forged != 0 {
+				t.Fatalf("honest nodes committed %d forged transactions", forged)
+			}
+		})
+	}
+}
+
+// TestMultihopByzantineFollower checks the third driver: a Byzantine
+// cluster member (never the epoch leader) must not break the clustered
+// deployment's agreement or completion.
+func TestMultihopByzantineFollower(t *testing.T) {
+	opts := DefaultMultihopOptions(HoneyBadger, CoinSig)
+	opts.Single.Epochs = 1
+	opts.Single.Seed = 3
+	// Flat node 7 = cluster 1, member 3; epoch 0's leaders are member 0.
+	opts.Single.Scenario = scenario.Byz(byz.NameGarbage, 7)
+	res, err := RunMultihop(opts)
+	if err != nil {
+		t.Fatalf("multihop with Byzantine follower: %v", err)
+	}
+	if res.DeliveredTxs == 0 {
+		t.Fatal("no transactions delivered")
+	}
+	if res.Rejected == 0 {
+		t.Error("garbage follower ran but no rejections surfaced in Stats")
+	}
+}
+
+// TestByzValidation: unknown behaviors and more than F Byzantine nodes
+// must be rejected before any virtual time elapses.
+func TestByzValidation(t *testing.T) {
+	opts := DefaultOptions(HoneyBadger, CoinSig)
+	opts.Scenario = scenario.Byz("omniscient", 3)
+	if _, err := Run(opts); err == nil {
+		t.Error("unknown behavior accepted")
+	}
+	opts.Scenario = scenario.Byz(byz.NameWithhold, 2, 3)
+	if _, err := Run(opts); err == nil {
+		t.Error("2 Byzantine nodes accepted with F=1")
+	}
+	opts.Scenario = scenario.Byz(byz.NameWithhold, 9)
+	if _, err := Run(opts); err == nil {
+		t.Error("byz event on nonexistent node 9 accepted (vacuous adversarial run)")
+	}
+	copts := DefaultChainOptions(HoneyBadger, CoinSig)
+	copts.Scenario = scenario.Byz("omniscient", 3)
+	if _, err := ChainRun(copts); err == nil {
+		t.Error("ChainRun accepted an unknown behavior")
+	}
+	mopts := DefaultMultihopOptions(HoneyBadger, CoinSig)
+	mopts.Single.Scenario = scenario.Byz(byz.NameGarbage, 4, 5) // both in cluster 1, F=1
+	if _, err := RunMultihop(mopts); err == nil {
+		t.Error("RunMultihop accepted 2 Byzantine nodes in one F=1 cluster")
+	}
+}

@@ -1,11 +1,13 @@
 package protocol
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"time"
 
+	"repro/internal/byz"
 	"repro/internal/core"
 	"repro/internal/crypto"
 	"repro/internal/node"
@@ -45,6 +47,8 @@ type ChainOptions struct {
 	// peers' NACK retransmissions. Mind GCLag: peers serve repairs only for
 	// epochs the GC hasn't closed, so recovery gaps longer than GCLag
 	// epochs leave the node unable to catch up (a deadline error).
+	// byz events arm active-Byzantine behaviors (up to F nodes); the
+	// completion barrier and log checks then cover honest nodes only.
 	Scenario scenario.Plan
 	// Deadline bounds the whole run in virtual time (default 8 h).
 	Deadline time.Duration
@@ -96,11 +100,15 @@ type ChainResult struct {
 	Collisions  uint64
 	BytesOnAir  uint64
 	LogicalSent uint64
+	// Rejected counts component-level discards of invalid inbound state
+	// across all nodes (invalid shares, certificates, proofs, malformed
+	// proposals) — the Byzantine traffic the defenses absorbed.
+	Rejected uint64
 
-	// Logs holds each correct node's committed log (index = node id; nil
-	// for nodes scripted to stay crashed), already checked for agreement
-	// and gap-freedom. A crashed-and-recovered node appears with a full
-	// log: catch-up is part of the acceptance bar.
+	// Logs holds each honest node's committed log (index = node id; nil
+	// for nodes scripted to stay crashed or to turn Byzantine), already
+	// checked for agreement and gap-freedom. A crashed-and-recovered node
+	// appears with a full log: catch-up is part of the acceptance bar.
 	Logs [][]LogEntry
 }
 
@@ -128,6 +136,20 @@ func (l chainLifecycle) RecoverNode(i int) {
 	l.chains[i].Recover()
 }
 
+// SetByzantine implements scenario.ByzLifecycle. The behavior lands on
+// the node's mux, so every epoch of the pipeline — open and future —
+// misbehaves from here on.
+func (l chainLifecycle) SetByzantine(i int, behavior string) {
+	if i < 0 || i >= len(l.nodes) {
+		return
+	}
+	b, err := byz.New(behavior)
+	if err != nil {
+		return
+	}
+	l.nodes[i].SetBehavior(b)
+}
+
 // ChainRun executes a sustained SMR simulation and returns measurements.
 // It fails if any correct pair of nodes commits diverging logs, if a log
 // has a gap, or if the deadline passes before every correct node commits
@@ -150,6 +172,13 @@ func ChainRun(opts ChainOptions) (*ChainResult, error) {
 	}
 	if opts.Deadline <= 0 {
 		opts.Deadline = 8 * time.Hour
+	}
+	if err := validateByz(opts.Scenario, opts.N); err != nil {
+		return nil, err
+	}
+	byzN := opts.Scenario.ByzNodes()
+	if len(byzN) > opts.F {
+		return nil, fmt.Errorf("protocol: %d Byzantine nodes exceed F=%d", len(byzN), opts.F)
 	}
 	perma := opts.Scenario.DownForever()
 	if len(perma) >= opts.N {
@@ -200,8 +229,8 @@ func ChainRun(opts ChainOptions) (*ChainResult, error) {
 	target := opts.TargetEpochs
 	chainsDone := func() bool {
 		for i, c := range chains {
-			if perma[i] {
-				continue // scripted to stay dead; never reaches the target
+			if perma[i] || byzN[i] {
+				continue // dead or Byzantine; the barrier covers honest nodes
 			}
 			if c.CommittedEpochs() < target {
 				return false
@@ -215,7 +244,7 @@ func ChainRun(opts ChainOptions) (*ChainResult, error) {
 		if chainsDone() {
 			return
 		}
-		tx := makeClientTx(submitted, opts.TxSize)
+		tx := MakeClientTx(submitted, opts.TxSize)
 		submitted++
 		for i, c := range chains {
 			if !nodes[i].Down() {
@@ -240,12 +269,20 @@ func ChainRun(opts ChainOptions) (*ChainResult, error) {
 		MaxOpenEpochs:   maxOpen,
 		Logs:            make([][]LogEntry, opts.N),
 	}
-	if err := CheckLogs(chains); err != nil {
+	// Safety is an honest-node property: a Byzantine node's own log is
+	// not bound by what it told its peers, so it is excluded here.
+	honest := make([]*Chain, len(chains))
+	for i, c := range chains {
+		if !byzN[i] {
+			honest[i] = c
+		}
+	}
+	if err := CheckLogs(honest); err != nil {
 		return nil, err
 	}
 	first := true
 	for i, c := range chains {
-		if perma[i] {
+		if perma[i] || byzN[i] {
 			continue
 		}
 		res.Logs[i] = c.Log()
@@ -264,7 +301,9 @@ func ChainRun(opts ChainOptions) (*ChainResult, error) {
 	res.Accesses = st.Accesses
 	res.Collisions = st.Collisions
 	res.BytesOnAir = st.BytesOnAir
-	res.LogicalSent = node.SumStats(nodes).LogicalSent
+	ts := node.SumStats(nodes)
+	res.LogicalSent = ts.LogicalSent
+	res.Rejected = ts.Rejected
 	return res, nil
 }
 
@@ -278,9 +317,34 @@ func frontiers(chains []*Chain) []int {
 	return out
 }
 
-// makeClientTx builds a deterministic client payload: a sequence number
-// followed by pseudo-random filler derived from it.
-func makeClientTx(seq, size int) []byte {
+// CountForged counts committed transactions across the given logs that
+// are not byte-identical to a MakeClientTx submission of the run — the
+// adversary's payloads, if any slipped past the commit-layer decoders.
+// The Byzantine sweep, example, and tests all assert it returns zero.
+func CountForged(logs [][]LogEntry, txSize, submitted int) int {
+	forged := 0
+	for _, log := range logs {
+		for _, entry := range log {
+			for _, tx := range entry.Txs {
+				if len(tx) < 8 {
+					forged++
+					continue
+				}
+				seq := binary.BigEndian.Uint64(tx)
+				if seq >= uint64(submitted) || !bytes.Equal(tx, MakeClientTx(int(seq), txSize)) {
+					forged++
+				}
+			}
+		}
+	}
+	return forged
+}
+
+// MakeClientTx builds the deterministic client payload for a sequence
+// number: the number followed by pseudo-random filler derived from it.
+// Exported with CountForged so adversarial runs can verify transaction
+// provenance.
+func MakeClientTx(seq, size int) []byte {
 	tx := make([]byte, size)
 	binary.BigEndian.PutUint64(tx, uint64(seq))
 	for i := 8; i < size; i++ {

@@ -199,6 +199,7 @@ func (d *Dumbo) pumpSelected() {
 			// Malformed vector from a Byzantine candidate should have been
 			// filtered by external validity; skip the candidate to keep
 			// liveness in the simulation.
+			d.env.Reject()
 			d.selected = -1
 			d.abaIdx++
 			d.runNextCandidate()
@@ -213,6 +214,7 @@ func (d *Dumbo) pumpSelected() {
 			env.Exec(env.Suite.Cost.TSVerify, func() {
 				if err := d.prbc.VerifyProof(e.slot, e.hash, e.proof); err != nil {
 					// Invalid proof: reject the candidate entirely.
+					env.Reject()
 					d.wantSlots = nil
 				}
 				d.pendingVerify--

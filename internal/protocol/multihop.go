@@ -25,12 +25,18 @@ import (
 // into their clusters.
 //
 // Single.Scenario applies across the deployment: node indices are flat
-// (cluster*PerCluster + in-cluster index), crash/recovery and partitions
+// (cluster*PerCluster + in-cluster index), crash/recovery and byz events
+// act on the cluster nodes (a Byzantine node that becomes its cluster's
+// leader carries its behavior onto the global tier with it), partitions
 // act on the cluster channels, and the network-level effects (loss, jam,
 // delay) also cover the global channel. Crashing a node that is the
 // cluster leader for the current epoch stalls that cluster's global seat
 // for the epoch — the deployment has no leader failover, so such a
-// scenario ends in a deadline error, which is itself a measurable outcome.
+// scenario ends in a deadline error, which is itself a measurable
+// outcome. The same applies to a Byzantine leader that withholds its
+// RESULT dissemination: followers have no way to distinguish it from a
+// dead one, so script Byzantine nodes that stay followers (or accept the
+// stall as the measurement) until a failover mechanism exists.
 type MultihopOptions struct {
 	Single   Options // protocol, coin, batching, crypto, channel template
 	Clusters int     // M (must be 3f_g+1; the paper uses 4)
@@ -85,6 +91,19 @@ func RunMultihop(opts MultihopOptions) (*MultihopResult, error) {
 	if so.Deadline <= 0 {
 		so.Deadline = 120 * time.Minute
 	}
+	if err := validateByz(so.Scenario, opts.Clusters*opts.PerCluster); err != nil {
+		return nil, err
+	}
+	byzN := so.Scenario.ByzNodes()
+	perCluster := make([]int, opts.Clusters)
+	for nd := range byzN {
+		perCluster[nd/opts.PerCluster]++
+	}
+	for c, cnt := range perCluster {
+		if cnt > so.F {
+			return nil, fmt.Errorf("protocol: cluster %d has %d Byzantine nodes, exceeds F=%d", c, cnt, so.F)
+		}
+	}
 	sched := sim.New(so.Seed)
 	fg := (opts.Clusters - 1) / 3
 
@@ -105,7 +124,8 @@ func RunMultihop(opts MultihopOptions) (*MultihopResult, error) {
 		}
 		cl := &mhCluster{idx: c, ch: ch, gotResult: make([]bool, opts.PerCluster)}
 		for i := 0; i < opts.PerCluster; i++ {
-			n := &runNode{Node: node.New(sched, ch, wireless.NodeID(i), suites[i], ncfg), idx: i}
+			n := &runNode{Node: node.New(sched, ch, wireless.NodeID(i), suites[i], ncfg), idx: i,
+				byz: byzN[c*opts.PerCluster+i]}
 			cl.nodes = append(cl.nodes, n)
 			flat = append(flat, n)
 		}
@@ -142,7 +162,7 @@ func RunMultihop(opts MultihopOptions) (*MultihopResult, error) {
 					// recovered mid-epoch (it has no RESULT handler yet; it
 					// sits the rest of the epoch out and rejoins at the next
 					// boundary, like the single-hop driver).
-					if !cl.gotResult[i] && cl.nodes[i].inst != nil {
+					if !cl.gotResult[i] && cl.nodes[i].inst != nil && !cl.nodes[i].byz {
 						return false
 					}
 				}
@@ -194,6 +214,7 @@ func RunMultihop(opts MultihopOptions) (*MultihopResult, error) {
 	res.LogicalSent = ts.LogicalSent
 	res.SignOps = ts.SignOps
 	res.VerifyOps = ts.VerifyOps
+	res.Rejected = ts.Rejected
 	res.Accesses = res.LocalAccesses + res.GlobalAccesses
 	return res, nil
 }
@@ -242,6 +263,9 @@ func (cl *mhCluster) attachGlobal(sched *sim.Scheduler, globalCh *wireless.Chann
 		gcfg.Transport.Session = globalSession(so.Transport.Session)
 		cl.global = node.New(sched, globalCh, wireless.NodeID(cl.idx), suite, gcfg)
 	}
+	// The seat persists while leaders rotate: it is only as Byzantine as
+	// the node currently occupying it.
+	cl.global.SetBehavior(leader.Node.Behavior())
 	gtr := cl.global.Transport()
 	gtr.SetEpoch(epoch)
 	env := &component.Env{

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/byz"
 	"repro/internal/component"
 	"repro/internal/core"
 	"repro/internal/crypto"
@@ -82,6 +83,10 @@ type Result struct {
 	LogicalSent uint64 // signed logical packets across all nodes
 	SignOps     uint64
 	VerifyOps   uint64
+	// Rejected counts component-level discards of invalid inbound state
+	// across all nodes — the volume of Byzantine traffic the defenses
+	// absorbed (zero in honest runs).
+	Rejected uint64
 }
 
 // runNode bundles one node's per-run state on top of the deployment layer.
@@ -89,8 +94,12 @@ type runNode struct {
 	*node.Node
 	idx     int
 	crashed bool // currently down (scenario-driven)
-	inst    Instance
-	done    bool
+	// byz marks a node the scenario ever scripts Byzantine: it keeps
+	// running (and misbehaving) but is excluded from completion barriers
+	// and from the honest-safety checks.
+	byz  bool
+	inst Instance
+	done bool
 }
 
 // runLifecycle adapts a slice of runNodes to the scenario engine. Crash
@@ -127,6 +136,40 @@ func (l runLifecycle) RecoverNode(i int) {
 	// done stays true: the node sits out the rest of the current epoch.
 }
 
+// SetByzantine implements scenario.ByzLifecycle: arm the behavior on the
+// deployment node. The name was validated by validateByz before the run.
+func (l runLifecycle) SetByzantine(i int, behavior string) {
+	if i < 0 || i >= len(l.nodes) {
+		return
+	}
+	b, err := byz.New(behavior)
+	if err != nil {
+		return
+	}
+	l.nodes[i].byz = true
+	l.nodes[i].Node.SetBehavior(b)
+}
+
+// validateByz rejects plans naming unknown Byzantine behaviors or
+// out-of-range nodes before any virtual time elapses (the engine fires
+// byz events mid-run, too late to surface an error — and a typo'd node
+// id would otherwise yield a vacuously "Byzantine" run with no
+// adversary in it).
+func validateByz(plan scenario.Plan, n int) error {
+	for _, ev := range plan.Events {
+		if ev.Kind != scenario.KindByz {
+			continue
+		}
+		if _, err := byz.New(ev.Behavior); err != nil {
+			return err
+		}
+		if ev.Node < 0 || ev.Node >= n {
+			return fmt.Errorf("protocol: byz event targets node %d, have nodes 0..%d", ev.Node, n-1)
+		}
+	}
+	return nil
+}
+
 // Run executes a single-hop protocol simulation and returns measurements.
 func Run(opts Options) (*Result, error) {
 	if opts.N != 3*opts.F+1 {
@@ -134,6 +177,13 @@ func Run(opts Options) (*Result, error) {
 	}
 	if opts.Deadline <= 0 {
 		opts.Deadline = 60 * time.Minute
+	}
+	if err := validateByz(opts.Scenario, opts.N); err != nil {
+		return nil, err
+	}
+	byzN := opts.Scenario.ByzNodes()
+	if len(byzN) > opts.F {
+		return nil, fmt.Errorf("protocol: %d Byzantine nodes exceed F=%d", len(byzN), opts.F)
 	}
 	sched := sim.New(opts.Seed)
 	ch := wireless.NewChannel(sched, opts.Net)
@@ -145,7 +195,7 @@ func Run(opts Options) (*Result, error) {
 	ncfg := node.Config{Transport: opts.Transport, Batched: opts.Batched, Seed: opts.Seed}
 	nodes := make([]*runNode, opts.N)
 	for i := range nodes {
-		nodes[i] = &runNode{Node: node.New(sched, ch, wireless.NodeID(i), suites[i], ncfg), idx: i}
+		nodes[i] = &runNode{Node: node.New(sched, ch, wireless.NodeID(i), suites[i], ncfg), idx: i, byz: byzN[i]}
 	}
 	eng := scenario.Start(sched, opts.Scenario, opts.Seed, runLifecycle{nodes})
 	ch.SetDeliveryHook(eng.Hook())
@@ -165,7 +215,9 @@ func Run(opts Options) (*Result, error) {
 		res.DeliveredTxs += countTxs(nodes, opts)
 		insts := make([]Instance, 0, len(nodes))
 		for _, n := range nodes {
-			if !n.crashed && n.inst != nil {
+			// Agreement is an honest-node property: a Byzantine node's own
+			// engine is not bound by what it told its peers.
+			if !n.crashed && !n.byz && n.inst != nil {
 				insts = append(insts, n.inst)
 			}
 		}
@@ -265,7 +317,7 @@ func makeProposal(node, epoch int, opts Options) []byte {
 
 func allHonestDone(nodes []*runNode) bool {
 	for _, n := range nodes {
-		if !n.done {
+		if !n.done && !n.byz {
 			return false
 		}
 	}
@@ -276,7 +328,7 @@ func allHonestDone(nodes []*runNode) bool {
 // honest node's output; agreement tests verify outputs match).
 func countTxs(nodes []*runNode, opts Options) int {
 	for _, n := range nodes {
-		if n.crashed || n.inst == nil {
+		if n.crashed || n.byz || n.inst == nil {
 			continue
 		}
 		total := 0
@@ -312,6 +364,7 @@ func finalize(res *Result, sched *sim.Scheduler, ch *wireless.Channel, nodes []*
 	res.LogicalSent = ts.LogicalSent
 	res.SignOps = ts.SignOps
 	res.VerifyOps = ts.VerifyOps
+	res.Rejected = ts.Rejected
 }
 
 // AgreementCheck verifies that all honest nodes produced identical outputs

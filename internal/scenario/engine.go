@@ -16,6 +16,14 @@ type Lifecycle interface {
 	RecoverNode(i int)
 }
 
+// ByzLifecycle is the optional extension a Lifecycle implements to
+// support byz events: arm the named active-Byzantine behavior on a node.
+// Drivers validate behavior names before the run, so implementations may
+// treat them as trusted.
+type ByzLifecycle interface {
+	SetByzantine(i int, behavior string)
+}
+
 // Engine compiles one Plan onto a running simulation: timed events fire on
 // the scheduler, network effects apply through delivery hooks installed on
 // one or more channels, and crash/recovery flows through the Lifecycle.
@@ -60,6 +68,12 @@ func Start(sched *sim.Scheduler, plan Plan, seed int64, life Lifecycle) *Engine 
 			sched.At(ev.At, func() {
 				if e.life != nil {
 					e.life.RecoverNode(ev.Node)
+				}
+			})
+		case KindByz:
+			sched.At(ev.At, func() {
+				if bl, ok := e.life.(ByzLifecycle); ok {
+					bl.SetByzantine(ev.Node, ev.Behavior)
 				}
 			})
 		case KindPartition:

@@ -11,7 +11,8 @@ import (
 //
 //	kind[@at[+duration]][:args]
 //
-// with times in Go duration syntax. Examples:
+// with times in Go duration syntax. The full event vocabulary (every
+// scenario.Kind), one example each:
 //
 //	crash@30m:3                   crash node 3 at t=30m
 //	recover@55m:3                 recover node 3 at t=55m
@@ -21,6 +22,11 @@ import (
 //	jam@5m+60s                    total loss for 60s
 //	delay:0.25,10s                delay adversary for the whole run
 //	delay@1h+30m:0.25,10s         ... for 30m starting at t=1h
+//	byz@0s:3:equivocate           node 3 is actively Byzantine from t=0
+//
+// byz behaviors are "equivocate", "withhold", "garbage", and "flipvotes"
+// (internal/byz); Parse accepts any token and the driver validates it
+// against the byz vocabulary before the run starts.
 //
 // The empty string and "fault-free" parse to the empty plan.
 func Parse(spec string) (Plan, error) {
@@ -128,6 +134,16 @@ func parseEvent(s string) (Event, error) {
 			return Event{}, fmt.Errorf("bad delay bound %q", fields[1])
 		}
 		return DelayFrom(at, prob, max, dur), nil
+	case KindByz:
+		fields := strings.SplitN(args, ":", 2)
+		if len(fields) != 2 || fields[1] == "" {
+			return Event{}, fmt.Errorf("byz needs node:behavior (e.g. 3:equivocate)")
+		}
+		nd, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+		if err != nil {
+			return Event{}, fmt.Errorf("bad node id %q", fields[0])
+		}
+		return ByzAt(at, nd, fields[1]), nil
 	default:
 		return Event{}, fmt.Errorf("unknown event kind %q", kind)
 	}

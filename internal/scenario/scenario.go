@@ -1,10 +1,10 @@
 // Package scenario is the scripted fault-scenario engine: a Plan is an
 // ordered set of timed events — node crashes and recoveries, network
-// partitions, loss and jamming bursts, and the asynchronous delay
-// adversary — that a driver compiles onto the wireless delivery hook and
-// its node lifecycle. One engine drives one simulation; its randomness is
-// derived from the run seed, so a scenario is as reproducible as the rest
-// of the simulation.
+// partitions, loss and jamming bursts, the asynchronous delay adversary,
+// and active-Byzantine behavior activation — that a driver compiles onto
+// the wireless delivery hook and its node lifecycle. One engine drives
+// one simulation; its randomness is derived from the run seed, so a
+// scenario is as reproducible as the rest of the simulation.
 //
 // The same Plan runs against all three drivers (protocol.Run,
 // protocol.RunMultihop, protocol.ChainRun); what differs is the lifecycle
@@ -32,7 +32,15 @@ const (
 	KindLoss      Kind = "loss"      // elevated random loss for a window
 	KindJam       Kind = "jam"       // total loss for a window (interference burst)
 	KindDelay     Kind = "delay"     // the paper's asynchronous delay adversary
+	KindByz       Kind = "byz"       // node turns actively Byzantine (internal/byz)
 )
+
+// Kinds lists the full event vocabulary. The DSL docs tests check that
+// every kind is documented in the Parse grammar and EXPERIMENTS.md.
+func Kinds() []Kind {
+	return []Kind{KindCrash, KindRecover, KindPartition, KindHeal,
+		KindLoss, KindJam, KindDelay, KindByz}
+}
 
 // Event is one timed scripted fault.
 type Event struct {
@@ -49,6 +57,9 @@ type Event struct {
 	Max time.Duration
 	// Duration bounds loss/jam/delay windows; 0 means until the run ends.
 	Duration time.Duration
+	// Behavior names the byz event's active-Byzantine behavior (one of
+	// internal/byz.Names; drivers validate before the run starts).
+	Behavior string
 }
 
 // Plan is a scripted fault scenario. The zero value is the fault-free run.
@@ -102,6 +113,25 @@ func DelayFrom(at time.Duration, prob float64, max time.Duration, dur time.Durat
 	return Event{At: at, Kind: KindDelay, Prob: prob, Max: max, Duration: dur}
 }
 
+// ByzAt schedules a node turning actively Byzantine: from at onwards its
+// outbound component state is rewritten by the named behavior (see
+// internal/byz). The node stays Byzantine for the rest of the run —
+// drivers exclude it from completion barriers and safety checks, which
+// cover honest nodes only.
+func ByzAt(at time.Duration, nd int, behavior string) Event {
+	return Event{At: at, Kind: KindByz, Node: nd, Behavior: behavior}
+}
+
+// Byz is the static adversary plan: the listed nodes run the behavior
+// from the start.
+func Byz(behavior string, nodes ...int) Plan {
+	p := Plan{}
+	for _, nd := range nodes {
+		p.Events = append(p.Events, ByzAt(0, nd, behavior))
+	}
+	return p
+}
+
 // Crash is the classic static fault plan: the listed nodes are down from
 // the start and never recover.
 func Crash(nodes ...int) Plan {
@@ -146,6 +176,20 @@ func (p Plan) DownForever() map[int]bool {
 		}
 	}
 	return down
+}
+
+// ByzNodes returns every node a byz event ever targets. A node is
+// untrusted for the whole run once scripted to misbehave at any point,
+// so drivers use this set to scope barriers and safety checks to the
+// honest nodes.
+func (p Plan) ByzNodes() map[int]bool {
+	out := map[int]bool{}
+	for _, e := range p.Events {
+		if e.Kind == KindByz {
+			out[e.Node] = true
+		}
+	}
+	return out
 }
 
 // CrashedNodes returns every node a crash event targets, recovered or not.
@@ -205,6 +249,8 @@ func (e Event) String() string {
 		fmt.Fprintf(&b, ":%g", e.Prob)
 	case KindDelay:
 		fmt.Fprintf(&b, ":%g,%s", e.Prob, e.Max)
+	case KindByz:
+		fmt.Fprintf(&b, ":%d:%s", e.Node, e.Behavior)
 	}
 	return b.String()
 }

@@ -13,6 +13,10 @@ type recorder struct {
 		node int
 		at   time.Duration
 	}
+	byzed []struct {
+		node     int
+		behavior string
+	}
 	sched *sim.Scheduler
 }
 
@@ -30,6 +34,13 @@ func (r *recorder) RecoverNode(i int) {
 	}{i, r.sched.Now()})
 }
 
+func (r *recorder) SetByzantine(i int, behavior string) {
+	r.byzed = append(r.byzed, struct {
+		node     int
+		behavior string
+	}{i, behavior})
+}
+
 func TestEngineFiresLifecycleEvents(t *testing.T) {
 	sched := sim.New(1)
 	rec := &recorder{sched: sched}
@@ -41,6 +52,37 @@ func TestEngineFiresLifecycleEvents(t *testing.T) {
 	}
 	if len(rec.recovers) != 1 || rec.recovers[0].node != 2 || rec.recovers[0].at != 3*time.Minute {
 		t.Fatalf("recovers = %+v", rec.recovers)
+	}
+}
+
+func TestEngineFiresByzEvents(t *testing.T) {
+	sched := sim.New(1)
+	rec := &recorder{sched: sched}
+	Start(sched, Plan{}.Then(ByzAt(2*time.Minute, 3, "equivocate")), 1, rec)
+	sched.Run()
+	if len(rec.byzed) != 1 || rec.byzed[0].node != 3 || rec.byzed[0].behavior != "equivocate" {
+		t.Fatalf("byzed = %+v", rec.byzed)
+	}
+	// A lifecycle without the ByzLifecycle extension must be skipped, not
+	// crash the engine.
+	sched2 := sim.New(1)
+	plain := struct{ Lifecycle }{}
+	Start(sched2, Plan{}.Then(ByzAt(time.Minute, 1, "garbage")), 1, plain)
+	sched2.Run()
+}
+
+func TestByzNodes(t *testing.T) {
+	p := Plan{}.Then(
+		ByzAt(0, 3, "garbage"),
+		ByzAt(30*time.Minute, 1, "withhold"),
+		CrashAt(time.Minute, 2),
+	)
+	b := p.ByzNodes()
+	if len(b) != 2 || !b[3] || !b[1] {
+		t.Fatalf("ByzNodes = %v, want {1, 3}", b)
+	}
+	if got := Byz("flipvotes", 0, 2).ByzNodes(); len(got) != 2 || !got[0] || !got[2] {
+		t.Fatalf("Byz plan nodes = %v", got)
 	}
 }
 
@@ -153,6 +195,24 @@ func TestParseRoundTrip(t *testing.T) {
 		"jam@5m+60s",
 		"delay@0s:0.25,10s",
 		"delay@1h+30m:0.25,10s",
+		"byz@0s:3:equivocate",
+		"byz@45m:2:flipvotes;crash@1h:2",
+	}
+	// Every Kind in the vocabulary must be exercised by a spec above, so
+	// a new event type cannot ship without round-trip coverage.
+	for _, k := range Kinds() {
+		covered := false
+		for _, spec := range specs {
+			p := MustParse(spec)
+			for _, e := range p.Events {
+				if e.Kind == k {
+					covered = true
+				}
+			}
+		}
+		if !covered {
+			t.Errorf("Kind %q has no round-trip spec", k)
+		}
 	}
 	for _, spec := range specs {
 		p, err := Parse(spec)
@@ -173,7 +233,7 @@ func TestParseRoundTrip(t *testing.T) {
 	if p, err := Parse("fault-free"); err != nil || !p.Empty() {
 		t.Error("fault-free must parse to the empty plan")
 	}
-	for _, bad := range []string{"crash@30m", "explode@1m:2", "delay:oops", "partition@1m", "loss@1m:1.5"} {
+	for _, bad := range []string{"crash@30m", "explode@1m:2", "delay:oops", "partition@1m", "loss@1m:1.5", "byz@0s:3", "byz@0s:x:garbage"} {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q) accepted", bad)
 		}
