@@ -1,0 +1,67 @@
+package repro
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestNoLegacyDriverAPI is the migration gate for the run.Spec redesign:
+// the three legacy drivers (protocol.Run, protocol.RunMultihop,
+// protocol.ChainRun) and their per-driver Options builders were deleted,
+// and no Go source may reference them — internal/run is the only entry
+// point for executing experiments. The gate scans text rather than
+// relying on the compiler so that a re-introduced adapter (which would
+// compile fine) still fails CI with a named signal.
+func TestNoLegacyDriverAPI(t *testing.T) {
+	legacy := regexp.MustCompile(
+		`protocol\.(Run|RunMultihop|ChainRun|Options|ChainOptions|MultihopOptions|Result|ChainResult|MultihopResult|DefaultOptions|DefaultChainOptions|DefaultMultihopOptions)\b`)
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == ".github" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || path == "api_gate_test.go" {
+			return nil
+		}
+		raw, readErr := os.ReadFile(path)
+		if readErr != nil {
+			return readErr
+		}
+		for i, line := range strings.Split(string(raw), "\n") {
+			if m := legacy.FindString(line); m != "" {
+				t.Errorf("%s:%d references legacy driver API %s; use run.Run(run.Spec) instead", path, i+1, m)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The legacy entry points must also stay deleted from the protocol
+	// package itself, not just unreferenced.
+	decl := regexp.MustCompile(`func (Run|RunMultihop|ChainRun|DefaultOptions|DefaultChainOptions|DefaultMultihopOptions)\(`)
+	matches, err := filepath.Glob(filepath.Join("internal", "protocol", "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range matches {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(raw), "\n") {
+			if m := decl.FindString(line); m != "" {
+				t.Errorf("%s:%d re-declares legacy driver entry point %q", path, i+1, m)
+			}
+		}
+	}
+}

@@ -3,16 +3,19 @@
 //
 // Usage:
 //
-//	wbft-bench [-exp all|table1|fig10a|fig10b|fig10c|fig10d|fig11a|fig11b|fig12a|fig12b|fig13a|fig13b|chain|faults|byz]
+//	wbft-bench [-exp all|table1|fig10a|fig10b|fig10c|fig10d|fig11a|fig11b|fig12a|fig12b|fig13a|fig13b|chain|faults|byz|mhchain]
 //	           [-seed N] [-epochs N] [-batch N] [-reps N] [-chain-epochs N] [-json FILE]
 //
 // The chain experiment (sustained SMR throughput vs pipeline depth), the
 // faults experiment (scenario x protocol x transport sweep of the
-// scripted fault engine), and the byz experiment (active-Byzantine
-// behavior x protocol x transport sweep with f misbehaving replicas) are
-// not in the paper; -json writes the selected experiment's points as a
-// trajectory file (BENCH_chain.json, BENCH_faults.json, or
-// BENCH_byz.json; with -exp all it applies to chain).
+// scripted fault engine), the byz experiment (active-Byzantine behavior x
+// protocol x transport sweep with f misbehaving replicas), and the
+// mhchain experiment (pipelined SMR per cluster with cluster cuts ordered
+// on the global tier — the run.Spec matrix cell the paper's one-shot
+// multihop evaluation stops short of) are not in the paper; -json writes
+// the selected experiment's points as a trajectory file
+// (BENCH_chain.json, BENCH_faults.json, BENCH_byz.json, or
+// BENCH_mhchain.json; with -exp all it applies to chain).
 package main
 
 import (
@@ -182,6 +185,22 @@ func run(exp string, seed int64, epochs, batch, reps, chainEpochs int, jsonPath 
 		if jsonPath != "" && exp == "byz" {
 			if err := writeJSON(w, jsonPath, func(f *os.File) error {
 				return bench.WriteByzJSON(f, seed, rows)
+			}); err != nil {
+				return err
+			}
+		}
+		sep()
+	}
+	if all || exp == "mhchain" {
+		did = true
+		rows, err := bench.MHChainSweep(seed, chainEpochs)
+		if err != nil {
+			return err
+		}
+		bench.PrintMHChain(w, rows)
+		if jsonPath != "" && exp == "mhchain" {
+			if err := writeJSON(w, jsonPath, func(f *os.File) error {
+				return bench.WriteMHChainJSON(f, seed, rows)
 			}); err != nil {
 				return err
 			}

@@ -1,18 +1,25 @@
-// Command wbft runs one wireless asynchronous BFT consensus simulation
-// from flags and prints the measured results.
+// Command wbft runs one wireless asynchronous BFT consensus experiment
+// from flags and prints the measured results. Every cell of the
+// experiment matrix — Topology (single | clustered) × Workload (oneshot |
+// chain) — is reachable from the same flag surface; the flags map 1:1
+// onto run.Spec.
 //
 // Usage:
 //
-//	wbft -protocol honeybadger|beat|dumbo -coin LC|SC|CP [-baseline]
-//	     [-epochs N] [-batch N] [-txsize N] [-seed N] [-loss P]
-//	     [-crash 3] [-scenario SPEC] [-multihop] [-heavy]
+//	wbft [-protocol honeybadger|beat|dumbo] [-coin LC|SC|CP] [-baseline]
+//	     [-topology single|clustered] [-workload oneshot|chain]
+//	     [-epochs N] [-seed N] [-loss P] [-heavy] [-json FILE]
+//	     [-crash 3] [-scenario SPEC]
+//	     [-clusters M] [-percluster N]           (clustered topology)
+//	     [-batch N] [-txsize N]                  (oneshot workload)
+//	     [-depth N] [-txsize N] [-txinterval D]  (chain workload)
 //
-//	wbft chain [-protocol P] [-coin C] [-baseline] [-depth N] [-epochs N]
-//	           [-txsize N] [-txinterval D] [-seed N] [-loss P] [-crash 3]
-//	           [-scenario SPEC]
+//	wbft chain [flags]   alias for -workload chain
 //
-// The chain subcommand runs the pipelined SMR deployment: continuous
-// client traffic ordered into a replicated log across many epochs.
+// The chain workload runs the pipelined SMR deployment: continuous client
+// traffic ordered into a replicated log across many epochs. Combined with
+// -topology clustered it runs local chains per cluster and orders cluster
+// cuts on the global tier.
 //
 // -scenario scripts timed faults in the scenario DSL (see
 // internal/scenario.Parse): ';'-separated events of the form
@@ -28,7 +35,9 @@
 //	byz@0s:3:equivocate      node 3 actively Byzantine: equivocate,
 //	                         withhold, garbage, or flipvotes (internal/byz)
 //
-// -crash N is shorthand for a crash at t=0 that never recovers.
+// -crash N is shorthand for a crash at t=0 that never recovers. Under the
+// clustered topology, scenario node ids are flat:
+// cluster*percluster + in-cluster index.
 package main
 
 import (
@@ -41,15 +50,108 @@ import (
 
 	"repro/internal/crypto"
 	"repro/internal/protocol"
+	"repro/internal/run"
 	"repro/internal/scenario"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "chain" {
-		runChain(os.Args[2:])
-		return
+	args := os.Args[1:]
+	// Compat alias from the pre-run.Spec CLI: `wbft chain ...` selects the
+	// chain workload.
+	if len(args) > 0 && args[0] == "chain" {
+		args = append([]string{"-workload", "chain"}, args[1:]...)
 	}
-	runSingle()
+
+	fs := flag.NewFlagSet("wbft", flag.ExitOnError)
+	var (
+		proto    = fs.String("protocol", "honeybadger", "honeybadger | beat | dumbo")
+		coin     = fs.String("coin", "SC", "LC (local) | SC (threshold sig) | CP (coin flipping)")
+		baseline = fs.Bool("baseline", false, "disable ConsensusBatcher (per-instance packets)")
+		topology = fs.String("topology", "single", "single (one channel) | clustered (two-tier, per-cluster channels)")
+		workload = fs.String("workload", "oneshot", "oneshot (independent epochs) | chain (pipelined SMR log)")
+		epochs   = fs.Int("epochs", 0, "epochs: one-shot runs this many, chain commits this many (0 = workload default)")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+		loss     = fs.Float64("loss", 0.02, "per-receiver frame loss probability")
+		heavy    = fs.Bool("heavy", false, "heavy crypto parameter set (BN254-equivalent)")
+		crash    = fs.String("crash", "", "comma-separated node ids to crash at t=0")
+		scen     = fs.String("scenario", "", "scripted fault DSL: crash|recover|partition|heal|loss|jam|delay|byz events (e.g. crash@30m:3;byz@0s:2:garbage)")
+		jsonPath = fs.String("json", "", "also write the run.Report JSON to this file")
+
+		clusters   = fs.Int("clusters", 4, "clustered: number of clusters M (3f+1)")
+		perCluster = fs.Int("percluster", 4, "clustered: nodes per cluster (3F+1)")
+
+		batch      = fs.Int("batch", 4, "oneshot: transactions per proposal")
+		txsize     = fs.Int("txsize", 64, "bytes per transaction")
+		depth      = fs.Int("depth", 2, "chain: pipeline depth (concurrent epochs)")
+		txinterval = fs.Duration("txinterval", 4*time.Second, "chain: client submission interval")
+		gclag      = fs.Int("gclag", 0, "chain: epochs kept behind the frontier for repairs (0 = engine default)")
+	)
+	fs.Parse(args)
+
+	spec := run.Defaults(checkKind(*proto), protocol.CoinKind(*coin))
+	spec.Batched = !*baseline
+	spec.Seed = *seed
+	spec.Net.LossProb = *loss
+	if *heavy {
+		spec.Crypto = crypto.HeavyConfig()
+	}
+	spec.Scenario = buildScenario(*scen, *crash)
+
+	switch *topology {
+	case "single":
+		spec.Topology = run.SingleHop()
+	case "clustered":
+		spec.Topology = run.Clustered(*clusters, *perCluster)
+	default:
+		fmt.Fprintf(os.Stderr, "wbft: unknown topology %q\n", *topology)
+		os.Exit(2)
+	}
+	switch *workload {
+	case "oneshot":
+		spec.Workload = run.OneShot(*epochs)
+		spec.Workload.BatchSize = *batch
+		spec.Workload.TxSize = *txsize
+		spec.Deadline = 8 * time.Hour
+	case "chain":
+		spec.Workload = run.Chain(*epochs)
+		if spec.Workload.Epochs <= 0 {
+			spec.Workload.Epochs = 20
+		}
+		spec.Workload.Window = *depth
+		spec.Workload.TxSize = *txsize
+		spec.Workload.TxInterval = *txinterval
+		spec.Workload.GCLag = *gclag
+	default:
+		fmt.Fprintf(os.Stderr, "wbft: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	res, err := run.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wbft:", err)
+		os.Exit(1)
+	}
+	printReport(res)
+	if *jsonPath != "" {
+		if err := writeReportJSON(*jsonPath, res); err != nil {
+			fmt.Fprintln(os.Stderr, "wbft:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
+
+// writeReportJSON records the run's Report in its stable JSON schema
+// (EXPERIMENTS.md, "BENCH trajectories and the Report schema").
+func writeReportJSON(path string, res *run.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // buildScenario combines the -scenario DSL with the -crash shorthand
@@ -85,116 +187,39 @@ func checkKind(proto string) protocol.Kind {
 	}
 }
 
-// runChain executes the SMR pipeline and prints sustained measurements.
-func runChain(args []string) {
-	fs := flag.NewFlagSet("wbft chain", flag.ExitOnError)
-	var (
-		proto      = fs.String("protocol", "honeybadger", "honeybadger | beat | dumbo")
-		coin       = fs.String("coin", "SC", "LC (local) | SC (threshold sig) | CP (coin flipping)")
-		baseline   = fs.Bool("baseline", false, "disable ConsensusBatcher (per-instance packets)")
-		depth      = fs.Int("depth", 2, "pipeline depth (concurrent epochs)")
-		epochs     = fs.Int("epochs", 20, "epochs to commit")
-		txsize     = fs.Int("txsize", 64, "bytes per client transaction")
-		txinterval = fs.Duration("txinterval", 4*time.Second, "client submission interval")
-		seed       = fs.Int64("seed", 1, "simulation seed")
-		loss       = fs.Float64("loss", 0.02, "per-receiver frame loss probability")
-		crash      = fs.String("crash", "", "comma-separated node ids to crash at t=0")
-		scen       = fs.String("scenario", "", "scripted fault DSL: crash|recover|partition|heal|loss|jam|delay|byz events (e.g. crash@30m:3;byz@0s:2:garbage)")
-	)
-	fs.Parse(args)
+// printReport renders the Report: the flat counters plus whichever
+// sections the matrix cell produced.
+func printReport(res *run.Report) {
+	fmt.Printf("experiment      %s-%s, %s x %s (batched=%v)\n",
+		res.Protocol, res.Coin, res.Topology, res.Workload, res.Batched)
 
-	opts := protocol.DefaultChainOptions(checkKind(*proto), protocol.CoinKind(*coin))
-	opts.Batched = !*baseline
-	opts.Window = *depth
-	opts.TargetEpochs = *epochs
-	opts.TxSize = *txsize
-	opts.TxInterval = *txinterval
-	opts.Seed = *seed
-	opts.Net.LossProb = *loss
-	opts.Scenario = buildScenario(*scen, *crash)
-
-	res, err := protocol.ChainRun(opts)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "wbft:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("chain           %s-%s (batched=%v, depth=%d)\n", *proto, *coin, opts.Batched, *depth)
-	fmt.Printf("epochs          %d committed, gap-free, identical at all correct nodes\n", res.EpochsCommitted)
-	fmt.Printf("virtual time    %v\n", res.Duration.Round(time.Second))
-	fmt.Printf("committed txs   %d (%d offered; rest is mempool backlog) (%d duplicate proposals suppressed)\n",
-		res.CommittedTxs, res.SubmittedTxs, res.DedupDropped)
-	fmt.Printf("throughput      %.2f committed B/s (%d bytes total)\n", res.ThroughputBps, res.CommittedBytes)
-	fmt.Printf("commit latency  %v mean (epoch start -> commit)\n", res.MeanCommitLatency.Round(time.Millisecond))
-	fmt.Printf("epoch cadence   %v between commits\n",
-		(res.Duration / time.Duration(res.EpochsCommitted)).Round(time.Millisecond))
-	fmt.Printf("open epochs     %d peak (pipeline + GC lag bound)\n", res.MaxOpenEpochs)
-	fmt.Printf("chan accesses   %d (collisions %d)\n", res.Accesses, res.Collisions)
-	fmt.Printf("bytes on air    %d\n", res.BytesOnAir)
-}
-
-func runSingle() {
-	var (
-		proto    = flag.String("protocol", "honeybadger", "honeybadger | beat | dumbo")
-		coin     = flag.String("coin", "SC", "LC (local) | SC (threshold sig) | CP (coin flipping)")
-		baseline = flag.Bool("baseline", false, "disable ConsensusBatcher (per-instance packets)")
-		epochs   = flag.Int("epochs", 3, "consensus epochs to run")
-		batch    = flag.Int("batch", 4, "transactions per proposal")
-		txsize   = flag.Int("txsize", 64, "bytes per transaction")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		loss     = flag.Float64("loss", 0.02, "per-receiver frame loss probability")
-		crash    = flag.String("crash", "", "comma-separated node ids to crash at t=0")
-		scen     = flag.String("scenario", "", "scripted fault DSL: crash|recover|partition|heal|loss|jam|delay|byz events (e.g. crash@30m:3;byz@0s:2:garbage)")
-		multihop = flag.Bool("multihop", false, "16 nodes in 4 clusters instead of single-hop")
-		heavy    = flag.Bool("heavy", false, "heavy crypto parameter set (BN254-equivalent)")
-	)
-	flag.Parse()
-
-	kind := checkKind(*proto)
-	opts := protocol.DefaultOptions(kind, protocol.CoinKind(*coin))
-	opts.Batched = !*baseline
-	opts.Epochs = *epochs
-	opts.BatchSize = *batch
-	opts.TxSize = *txsize
-	opts.Seed = *seed
-	opts.Net.LossProb = *loss
-	opts.Deadline = 8 * time.Hour
-	if *heavy {
-		opts.Crypto = crypto.HeavyConfig()
-	}
-	opts.Scenario = buildScenario(*scen, *crash)
-
-	if *multihop {
-		mh := protocol.DefaultMultihopOptions(kind, protocol.CoinKind(*coin))
-		mh.Single = opts
-		res, err := protocol.RunMultihop(mh)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "wbft:", err)
-			os.Exit(1)
+	if osr := res.OneShot; osr != nil {
+		fmt.Printf("epochs          %d\n", len(osr.EpochLatencies))
+		for i, l := range osr.EpochLatencies {
+			fmt.Printf("  epoch %d       %v\n", i, l.Round(time.Millisecond))
 		}
-		fmt.Printf("protocol        %s-%s (multihop, batched=%v)\n", kind, *coin, opts.Batched)
-		printCommon(res.Result)
-		fmt.Printf("local accesses  %d\nglobal accesses %d\n", res.LocalAccesses, res.GlobalAccesses)
-		return
+		fmt.Printf("mean latency    %v\n", osr.MeanLatency.Round(time.Millisecond))
+		fmt.Printf("throughput      %.1f TPM\n", osr.TPM)
+		fmt.Printf("delivered txs   %d\n", osr.DeliveredTxs)
 	}
-
-	res, err := protocol.Run(opts)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "wbft:", err)
-		os.Exit(1)
+	if c := res.Chain; c != nil {
+		fmt.Printf("epochs          %d committed per group, gap-free, identical at all correct nodes\n", c.EpochsCommitted)
+		fmt.Printf("virtual time    %v\n", res.Duration.Round(time.Second))
+		fmt.Printf("committed txs   %d (%d offered; rest is mempool backlog) (%d duplicate proposals suppressed)\n",
+			c.CommittedTxs, c.SubmittedTxs, c.DedupDropped)
+		fmt.Printf("throughput      %.2f committed B/s (%d bytes total)\n", c.ThroughputBps, c.CommittedBytes)
+		fmt.Printf("commit latency  %v mean (epoch start -> commit)\n", c.MeanCommitLatency.Round(time.Millisecond))
+		fmt.Printf("epoch cadence   %v between commits\n",
+			(res.Duration / time.Duration(c.EpochsCommitted)).Round(time.Millisecond))
+		fmt.Printf("open epochs     %d peak (pipeline + GC lag bound)\n", c.MaxOpenEpochs)
 	}
-	fmt.Printf("protocol        %s-%s (single-hop, batched=%v)\n", kind, *coin, opts.Batched)
-	printCommon(*res)
-}
-
-func printCommon(res protocol.Result) {
-	fmt.Printf("epochs          %d\n", len(res.EpochLatencies))
-	for i, l := range res.EpochLatencies {
-		fmt.Printf("  epoch %d       %v\n", i, l.Round(time.Millisecond))
-	}
-	fmt.Printf("mean latency    %v\n", res.MeanLatency.Round(time.Millisecond))
-	fmt.Printf("throughput      %.1f TPM\n", res.TPM)
-	fmt.Printf("delivered txs   %d\n", res.DeliveredTxs)
 	fmt.Printf("chan accesses   %d (collisions %d)\n", res.Accesses, res.Collisions)
 	fmt.Printf("bytes on air    %d\n", res.BytesOnAir)
 	fmt.Printf("signed packets  %d (sign ops %d, verify ops %d)\n", res.LogicalSent, res.SignOps, res.VerifyOps)
+	if tr := res.Tiers; tr != nil {
+		fmt.Printf("local accesses  %d\nglobal accesses %d\n", tr.LocalAccesses, tr.GlobalAccesses)
+		if res.Chain != nil {
+			fmt.Printf("global order    %d cluster cuts in %d global entries\n", tr.OrderedCuts, tr.GlobalEntries)
+		}
+	}
 }

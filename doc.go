@@ -13,8 +13,11 @@
 //	                    plus the epoch mux behind the SMR pipeline
 //	internal/crypto     threshold signatures / coin / encryption, PK schemes
 //	internal/component  RBC, PRBC, CBC, Bracha ABA, Cachin ABA, decryptor
-//	internal/protocol   HoneyBadgerBFT, BEAT, Dumbo; single- and multi-hop;
-//	                    the Chain SMR engine (pipelined replicated log)
+//	internal/protocol   HoneyBadgerBFT, BEAT, Dumbo epoch engines; the
+//	                    Chain SMR engine (pipelined replicated log)
+//	internal/run        the unified experiment API: run.Run(run.Spec) over
+//	                    Topology (single-hop | clustered) x Workload
+//	                    (one-shot | chain), incl. clustered chained SMR
 //	internal/bench      per-table/figure experiment harness
 //	cmd/...             CLI tools; examples/... runnable demos
 //

@@ -15,12 +15,13 @@ import (
 
 	"repro/internal/byz"
 	"repro/internal/protocol"
+	"repro/internal/run"
 	"repro/internal/scenario"
 )
 
 func main() {
 	for _, behavior := range []string{byz.NameGarbage, byz.NameEquivocate} {
-		run(behavior)
+		runBehavior(behavior)
 	}
 	fmt.Println("every adversarial contribution was either verified away (rejected")
 	fmt.Println("shares, certificates, proofs), outvoted by the 2f+1 honest quorums,")
@@ -28,25 +29,25 @@ func main() {
 	fmt.Println("never saw a forged byte. See the threat model in DESIGN.md.")
 }
 
-func run(behavior string) {
-	opts := protocol.DefaultChainOptions(protocol.HoneyBadger, protocol.CoinSig)
-	opts.Seed = 7
-	opts.TargetEpochs = 4
-	opts.GCLag = opts.TargetEpochs
-	opts.Scenario = scenario.Byz(behavior, 3)
+func runBehavior(behavior string) {
+	spec := run.Defaults(protocol.HoneyBadger, protocol.CoinSig)
+	spec.Workload = run.Chain(4)
+	spec.Workload.GCLag = spec.Workload.Epochs
+	spec.Seed = 7
+	spec.Scenario = scenario.Byz(behavior, 3)
 
 	fmt.Printf("4-node wireless HoneyBadgerBFT-SC chain; node 3 runs %q (scenario %q)\n",
-		behavior, opts.Scenario.String())
-	res, err := protocol.ChainRun(opts)
+		behavior, spec.Scenario.String())
+	res, err := run.Run(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	if forged := protocol.CountForged(res.Logs, opts.TxSize, res.SubmittedTxs); forged > 0 {
+	if forged := protocol.CountForged(res.Chain.Logs, spec.Workload.TxSize, res.Chain.SubmittedTxs); forged > 0 {
 		log.Fatalf("SAFETY VIOLATION: %d forged transactions committed", forged)
 	}
 	fmt.Printf("  %d epochs committed in %v: honest logs identical, gap-free, zero forged txs\n",
-		res.EpochsCommitted, res.Duration.Round(time.Second))
+		res.Chain.EpochsCommitted, res.Duration.Round(time.Second))
 	fmt.Printf("  %d Byzantine contributions rejected by share/proof/proposal verification\n\n",
 		res.Rejected)
 }

@@ -12,24 +12,24 @@ import (
 	"time"
 
 	"repro/internal/protocol"
+	"repro/internal/run"
 )
 
 func main() {
 	fmt.Println("wireless HoneyBadgerBFT-SC vs frame loss (4 nodes, batch 4)")
 	fmt.Printf("%8s %14s %12s %12s\n", "loss", "latency", "TPM", "accesses")
 	for _, loss := range []float64{0, 0.05, 0.10, 0.20} {
-		opts := protocol.DefaultOptions(protocol.HoneyBadger, protocol.CoinSig)
-		opts.Epochs = 1
-		opts.BatchSize = 4
-		opts.Seed = 5
-		opts.Net.LossProb = loss
-		opts.Deadline = 8 * time.Hour
-		res, err := protocol.Run(opts)
+		spec := run.Defaults(protocol.HoneyBadger, protocol.CoinSig)
+		spec.Workload = run.OneShot(1)
+		spec.Seed = 5
+		spec.Net.LossProb = loss
+		spec.Deadline = 8 * time.Hour
+		res, err := run.Run(spec)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%7.0f%% %14v %12.1f %12d\n",
-			loss*100, res.MeanLatency.Round(time.Millisecond), res.TPM, res.Accesses)
+			loss*100, res.OneShot.MeanLatency.Round(time.Millisecond), res.OneShot.TPM, res.Accesses)
 	}
 	fmt.Println("\nhigher loss -> more NACK retransmissions -> more channel accesses")
 	fmt.Println("and higher latency, but consensus always completes (no timing assumptions).")

@@ -1,0 +1,65 @@
+// Clustered chain: the matrix cell the unified run API unlocked —
+// pipelined multi-epoch SMR over the paper's two-tier wireless
+// deployment. Four clusters of four order their own client streams into
+// local replicated logs; rotating leaders hand each committed epoch's cut
+// to their cluster's uplink seat; and a second chain across the four
+// seats pipelines those cuts into one cross-cluster total order, beaconed
+// back down so every follower tracks the global frontier. Midway through,
+// the relay leader of cluster 0 crashes: relay duty fails over, the
+// cluster's cuts keep flowing, and the node catches back up after
+// recovery.
+//
+//	go run ./examples/mhchain
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/run"
+	"repro/internal/scenario"
+)
+
+func main() {
+	spec := run.Defaults(protocol.HoneyBadger, protocol.CoinSig)
+	spec.Topology = run.Clustered(4, 4)
+	spec.Workload = run.Chain(5)
+	spec.Workload.TxInterval = 2 * time.Second
+	spec.Workload.GCLag = spec.Workload.Epochs // peers hold the outage's epochs
+	spec.Seed = 3
+	spec.Scenario = scenario.Plan{}.Then(
+		scenario.CrashAt(15*time.Minute, 0),   // cluster 0's epoch-0 relay leader
+		scenario.RecoverAt(45*time.Minute, 0), // back for the tail of the run
+	)
+
+	fmt.Println("16 nodes in 4 clusters, HoneyBadgerBFT-SC chains on both tiers")
+	fmt.Println("node 0 (a rotating relay leader) crashes at 15m, recovers at 45m")
+	res, err := run.Run(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c, tr := res.Chain, res.Tiers
+	fmt.Printf("\nper-cluster logs: %d epochs committed by every honest node in %v\n",
+		c.EpochsCommitted, res.Duration.Round(time.Second))
+	fmt.Printf("cross-cluster order: %d cluster cuts pipelined into %d global entries\n",
+		tr.OrderedCuts, tr.GlobalEntries)
+	fmt.Printf("committed client txs: %d (%.2f B/s) with %d duplicates suppressed\n",
+		c.CommittedTxs, c.ThroughputBps, c.DedupDropped)
+	fmt.Printf("channel accesses: %d local + %d global\n", tr.LocalAccesses, tr.GlobalAccesses)
+
+	for cl := 0; cl < 4; cl++ {
+		txs := 0
+		for _, entry := range c.Logs[cl*4] {
+			txs += len(entry.Txs)
+		}
+		fmt.Printf("  cluster %d: %d epochs, %d txs in its local log\n",
+			cl, len(c.Logs[cl*4]), txs)
+	}
+	fmt.Println("\nrun.Run verified all of it: local agreement inside every cluster,")
+	fmt.Println("agreement across the seats' global logs, every cut matching the true")
+	fmt.Println("committed entry it claims, and every follower's frontier beacon")
+	fmt.Println("consistent with the global order — despite the relay leader's outage.")
+}

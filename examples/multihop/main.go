@@ -1,7 +1,8 @@
 // Multi-hop: the paper's Sec. V-B two-tier deployment — 16 nodes in 4
 // single-hop clusters, local consensus per cluster, a leader per cluster
 // running global consensus on a separate channel, and dissemination of the
-// global order back into the clusters.
+// global order back into the clusters. In run.Spec terms this is the
+// Clustered topology crossed with the default one-shot workload.
 //
 //	go run ./examples/multihop
 package main
@@ -12,26 +13,27 @@ import (
 	"time"
 
 	"repro/internal/protocol"
+	"repro/internal/run"
 )
 
 func main() {
-	opts := protocol.DefaultMultihopOptions(protocol.HoneyBadger, protocol.CoinSig)
-	opts.Single.Epochs = 2
-	opts.Single.BatchSize = 4
-	opts.Single.Seed = 11
+	spec := run.Defaults(protocol.HoneyBadger, protocol.CoinSig)
+	spec.Topology = run.Clustered(4, 4)
+	spec.Workload = run.OneShot(2)
+	spec.Seed = 11
 
 	fmt.Println("16 nodes, 4 clusters, wireless HoneyBadgerBFT-SC, two-tier consensus")
-	res, err := protocol.RunMultihop(opts)
+	res, err := run.Run(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	for epoch, lat := range res.EpochLatencies {
+	for epoch, lat := range res.OneShot.EpochLatencies {
 		fmt.Printf("  epoch %d: global order at every node after %v\n",
 			epoch, lat.Round(time.Millisecond))
 	}
-	fmt.Printf("\nthroughput: %.1f TPM across all clusters (%d txs)\n", res.TPM, res.DeliveredTxs)
-	fmt.Printf("channel accesses: %d local + %d global\n", res.LocalAccesses, res.GlobalAccesses)
+	fmt.Printf("\nthroughput: %.1f TPM across all clusters (%d txs)\n", res.OneShot.TPM, res.OneShot.DeliveredTxs)
+	fmt.Printf("channel accesses: %d local + %d global\n", res.Tiers.LocalAccesses, res.Tiers.GlobalAccesses)
 	fmt.Println("\nclusters run in parallel on separate channels; only the 4 leaders")
 	fmt.Println("contend on the global channel, which is why per-cluster contention")
 	fmt.Println("stays at single-hop levels (the paper's Fig. 13b regime).")

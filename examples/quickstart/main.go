@@ -10,40 +10,43 @@ import (
 	"time"
 
 	"repro/internal/protocol"
+	"repro/internal/run"
 )
 
 func main() {
-	// The defaults mirror the paper's single-hop setup: N=4 nodes on a
+	// run.Defaults mirrors the paper's single-hop setup: N=4 nodes on a
 	// shared LoRa-class channel, ConsensusBatcher enabled, light crypto
-	// (the secp160r1+BN158 analogue the paper selects).
-	opts := protocol.DefaultOptions(protocol.HoneyBadger, protocol.CoinSig)
-	opts.Epochs = 1
-	opts.BatchSize = 4 // four transactions per node's proposal
-	opts.Seed = 42
+	// (the secp160r1+BN158 analogue the paper selects). Topology and
+	// Workload are the two experiment axes; the defaults select the
+	// SingleHop × OneShot cell.
+	spec := run.Defaults(protocol.HoneyBadger, protocol.CoinSig)
+	spec.Workload = run.OneShot(1)
+	spec.Workload.BatchSize = 4 // four transactions per node's proposal
+	spec.Seed = 42
 
-	res, err := protocol.Run(opts)
+	res, err := run.Run(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("wireless HoneyBadgerBFT-SC, 4 nodes, single hop")
-	fmt.Printf("  consensus latency: %v of simulated time\n", res.MeanLatency.Round(time.Millisecond))
-	fmt.Printf("  transactions committed: %d\n", res.DeliveredTxs)
-	fmt.Printf("  throughput: %.1f transactions/minute\n", res.TPM)
+	fmt.Printf("  consensus latency: %v of simulated time\n", res.OneShot.MeanLatency.Round(time.Millisecond))
+	fmt.Printf("  transactions committed: %d\n", res.OneShot.DeliveredTxs)
+	fmt.Printf("  throughput: %.1f transactions/minute\n", res.OneShot.TPM)
 	fmt.Printf("  channel accesses: %d (collisions: %d)\n", res.Accesses, res.Collisions)
 	fmt.Printf("  bytes on air: %d\n", res.BytesOnAir)
 
 	// The same epoch without ConsensusBatcher: every consensus component
 	// instance contends for the channel separately.
-	opts.Batched = false
-	base, err := protocol.Run(opts)
+	spec.Batched = false
+	base, err := run.Run(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nsame epoch with batching disabled (baseline):")
 	fmt.Printf("  consensus latency: %v (%.0f%% slower)\n",
-		base.MeanLatency.Round(time.Millisecond),
-		100*(base.MeanLatency.Seconds()/res.MeanLatency.Seconds()-1))
+		base.OneShot.MeanLatency.Round(time.Millisecond),
+		100*(base.OneShot.MeanLatency.Seconds()/res.OneShot.MeanLatency.Seconds()-1))
 	fmt.Printf("  channel accesses: %d (%.1fx more)\n",
 		base.Accesses, float64(base.Accesses)/float64(res.Accesses))
 }

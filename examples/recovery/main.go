@@ -13,30 +13,31 @@ import (
 	"time"
 
 	"repro/internal/protocol"
+	"repro/internal/run"
 	"repro/internal/scenario"
 )
 
 func main() {
-	opts := protocol.DefaultChainOptions(protocol.HoneyBadger, protocol.CoinSig)
-	opts.Seed = 42
-	opts.TargetEpochs = 14
+	spec := run.Defaults(protocol.HoneyBadger, protocol.CoinSig)
+	spec.Workload = run.Chain(14)
+	spec.Seed = 42
 	// Peers serve catch-up repairs only for epochs their GC hasn't closed:
 	// keep the window as long as the planned outage.
-	opts.GCLag = opts.TargetEpochs
-	opts.Scenario = scenario.Plan{}.Then(
+	spec.Workload.GCLag = spec.Workload.Epochs
+	spec.Scenario = scenario.Plan{}.Then(
 		scenario.CrashAt(30*time.Minute, 2),   // ~epoch 5 at the default cadence
 		scenario.RecoverAt(60*time.Minute, 2), // ~epoch 10
 	)
 
 	fmt.Println("4-node wireless HoneyBadgerBFT-SC chain; node 2 crashes at 30m, recovers at 60m")
-	res, err := protocol.ChainRun(opts)
+	res, err := run.Run(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("\nall %d epochs committed in %v of simulated time\n",
-		res.EpochsCommitted, res.Duration.Round(time.Second))
-	for i, nodeLog := range res.Logs {
+		res.Chain.EpochsCommitted, res.Duration.Round(time.Second))
+	for i, nodeLog := range res.Chain.Logs {
 		txs := 0
 		for _, e := range nodeLog {
 			txs += len(e.Txs)
@@ -48,7 +49,7 @@ func main() {
 		fmt.Printf("  node %d: %2d epochs, %3d txs committed%s\n", i, len(nodeLog), txs, role)
 	}
 	fmt.Printf("\nthroughput %.2f B/s; %d channel accesses (%d collisions)\n",
-		res.ThroughputBps, res.Accesses, res.Collisions)
+		res.Chain.ThroughputBps, res.Accesses, res.Collisions)
 	fmt.Println("\nthe recovered replica rejoined mid-run: frames for epochs it had never")
 	fmt.Println("opened tripped core.Mux.OnUnknownEpoch, the chain re-opened its pipeline")
 	fmt.Println("at the commit frontier, and peers' quiesced epochs answered its NACKs")

@@ -11,30 +11,32 @@ import (
 	"time"
 
 	"repro/internal/protocol"
+	"repro/internal/run"
 )
 
-func run(depth int, batched bool) *protocol.ChainResult {
-	opts := protocol.DefaultChainOptions(protocol.HoneyBadger, protocol.CoinSig)
-	opts.TargetEpochs = 24
-	opts.Window = depth
-	opts.Batched = batched
-	opts.TxInterval = 2 * time.Second // sustained client traffic
-	opts.Seed = 42
-	res, err := protocol.ChainRun(opts)
+func runDepth(depth int, batched bool) *run.Report {
+	spec := run.Defaults(protocol.HoneyBadger, protocol.CoinSig)
+	spec.Workload = run.Chain(24)
+	spec.Workload.Window = depth
+	spec.Workload.TxInterval = 2 * time.Second // sustained client traffic
+	spec.Batched = batched
+	spec.Seed = 42
+	res, err := run.Run(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
 	return res
 }
 
-func show(res *protocol.ChainResult) {
+func show(res *run.Report) {
+	c := res.Chain
 	fmt.Printf("  committed: %d epochs, %d unique txs (%d duplicate proposals suppressed)\n",
-		res.EpochsCommitted, res.CommittedTxs, res.DedupDropped)
+		c.EpochsCommitted, c.CommittedTxs, c.DedupDropped)
 	fmt.Printf("  virtual time: %v  ->  %.2f committed B/s\n",
-		res.Duration.Round(time.Second), res.ThroughputBps)
+		res.Duration.Round(time.Second), c.ThroughputBps)
 	fmt.Printf("  epoch cadence: %v between commits; commit latency %v\n",
-		(res.Duration / time.Duration(res.EpochsCommitted)).Round(time.Millisecond),
-		res.MeanCommitLatency.Round(time.Millisecond))
+		(res.Duration / time.Duration(c.EpochsCommitted)).Round(time.Millisecond),
+		c.MeanCommitLatency.Round(time.Millisecond))
 	fmt.Printf("  channel accesses: %d\n", res.Accesses)
 }
 
@@ -43,25 +45,25 @@ func main() {
 	fmt.Println("4 nodes, 2% frame loss, every client tx broadcast to all mempools")
 
 	fmt.Println("\nsequential epochs (pipeline depth 1):")
-	seq := run(1, true)
+	seq := runDepth(1, true)
 	show(seq)
 
 	fmt.Println("\npipelined epochs (depth 3 — epoch e+1 disseminates while e decides):")
-	pipe := run(3, true)
+	pipe := runDepth(3, true)
 	show(pipe)
 
 	fmt.Println("\npipelined, but ConsensusBatcher disabled (baseline transport):")
-	base := run(3, false)
+	base := runDepth(3, false)
 	show(base)
 
 	fmt.Printf("\npipelining speedup over sequential: %.0f%% more committed bytes/sec\n",
-		100*(pipe.ThroughputBps/seq.ThroughputBps-1))
+		100*(pipe.Chain.ThroughputBps/seq.Chain.ThroughputBps-1))
 	fmt.Printf("batching speedup at depth 3 over baseline: %.1fx fewer channel accesses\n",
 		float64(base.Accesses)/float64(pipe.Accesses))
 
-	// The logs are checked inside ChainRun; show a slice of the total order.
+	// The logs are checked inside run.Run; show a slice of the total order.
 	fmt.Println("\nfirst committed epochs of the replicated log (node 0):")
-	for _, entry := range pipe.Logs[0][:3] {
+	for _, entry := range pipe.Chain.Logs[0][:3] {
 		fmt.Printf("  epoch %d: %d txs\n", entry.Epoch, len(entry.Txs))
 	}
 }

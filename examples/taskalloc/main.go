@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/protocol"
+	"repro/internal/run"
 	"repro/internal/scenario"
 )
 
@@ -20,21 +21,21 @@ import (
 var tasks = []string{"scan-sector-A", "scan-sector-B", "relay-uplink", "charge-dock"}
 
 func main() {
-	opts := protocol.DefaultOptions(protocol.BEAT, protocol.CoinFlip) // BEAT: the paper's best performer
-	opts.Epochs = 3
-	opts.BatchSize = len(tasks)
-	opts.Seed = 7
-	opts.Net.LossProb = 0.05          // noisy field conditions
-	opts.Scenario = scenario.Crash(3) // robot 3 is down from the start
-	opts.Deadline = 4 * time.Hour     // generous virtual-time bound
+	spec := run.Defaults(protocol.BEAT, protocol.CoinFlip) // BEAT: the paper's best performer
+	spec.Workload = run.OneShot(3)
+	spec.Workload.BatchSize = len(tasks)
+	spec.Seed = 7
+	spec.Net.LossProb = 0.05          // noisy field conditions
+	spec.Scenario = scenario.Crash(3) // robot 3 is down from the start
+	spec.Deadline = 4 * time.Hour     // generous virtual-time bound
 
 	fmt.Println("4-robot swarm, BEAT consensus, robot 3 crashed, 5% frame loss")
-	res, err := protocol.Run(opts)
+	res, err := run.Run(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	for epoch, lat := range res.EpochLatencies {
+	for epoch, lat := range res.OneShot.EpochLatencies {
 		fmt.Printf("\nround %d agreed in %v (simulated)\n", epoch, lat.Round(time.Millisecond))
 		// Every live robot derives the same deterministic allocation from
 		// the agreed epoch output (here: rotate tasks by epoch).
@@ -44,5 +45,5 @@ func main() {
 		}
 	}
 	fmt.Printf("\n%d task-assignment transactions committed at %.1f TPM despite the crash\n",
-		res.DeliveredTxs, res.TPM)
+		res.OneShot.DeliveredTxs, res.OneShot.TPM)
 }

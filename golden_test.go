@@ -1,0 +1,227 @@
+package repro
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/run"
+	"repro/internal/scenario"
+)
+
+// These tests pin the unified run API to the committed BENCH trajectory
+// files: selected honest-path points of BENCH_chain.json,
+// BENCH_faults.json, and BENCH_byz.json are re-run through run.Run and
+// every recorded number must reproduce bit-identically. The files were
+// produced by the legacy drivers; the goldens are the proof that the
+// api_redesign changed the surface without changing a single simulated
+// outcome.
+
+type goldenFile struct {
+	Experiment string            `json:"experiment"`
+	Seed       int64             `json:"seed"`
+	Points     []json.RawMessage `json:"points"`
+}
+
+func loadGolden(t *testing.T, path string) goldenFile {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f goldenFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return f
+}
+
+// eq asserts exact equality of a recorded float (the JSON files carry
+// float64; equality is exact because both sides round-trip the same way).
+func eq(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+		t.Errorf("%s: got %v, want %v (golden)", what, got, want)
+	}
+}
+
+func protoByName(t *testing.T, name string) (protocol.Kind, protocol.CoinKind) {
+	t.Helper()
+	for _, v := range protocol.Variants() {
+		if v.Name == name {
+			return v.Kind, v.Coin
+		}
+	}
+	t.Fatalf("unknown protocol name %q in golden file", name)
+	return "", ""
+}
+
+// TestGoldenChainBitIdentical re-runs the HB-SC batched rows of
+// BENCH_chain.json (all three pipeline depths) through run.Run.
+func TestGoldenChainBitIdentical(t *testing.T) {
+	f := loadGolden(t, "BENCH_chain.json")
+	matched := 0
+	for _, rawPt := range f.Points {
+		var pt struct {
+			Protocol       string  `json:"protocol"`
+			Transport      string  `json:"transport"`
+			Depth          int     `json:"depth"`
+			Epochs         int     `json:"epochs"`
+			CommittedTxs   int     `json:"committed_txs"`
+			CommittedBytes uint64  `json:"committed_bytes"`
+			VirtualSecs    float64 `json:"virtual_s"`
+			ThroughputBps  float64 `json:"throughput_Bps"`
+			CommitLatencyS float64 `json:"commit_latency_s"`
+			Accesses       uint64  `json:"accesses"`
+			DedupDropped   int     `json:"dedup_dropped"`
+		}
+		if err := json.Unmarshal(rawPt, &pt); err != nil {
+			t.Fatal(err)
+		}
+		if pt.Protocol != "HB-SC" || pt.Transport != "batched" {
+			continue
+		}
+		matched++
+		kind, coin := protoByName(t, pt.Protocol)
+		spec := run.Defaults(kind, coin)
+		spec.Seed = f.Seed
+		spec.Workload = run.Chain(pt.Epochs)
+		spec.Workload.Window = pt.Depth
+		spec.Workload.TxInterval = time.Second
+		res, err := run.Run(spec)
+		if err != nil {
+			t.Fatalf("depth %d: %v", pt.Depth, err)
+		}
+		if res.Chain.EpochsCommitted != pt.Epochs ||
+			res.Chain.CommittedTxs != pt.CommittedTxs ||
+			res.Chain.CommittedBytes != pt.CommittedBytes ||
+			res.Accesses != pt.Accesses ||
+			res.Chain.DedupDropped != pt.DedupDropped {
+			t.Errorf("depth %d: counters diverge from golden: %+v vs %+v", pt.Depth, res.Chain, pt)
+		}
+		eq(t, "virtual_s", res.Duration.Seconds(), pt.VirtualSecs)
+		eq(t, "throughput_Bps", res.Chain.ThroughputBps, pt.ThroughputBps)
+		eq(t, "commit_latency_s", res.Chain.MeanCommitLatency.Seconds(), pt.CommitLatencyS)
+	}
+	if matched != 3 {
+		t.Fatalf("matched %d golden rows, want 3 (depths 1/2/4)", matched)
+	}
+}
+
+// TestGoldenFaultsBitIdentical re-runs the honest-path (fault-free) and
+// crash-recover HB-SC batched rows of BENCH_faults.json, reconstructing
+// each scenario from the recorded DSL.
+func TestGoldenFaultsBitIdentical(t *testing.T) {
+	f := loadGolden(t, "BENCH_faults.json")
+	matched := 0
+	for _, rawPt := range f.Points {
+		var pt struct {
+			Scenario       string  `json:"scenario"`
+			Spec           string  `json:"spec"`
+			Protocol       string  `json:"protocol"`
+			Transport      string  `json:"transport"`
+			Epochs         int     `json:"epochs"`
+			CommittedTxs   int     `json:"committed_txs"`
+			VirtualSecs    float64 `json:"virtual_s"`
+			ThroughputBps  float64 `json:"throughput_Bps"`
+			CommitLatencyS float64 `json:"commit_latency_s"`
+			Accesses       uint64  `json:"accesses"`
+			Collisions     uint64  `json:"collisions"`
+			Error          string  `json:"error"`
+		}
+		if err := json.Unmarshal(rawPt, &pt); err != nil {
+			t.Fatal(err)
+		}
+		if pt.Protocol != "HB-SC" || pt.Transport != "batched" || pt.Error != "" {
+			continue
+		}
+		if pt.Scenario != "fault-free" && pt.Scenario != "crash-recover" {
+			continue
+		}
+		matched++
+		plan, err := scenario.Parse(pt.Spec)
+		if err != nil {
+			t.Fatalf("%s: recorded spec does not parse: %v", pt.Scenario, err)
+		}
+		kind, coin := protoByName(t, pt.Protocol)
+		spec := run.Defaults(kind, coin)
+		spec.Seed = f.Seed
+		spec.Workload = run.Chain(pt.Epochs)
+		spec.Workload.TxInterval = time.Second
+		spec.Workload.GCLag = pt.Epochs
+		spec.Scenario = plan
+		res, err := run.Run(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", pt.Scenario, err)
+		}
+		if res.Chain.CommittedTxs != pt.CommittedTxs || res.Accesses != pt.Accesses ||
+			res.Collisions != pt.Collisions {
+			t.Errorf("%s: counters diverge from golden", pt.Scenario)
+		}
+		eq(t, pt.Scenario+" virtual_s", res.Duration.Seconds(), pt.VirtualSecs)
+		eq(t, pt.Scenario+" throughput_Bps", res.Chain.ThroughputBps, pt.ThroughputBps)
+		eq(t, pt.Scenario+" commit_latency_s", res.Chain.MeanCommitLatency.Seconds(), pt.CommitLatencyS)
+	}
+	if matched != 2 {
+		t.Fatalf("matched %d golden rows, want 2 (fault-free, crash-recover)", matched)
+	}
+}
+
+// TestGoldenByzBitIdentical re-runs the garbage-behavior HB-SC batched
+// row of BENCH_byz.json — same numbers, same honest-safety verdict.
+func TestGoldenByzBitIdentical(t *testing.T) {
+	f := loadGolden(t, "BENCH_byz.json")
+	matched := 0
+	for _, rawPt := range f.Points {
+		var pt struct {
+			Behavior      string  `json:"behavior"`
+			Spec          string  `json:"spec"`
+			Protocol      string  `json:"protocol"`
+			Transport     string  `json:"transport"`
+			Epochs        int     `json:"epochs"`
+			CommittedTxs  int     `json:"committed_txs"`
+			VirtualSecs   float64 `json:"virtual_s"`
+			ThroughputBps float64 `json:"throughput_Bps"`
+			RejectedMsgs  uint64  `json:"rejected_msgs"`
+			HonestSafe    bool    `json:"honest_safe"`
+		}
+		if err := json.Unmarshal(rawPt, &pt); err != nil {
+			t.Fatal(err)
+		}
+		if pt.Behavior != "garbage" || pt.Protocol != "HB-SC" || pt.Transport != "batched" {
+			continue
+		}
+		matched++
+		plan, err := scenario.Parse(pt.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kind, coin := protoByName(t, pt.Protocol)
+		spec := run.Defaults(kind, coin)
+		spec.Seed = f.Seed
+		spec.Workload = run.Chain(pt.Epochs)
+		spec.Workload.TxInterval = time.Second
+		spec.Workload.GCLag = pt.Epochs
+		spec.Scenario = plan
+		res, err := run.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Chain.CommittedTxs != pt.CommittedTxs || res.Rejected != pt.RejectedMsgs {
+			t.Errorf("garbage row diverges from golden: txs %d/%d rejected %d/%d",
+				res.Chain.CommittedTxs, pt.CommittedTxs, res.Rejected, pt.RejectedMsgs)
+		}
+		eq(t, "virtual_s", res.Duration.Seconds(), pt.VirtualSecs)
+		eq(t, "throughput_Bps", res.Chain.ThroughputBps, pt.ThroughputBps)
+		forged := protocol.CountForged(res.Chain.Logs, spec.Workload.TxSize, res.Chain.SubmittedTxs)
+		if safe := forged == 0; safe != pt.HonestSafe {
+			t.Errorf("honest-safety verdict flipped: got %v, golden %v", safe, pt.HonestSafe)
+		}
+	}
+	if matched != 1 {
+		t.Fatalf("matched %d golden rows, want 1", matched)
+	}
+}

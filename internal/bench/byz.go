@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/byz"
 	"repro/internal/protocol"
+	"repro/internal/run"
 	"repro/internal/scenario"
 )
 
@@ -58,18 +59,18 @@ func ByzSweep(seed int64, epochs int) ([]ByzPoint, error) {
 			{"Dumbo-SC", protocol.DumboKind, protocol.CoinSig},
 		} {
 			for _, batched := range []bool{true, false} {
-				opts := protocol.DefaultChainOptions(p.kind, p.coin)
-				opts.Seed = seed
-				opts.Batched = batched
-				opts.TargetEpochs = epochs
-				opts.TxInterval = time.Second // keep proposals full
-				opts.GCLag = epochs           // comparable with FaultSweep
-				f := (opts.N - 1) / 3
+				spec := run.Defaults(p.kind, p.coin)
+				spec.Seed = seed
+				spec.Batched = batched
+				spec.Workload = run.Chain(epochs)
+				spec.Workload.TxInterval = time.Second // keep proposals full
+				spec.Workload.GCLag = epochs           // comparable with FaultSweep
+				f := (spec.N - 1) / 3
 				plan := scenario.Plan{}
 				for i := 0; i < f; i++ {
-					plan = plan.Then(scenario.ByzAt(0, opts.N-1-i, behavior))
+					plan = plan.Then(scenario.ByzAt(0, spec.N-1-i, behavior))
 				}
-				opts.Scenario = plan
+				spec.Scenario = plan
 				tname := "baseline"
 				if batched {
 					tname = "batched"
@@ -81,19 +82,19 @@ func ByzSweep(seed int64, epochs int) ([]ByzPoint, error) {
 					Transport: tname,
 					ByzNodes:  f,
 				}
-				res, err := protocol.ChainRun(opts)
+				res, err := run.Run(spec)
 				if err != nil {
 					pt.Error = err.Error()
 				} else {
-					pt.Epochs = res.EpochsCommitted
-					pt.CommittedTxs = res.CommittedTxs
+					pt.Epochs = res.Chain.EpochsCommitted
+					pt.CommittedTxs = res.Chain.CommittedTxs
 					pt.VirtualSecs = res.Duration.Seconds()
-					pt.ThroughputBps = res.ThroughputBps
-					pt.CommitLatencyS = res.MeanCommitLatency.Seconds()
+					pt.ThroughputBps = res.Chain.ThroughputBps
+					pt.CommitLatencyS = res.Chain.MeanCommitLatency.Seconds()
 					pt.RejectedMsgs = res.Rejected
-					// ChainRun already verified agreement and gap-freedom
+					// The driver already verified agreement and gap-freedom
 					// across honest logs; what remains is provenance.
-					forged := protocol.CountForged(res.Logs, opts.TxSize, res.SubmittedTxs)
+					forged := protocol.CountForged(res.Chain.Logs, spec.Workload.TxSize, res.Chain.SubmittedTxs)
 					pt.HonestSafe = forged == 0
 					if forged > 0 {
 						pt.Error = fmt.Sprintf("%d forged transactions committed", forged)

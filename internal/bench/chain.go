@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/protocol"
+	"repro/internal/run"
 )
 
 // ChainPoint is one sustained-SMR measurement: committed payload bytes per
@@ -48,13 +49,13 @@ func ChainThroughput(seed int64, epochs int) ([]ChainPoint, error) {
 	} {
 		for _, batched := range []bool{true, false} {
 			for _, depth := range []int{1, 2, 4} {
-				opts := protocol.DefaultChainOptions(p.kind, p.coin)
-				opts.Seed = seed
-				opts.Batched = batched
-				opts.Window = depth
-				opts.TargetEpochs = epochs
-				opts.TxInterval = time.Second // keep proposals full
-				res, err := protocol.ChainRun(opts)
+				spec := run.Defaults(p.kind, p.coin)
+				spec.Seed = seed
+				spec.Batched = batched
+				spec.Workload = run.Chain(epochs)
+				spec.Workload.Window = depth
+				spec.Workload.TxInterval = time.Second // keep proposals full
+				res, err := run.Run(spec)
 				if err != nil {
 					return nil, fmt.Errorf("bench: chain %s batched=%v depth=%d: %w", p.name, batched, depth, err)
 				}
@@ -66,14 +67,14 @@ func ChainThroughput(seed int64, epochs int) ([]ChainPoint, error) {
 					Protocol:       p.name,
 					Transport:      tname,
 					Depth:          depth,
-					Epochs:         res.EpochsCommitted,
-					CommittedTxs:   res.CommittedTxs,
-					CommittedBytes: res.CommittedBytes,
+					Epochs:         res.Chain.EpochsCommitted,
+					CommittedTxs:   res.Chain.CommittedTxs,
+					CommittedBytes: res.Chain.CommittedBytes,
 					VirtualSecs:    res.Duration.Seconds(),
-					ThroughputBps:  res.ThroughputBps,
-					CommitLatencyS: res.MeanCommitLatency.Seconds(),
+					ThroughputBps:  res.Chain.ThroughputBps,
+					CommitLatencyS: res.Chain.MeanCommitLatency.Seconds(),
 					Accesses:       res.Accesses,
-					DedupDropped:   res.DedupDropped,
+					DedupDropped:   res.Chain.DedupDropped,
 				})
 			}
 		}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/protocol"
+	"repro/internal/run"
 	"repro/internal/scenario"
 )
 
@@ -80,16 +81,16 @@ func FaultSweep(seed int64, epochs int) ([]FaultPoint, error) {
 			{"Dumbo-SC", protocol.DumboKind, protocol.CoinSig},
 		} {
 			for _, batched := range []bool{true, false} {
-				opts := protocol.DefaultChainOptions(p.kind, p.coin)
-				opts.Seed = seed
-				opts.Batched = batched
-				opts.TargetEpochs = epochs
-				opts.TxInterval = time.Second // keep proposals full
+				spec := run.Defaults(p.kind, p.coin)
+				spec.Seed = seed
+				spec.Batched = batched
+				spec.Workload = run.Chain(epochs)
+				spec.Workload.TxInterval = time.Second // keep proposals full
 				// Recovery catch-up needs peers to keep the missing epochs
 				// alive; give every run the same (generous) GC window so
 				// the scenarios stay comparable.
-				opts.GCLag = epochs
-				opts.Scenario = sc.plan
+				spec.Workload.GCLag = epochs
+				spec.Scenario = sc.plan
 				tname := "baseline"
 				if batched {
 					tname = "batched"
@@ -100,15 +101,15 @@ func FaultSweep(seed int64, epochs int) ([]FaultPoint, error) {
 					Protocol:  p.name,
 					Transport: tname,
 				}
-				res, err := protocol.ChainRun(opts)
+				res, err := run.Run(spec)
 				if err != nil {
 					pt.Error = err.Error()
 				} else {
-					pt.Epochs = res.EpochsCommitted
-					pt.CommittedTxs = res.CommittedTxs
+					pt.Epochs = res.Chain.EpochsCommitted
+					pt.CommittedTxs = res.Chain.CommittedTxs
 					pt.VirtualSecs = res.Duration.Seconds()
-					pt.ThroughputBps = res.ThroughputBps
-					pt.CommitLatencyS = res.MeanCommitLatency.Seconds()
+					pt.ThroughputBps = res.Chain.ThroughputBps
+					pt.CommitLatencyS = res.Chain.MeanCommitLatency.Seconds()
 					pt.Accesses = res.Accesses
 					pt.Collisions = res.Collisions
 				}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/crypto/threshcoin"
 	"repro/internal/crypto/threshsig"
 	"repro/internal/protocol"
+	"repro/internal/run"
 )
 
 // CryptoOpRow is one (parameter set, operation) measurement for
@@ -203,18 +204,18 @@ func Fig10dCryptoImpact(seed int64, epochs int, batches []int) ([]Fig10dPoint, e
 		{"heavy(BN254-eq)", crypto.HeavyConfig()},
 	} {
 		for _, b := range batches {
-			opts := protocol.DefaultOptions(protocol.HoneyBadger, protocol.CoinSig)
-			opts.Crypto = cfgRow.cfg
-			opts.BatchSize = b
-			opts.Epochs = epochs
-			opts.Seed = seed
-			res, err := protocol.Run(opts)
+			spec := run.Defaults(protocol.HoneyBadger, protocol.CoinSig)
+			spec.Crypto = cfgRow.cfg
+			spec.Workload = run.OneShot(epochs)
+			spec.Workload.BatchSize = b
+			spec.Seed = seed
+			res, err := run.Run(spec)
 			if err != nil {
 				return nil, fmt.Errorf("bench: fig10d %s b=%d: %w", cfgRow.name, b, err)
 			}
 			out = append(out, Fig10dPoint{
 				Config: cfgRow.name, BatchSize: b,
-				Latency: res.MeanLatency, TPM: res.TPM,
+				Latency: res.OneShot.MeanLatency, TPM: res.OneShot.TPM,
 			})
 		}
 	}

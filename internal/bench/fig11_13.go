@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/protocol"
+	"repro/internal/run"
 )
 
 // Fig11aPoint is one (variant, parallelism) latency measurement.
@@ -162,18 +163,18 @@ func Fig13aSingleHop(seed int64, epochs, batch int) ([]ProtocolPoint, error) {
 		c := c
 		var tpmSum float64
 		lat, err := meanOverSeeds(seed, func(s int64) (time.Duration, error) {
-			opts := protocol.DefaultOptions(c.Kind, c.Coin)
-			opts.Batched = c.Batched
-			opts.Epochs = epochs
-			opts.BatchSize = batch
-			opts.Seed = s
-			opts.Deadline = 4 * time.Hour
-			res, err := protocol.Run(opts)
+			spec := run.Defaults(c.Kind, c.Coin)
+			spec.Batched = c.Batched
+			spec.Workload = run.OneShot(epochs)
+			spec.Workload.BatchSize = batch
+			spec.Seed = s
+			spec.Deadline = 4 * time.Hour
+			res, err := run.Run(spec)
 			if err != nil {
 				return 0, err
 			}
-			tpmSum += res.TPM
-			return res.MeanLatency, nil
+			tpmSum += res.OneShot.TPM
+			return res.OneShot.MeanLatency, nil
 		})
 		if err != nil {
 			return nil, fmt.Errorf("bench: fig13a %s: %w", c.Name, err)
@@ -191,18 +192,19 @@ func Fig13bMultiHop(seed int64, epochs, batch int) ([]ProtocolPoint, error) {
 		c := c
 		var tpmSum float64
 		lat, err := meanOverSeeds(seed, func(s int64) (time.Duration, error) {
-			opts := protocol.DefaultMultihopOptions(c.Kind, c.Coin)
-			opts.Single.Batched = c.Batched
-			opts.Single.Epochs = epochs
-			opts.Single.BatchSize = batch
-			opts.Single.Seed = s
-			opts.Single.Deadline = 8 * time.Hour
-			res, err := protocol.RunMultihop(opts)
+			spec := run.Defaults(c.Kind, c.Coin)
+			spec.Topology = run.Clustered(4, 4)
+			spec.Batched = c.Batched
+			spec.Workload = run.OneShot(epochs)
+			spec.Workload.BatchSize = batch
+			spec.Seed = s
+			spec.Deadline = 8 * time.Hour
+			res, err := run.Run(spec)
 			if err != nil {
 				return 0, err
 			}
-			tpmSum += res.TPM
-			return res.MeanLatency, nil
+			tpmSum += res.OneShot.TPM
+			return res.OneShot.MeanLatency, nil
 		})
 		if err != nil {
 			return nil, fmt.Errorf("bench: fig13b %s: %w", c.Name, err)

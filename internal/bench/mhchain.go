@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/run"
+)
+
+// MHChainPoint is one Clustered × Chain measurement: sustained pipelined
+// SMR per cluster with rotating leaders ordering cluster cuts on the
+// global tier — the matrix cell the unified run API unlocked. Neither the
+// paper (one-shot multihop) nor the earlier chain experiment (single-hop)
+// covers it.
+type MHChainPoint struct {
+	Protocol  string `json:"protocol"`
+	Transport string `json:"transport"` // "batched" | "baseline"
+	Depth     int    `json:"depth"`
+	Clusters  int    `json:"clusters"`
+	// Epochs is the per-cluster commit target every honest node reached.
+	Epochs int `json:"epochs"`
+	// CommittedTxs sums one reference node per cluster.
+	CommittedTxs int `json:"committed_txs"`
+	// OrderedCuts / GlobalEntries describe the cross-cluster total order
+	// built on the global tier.
+	OrderedCuts    int     `json:"ordered_cuts"`
+	GlobalEntries  int     `json:"global_entries"`
+	VirtualSecs    float64 `json:"virtual_s"`
+	ThroughputBps  float64 `json:"throughput_Bps"`
+	CommitLatencyS float64 `json:"commit_latency_s"`
+	LocalAccesses  uint64  `json:"local_accesses"`
+	GlobalAccesses uint64  `json:"global_accesses"`
+	Error          string  `json:"error,omitempty"`
+}
+
+// MHChainSweep runs the Clustered × Chain cell for two protocol families
+// under both transports at pipeline depths 1 and 2 (4 clusters of 4, the
+// paper's 16-node deployment). A configuration the deployment defeats is
+// recorded as a row with Error set rather than aborting the sweep.
+func MHChainSweep(seed int64, epochs int) ([]MHChainPoint, error) {
+	if epochs <= 0 {
+		epochs = 4
+	}
+	var out []MHChainPoint
+	for _, p := range []struct {
+		name string
+		kind protocol.Kind
+		coin protocol.CoinKind
+	}{
+		{"HB-SC", protocol.HoneyBadger, protocol.CoinSig},
+		{"Dumbo-SC", protocol.DumboKind, protocol.CoinSig},
+	} {
+		for _, batched := range []bool{true, false} {
+			for _, depth := range []int{1, 2} {
+				spec := run.Defaults(p.kind, p.coin)
+				spec.Seed = seed
+				spec.Batched = batched
+				spec.Topology = run.Clustered(4, 4)
+				spec.Workload = run.Chain(epochs)
+				spec.Workload.Window = depth
+				spec.Workload.TxInterval = time.Second // keep proposals full
+				tname := "baseline"
+				if batched {
+					tname = "batched"
+				}
+				pt := MHChainPoint{
+					Protocol:  p.name,
+					Transport: tname,
+					Depth:     depth,
+					Clusters:  spec.Topology.Clusters,
+				}
+				res, err := run.Run(spec)
+				if err != nil {
+					pt.Error = err.Error()
+				} else {
+					pt.Epochs = res.Chain.EpochsCommitted
+					pt.CommittedTxs = res.Chain.CommittedTxs
+					pt.OrderedCuts = res.Tiers.OrderedCuts
+					pt.GlobalEntries = res.Tiers.GlobalEntries
+					pt.VirtualSecs = res.Duration.Seconds()
+					pt.ThroughputBps = res.Chain.ThroughputBps
+					pt.CommitLatencyS = res.Chain.MeanCommitLatency.Seconds()
+					pt.LocalAccesses = res.Tiers.LocalAccesses
+					pt.GlobalAccesses = res.Tiers.GlobalAccesses
+				}
+				out = append(out, pt)
+			}
+		}
+	}
+	return out, nil
+}
+
+// PrintMHChain renders the clustered-chain sweep.
+func PrintMHChain(w io.Writer, rows []MHChainPoint) {
+	fmt.Fprintln(w, "Clustered chain — pipelined SMR per cluster, cluster cuts ordered on the global tier")
+	fmt.Fprintf(w, "%-9s %-9s %5s %7s %6s %5s %10s %8s %12s %9s %9s\n",
+		"protocol", "transport", "depth", "epochs", "txs", "cuts", "virtual_s", "Bps", "commit_lat", "local_acc", "globl_acc")
+	for _, r := range rows {
+		if r.Error != "" {
+			fmt.Fprintf(w, "%-9s %-9s %5d %s\n", r.Protocol, r.Transport, r.Depth, "FAILED: "+r.Error)
+			continue
+		}
+		fmt.Fprintf(w, "%-9s %-9s %5d %7d %6d %5d %10.0f %8.2f %11.0fs %9d %9d\n",
+			r.Protocol, r.Transport, r.Depth, r.Epochs, r.CommittedTxs, r.OrderedCuts,
+			r.VirtualSecs, r.ThroughputBps, r.CommitLatencyS, r.LocalAccesses, r.GlobalAccesses)
+	}
+}
+
+// WriteMHChainJSON records the sweep as the BENCH_mhchain.json trajectory
+// file referenced by EXPERIMENTS.md.
+func WriteMHChainJSON(w io.Writer, seed int64, rows []MHChainPoint) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Experiment string         `json:"experiment"`
+		Seed       int64          `json:"seed"`
+		Points     []MHChainPoint `json:"points"`
+	}{Experiment: "clustered-chain-smr", Seed: seed, Points: rows})
+}

@@ -104,6 +104,11 @@ type Chain struct {
 	ageEvt *sim.Event
 	// OnCommit, if set, fires after each epoch commits (driver barrier).
 	OnCommit func(epoch int)
+	// OnEpochOpen, if set, fires when the engine opens an epoch's transport,
+	// before the epoch's instance starts. Drivers use it to piggyback
+	// cross-cutting state on the pipeline — the clustered chain deployment
+	// registers its global-order dissemination handler here.
+	OnEpochOpen func(epoch int, tr *core.Transport)
 }
 
 // NewChain builds the engine around an epoch mux. Call Start once the
@@ -278,6 +283,9 @@ func (c *Chain) armAgeTimer() {
 // environment and the protocol instance, and submits the cut proposal.
 func (c *Chain) startEpoch(e int) {
 	tr := c.mux.Open(uint16(e))
+	if c.OnEpochOpen != nil {
+		c.OnEpochOpen(e, tr)
+	}
 	env := &component.Env{
 		N:       c.n,
 		F:       c.f,
@@ -291,7 +299,7 @@ func (c *Chain) startEpoch(e int) {
 		Rand:    c.rand,
 	}
 	ep := &chainEpoch{tr: tr, startedAt: c.sched.Now()}
-	ep.inst = newInstance(env, c.cfg.Protocol, c.cfg.Coin, c.cfg.Batched, c.cfg.Encrypt, func() { c.onDecide(e) })
+	ep.inst = NewInstance(env, c.cfg.Protocol, c.cfg.Coin, c.cfg.Batched, c.cfg.Encrypt, func() { c.onDecide(e) })
 	c.epochs[e] = ep
 	ep.inst.Start(EncodeBatch(c.mempool.Cut(e, c.sched.Now())))
 }

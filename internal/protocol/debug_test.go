@@ -17,39 +17,53 @@ import (
 // TestDebugHoneyBadgerTrace is a diagnostic harness: it runs HB-SC with
 // direct access to component internals and dumps progress when stuck.
 func TestDebugHoneyBadgerTrace(t *testing.T) {
-	opts := quickOpts(HoneyBadger, CoinSig, true, 1)
-	sched := sim.New(opts.Seed)
-	ch := wireless.NewChannel(sched, opts.Net)
-	suites, err := crypto.Deal(opts.N, opts.F, opts.Crypto, rand.New(rand.NewSource(opts.Seed^0x5eed)))
+	const (
+		n, f       = 4, 1
+		seed int64 = 1
+	)
+	net := wireless.DefaultConfig()
+	net.LossProb = 0
+	sched := sim.New(seed)
+	ch := wireless.NewChannel(sched, net)
+	suites, err := crypto.Deal(n, f, crypto.LightConfig(), rand.New(rand.NewSource(seed^0x5eed)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ncfg := node.Config{Transport: opts.Transport, Batched: opts.Batched, Seed: opts.Seed}
-	nodes := make([]*runNode, opts.N)
-	insts := make([]*ACS, opts.N)
-	for i := 0; i < opts.N; i++ {
-		nodes[i] = &runNode{Node: node.New(sched, ch, wireless.NodeID(i), suites[i], ncfg), idx: i}
+	ncfg := node.Config{Batched: true, Seed: seed}
+	nodes := make([]*node.Node, n)
+	done := make([]bool, n)
+	insts := make([]*ACS, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = node.New(sched, ch, wireless.NodeID(i), suites[i], ncfg)
 	}
-	for i, n := range nodes {
-		n.Transport().SetEpoch(0)
+	for i, nd := range nodes {
+		nd.Transport().SetEpoch(0)
 		env := &component.Env{
-			N: opts.N, F: opts.F, Me: i, Epoch: 0,
-			Suite: n.Suite, T: n.Transport(), CPU: n.CPU, Sched: sched, Rand: n.Rand,
+			N: n, F: f, Me: i, Epoch: 0,
+			Suite: nd.Suite, T: nd.Transport(), CPU: nd.CPU, Sched: sched, Rand: nd.Rand,
 		}
 		i := i
 		insts[i] = NewACS(env, ACSOptions{Coin: CoinSig, Batched: true, Encrypt: true,
-			OnDecide: func() { nodes[i].done = true }})
+			OnDecide: func() { done[i] = true }})
 		prop := make([]byte, 64)
 		binary.BigEndian.PutUint32(prop, uint32(i))
 		insts[i].Start(prop)
 	}
+	allDone := func() bool {
+		for _, d := range done {
+			if !d {
+				return false
+			}
+		}
+		return true
+	}
 	deadline := 30 * time.Minute
-	for sched.Now() < deadline && !allHonestDone(nodes) {
+	for sched.Now() < deadline && !allDone() {
 		if !sched.Step() {
 			break
 		}
 	}
-	if allHonestDone(nodes) {
+	if allDone() {
 		t.Logf("completed at %v", sched.Now())
 		return
 	}
@@ -63,7 +77,7 @@ func TestDebugHoneyBadgerTrace(t *testing.T) {
 			}
 		}
 		t.Logf("node %d: rbcDelivered=%d abaStarted=%v decisions=[%s] plains=%d outputs=%v done=%v",
-			i, a.rbc.DeliveredCount(), a.abaStarted, decs, len(a.plains), a.outputs != nil, nodes[i].done)
+			i, a.rbc.DeliveredCount(), a.abaStarted, decs, len(a.plains), a.outputs != nil, done[i])
 	}
 	t.Fatalf("stuck at %v", sched.Now())
 }

@@ -88,8 +88,8 @@ type Mempool struct {
 	duplicates int
 }
 
-// withDefaults fills zero-valued fields from DefaultMempoolConfig.
-func (cfg MempoolConfig) withDefaults() MempoolConfig {
+// WithDefaults fills zero-valued fields from DefaultMempoolConfig.
+func (cfg MempoolConfig) WithDefaults() MempoolConfig {
 	def := DefaultMempoolConfig()
 	if cfg.TargetBatchBytes <= 0 {
 		cfg.TargetBatchBytes = def.TargetBatchBytes
@@ -113,7 +113,7 @@ func (cfg MempoolConfig) withDefaults() MempoolConfig {
 // defaults.
 func NewMempool(cfg MempoolConfig) *Mempool {
 	return &Mempool{
-		cfg:       cfg.withDefaults(),
+		cfg:       cfg.WithDefaults(),
 		index:     make(map[txKey]*mtx),
 		committed: make(map[txKey]int),
 	}

@@ -1,0 +1,150 @@
+package protocol
+
+import (
+	"testing"
+	"time"
+)
+
+// --- Mempool unit tests -------------------------------------------------
+
+func TestMempoolDedupAndPolicy(t *testing.T) {
+	cfg := MempoolConfig{TargetBatchBytes: 100, MaxBatchBytes: 120, MaxTxAge: 10 * time.Second, DedupHorizon: 2}
+	m := NewMempool(cfg)
+	tx := func(b byte) []byte { tx := make([]byte, 40); tx[0] = b; return tx }
+
+	if !m.Add(tx(1), 0) || !m.Add(tx(2), time.Second) {
+		t.Fatal("fresh adds rejected")
+	}
+	if m.Add(tx(1), 2*time.Second) {
+		t.Error("pending duplicate accepted")
+	}
+	if m.Ready(2 * time.Second) {
+		t.Error("ready below size target and age limit")
+	}
+	if !m.Ready(10 * time.Second) {
+		t.Error("not ready past MaxTxAge")
+	}
+	m.Add(tx(3), 2*time.Second)
+	if !m.Ready(3 * time.Second) {
+		t.Error("not ready past TargetBatchBytes")
+	}
+
+	cut := m.Cut(0, 3*time.Second)
+	if len(cut) != 3 {
+		t.Fatalf("cut %d txs, want 3 (120B cap)", len(cut))
+	}
+	if m.Ready(3 * time.Second) {
+		t.Error("ready while everything is in flight")
+	}
+	// In-flight txs are skipped by later cuts.
+	if got := m.Cut(1, 3*time.Second); len(got) != 0 {
+		t.Fatalf("second cut got %d txs, want 0", len(got))
+	}
+
+	// Epoch 0 commits txs 1 and 2 (say tx 3's slot lost the subset).
+	m.MarkCommitted([]txKey{txDigest(tx(1)), txDigest(tx(2))}, 0)
+	m.Requeue(0)
+	if m.Len() != 1 || m.PendingBytes() != 40 {
+		t.Fatalf("after requeue: len=%d pending=%dB, want 1/40", m.Len(), m.PendingBytes())
+	}
+	if m.Add(tx(1), 4*time.Second) {
+		t.Error("committed duplicate accepted")
+	}
+	if got := m.Cut(1, 5*time.Second); len(got) != 1 {
+		t.Fatalf("requeued tx not cuttable: got %d", len(got))
+	}
+}
+
+func TestMempoolSharding(t *testing.T) {
+	cfg := MempoolConfig{
+		TargetBatchBytes: 40, MaxBatchBytes: 400,
+		MaxTxAge: 10 * time.Second, ReproposeAge: time.Minute,
+		Shard: 0, Shards: 2,
+	}
+	m := NewMempool(cfg)
+	mine := func(i byte) []byte { return []byte{2 * i, i, 10, 11, 12, 13, 14, 15, 16, 17} }    // key[0] even
+	other := func(i byte) []byte { return []byte{2*i + 1, i, 20, 21, 22, 23, 24, 25, 26, 27} } // key[0] odd
+	// Transaction assignment follows the digest, not the payload: find
+	// payloads that land on each shard.
+	var ours, theirs [][]byte
+	for i := byte(0); i < 40 && (len(ours) < 4 || len(theirs) < 4); i++ {
+		for _, tx := range [][]byte{mine(i), other(i)} {
+			if int(txDigest(tx)[0])%2 == 0 {
+				ours = append(ours, tx)
+			} else {
+				theirs = append(theirs, tx)
+			}
+		}
+	}
+	for _, tx := range theirs[:4] {
+		m.Add(tx, 0)
+	}
+	if m.Ready(5 * time.Second) {
+		t.Error("ready on unassigned traffic alone")
+	}
+	for _, tx := range ours[:4] {
+		m.Add(tx, time.Second)
+	}
+	if !m.Ready(5 * time.Second) {
+		t.Error("not ready with assigned bytes past target")
+	}
+	cut := m.Cut(0, 5*time.Second)
+	for _, tx := range cut {
+		if int(txDigest(tx)[0])%2 != 0 {
+			t.Fatalf("cut took unassigned tx %v before ReproposeAge", tx)
+		}
+	}
+	if len(cut) != 4 {
+		t.Fatalf("cut %d assigned txs, want 4", len(cut))
+	}
+	// Past ReproposeAge the crash fallback opens the rest to everyone.
+	if got := m.Cut(1, 2*time.Minute); len(got) != 4 {
+		t.Fatalf("fallback cut %d txs, want 4 unassigned", len(got))
+	}
+}
+
+func TestMempoolGCHorizon(t *testing.T) {
+	m := NewMempool(MempoolConfig{DedupHorizon: 3})
+	tx := []byte("gc-me")
+	m.MarkCommitted([]txKey{txDigest(tx)}, 0)
+	m.GC(2)
+	if !m.WasCommitted(txDigest(tx)) {
+		t.Fatal("digest dropped inside horizon")
+	}
+	if m.Add(tx, 0) {
+		t.Error("duplicate accepted inside horizon")
+	}
+	m.GC(3)
+	if m.WasCommitted(txDigest(tx)) {
+		t.Fatal("digest survived past horizon")
+	}
+	if !m.Add(tx, 0) {
+		t.Error("re-add rejected after horizon GC")
+	}
+	if m.CommittedSize() != 0 {
+		t.Errorf("committed memory %d, want 0", m.CommittedSize())
+	}
+}
+
+func TestBatchCodecRoundtrip(t *testing.T) {
+	for _, txs := range [][][]byte{nil, {[]byte("a")}, {[]byte("one"), []byte(""), []byte("three")}} {
+		enc := EncodeBatch(txs)
+		got, err := DecodeBatch(enc)
+		if err != nil {
+			t.Fatalf("decode(%q): %v", enc, err)
+		}
+		if len(got) != len(txs) {
+			t.Fatalf("roundtrip count %d != %d", len(got), len(txs))
+		}
+		for i := range txs {
+			if string(got[i]) != string(txs[i]) {
+				t.Fatalf("tx %d mismatch", i)
+			}
+		}
+	}
+	for _, bad := range [][]byte{{}, {0}, {0, 1}, {0, 1, 0, 5, 'x'}, append(EncodeBatch([][]byte{[]byte("t")}), 0)} {
+		if _, err := DecodeBatch(bad); err == nil {
+			t.Errorf("malformed batch %v accepted", bad)
+		}
+	}
+}

@@ -3,18 +3,15 @@ package protocol
 import (
 	"encoding/binary"
 	"fmt"
-	"math/rand"
-	"time"
 
-	"repro/internal/byz"
 	"repro/internal/component"
-	"repro/internal/core"
-	"repro/internal/crypto"
-	"repro/internal/node"
-	"repro/internal/scenario"
-	"repro/internal/sim"
-	"repro/internal/wireless"
 )
+
+// This file is the protocol-variant surface shared by every deployment
+// driver: the protocol families, the five named variants of the paper's
+// evaluation, the epoch-instance factory, and the agreement check. The
+// drivers themselves — one-shot, clustered, and chain SMR over both
+// topologies — live in internal/run behind the unified run.Spec API.
 
 // Kind names a consensus protocol family.
 type Kind string
@@ -26,247 +23,10 @@ const (
 	DumboKind   Kind = "dumbo"
 )
 
-// Options configures a single-hop protocol run.
-type Options struct {
-	Protocol  Kind
-	Coin      CoinKind
-	Batched   bool // ConsensusBatcher vs baseline transport
-	N, F      int
-	BatchSize int // transactions per proposal
-	TxSize    int // bytes per transaction
-	Encrypt   bool
-	Epochs    int
-	Seed      int64
-	Net       wireless.Config
-	Crypto    crypto.Config
-	Transport core.Config // Session/FlushDelay/RetxInterval; zero = defaults
-	// Scenario scripts faults into the run: crashes, recoveries,
-	// partitions, loss/jam bursts, and the asynchronous delay adversary.
-	// The zero value is the fault-free run. In this one-shot driver a
-	// recovered node rejoins at the next epoch boundary.
-	Scenario scenario.Plan
-	// Deadline bounds each epoch in virtual time (default 60 min).
-	Deadline time.Duration
-}
-
-// DefaultOptions returns the paper's single-hop setup: N=4, LoRa-class
-// channel, light crypto, ConsensusBatcher on.
-func DefaultOptions(p Kind, coin CoinKind) Options {
-	return Options{
-		Protocol:  p,
-		Coin:      coin,
-		Batched:   true,
-		N:         4,
-		F:         1,
-		BatchSize: 4,
-		TxSize:    64,
-		Encrypt:   p != DumboKind,
-		Epochs:    3,
-		Seed:      1,
-		Net:       wireless.DefaultConfig(),
-		Crypto:    crypto.LightConfig(),
-		Deadline:  60 * time.Minute,
-	}
-}
-
-// Result aggregates a run's measurements.
-type Result struct {
-	EpochLatencies []time.Duration
-	MeanLatency    time.Duration
-	TPM            float64 // transactions per minute of virtual time
-	DeliveredTxs   int
-
-	Accesses    uint64 // channel accesses (the paper's contention metric)
-	Collisions  uint64
-	Frames      uint64
-	BytesOnAir  uint64
-	LogicalSent uint64 // signed logical packets across all nodes
-	SignOps     uint64
-	VerifyOps   uint64
-	// Rejected counts component-level discards of invalid inbound state
-	// across all nodes — the volume of Byzantine traffic the defenses
-	// absorbed (zero in honest runs).
-	Rejected uint64
-}
-
-// runNode bundles one node's per-run state on top of the deployment layer.
-type runNode struct {
-	*node.Node
-	idx     int
-	crashed bool // currently down (scenario-driven)
-	// byz marks a node the scenario ever scripts Byzantine: it keeps
-	// running (and misbehaving) but is excluded from completion barriers
-	// and from the honest-safety checks.
-	byz  bool
-	inst Instance
-	done bool
-}
-
-// runLifecycle adapts a slice of runNodes to the scenario engine. Crash
-// takes the node off the air immediately and excludes it from the epoch
-// barrier; recovery re-admits it at the next epoch boundary (one-shot
-// epochs have no mid-epoch join protocol — contrast with Chain, which
-// rejoins mid-run).
-type runLifecycle struct{ nodes []*runNode }
-
-func (l runLifecycle) CrashNode(i int) {
-	if i < 0 || i >= len(l.nodes) {
-		return
-	}
-	n := l.nodes[i]
-	if n.crashed {
-		return
-	}
-	n.crashed = true
-	n.inst = nil  // in-memory epoch state is gone
-	n.done = true // excluded from the epoch barrier
-	n.Node.Crash()
-}
-
-func (l runLifecycle) RecoverNode(i int) {
-	if i < 0 || i >= len(l.nodes) {
-		return
-	}
-	n := l.nodes[i]
-	if !n.crashed {
-		return
-	}
-	n.Node.Recover()
-	n.crashed = false
-	// done stays true: the node sits out the rest of the current epoch.
-}
-
-// SetByzantine implements scenario.ByzLifecycle: arm the behavior on the
-// deployment node. The name was validated by validateByz before the run.
-func (l runLifecycle) SetByzantine(i int, behavior string) {
-	if i < 0 || i >= len(l.nodes) {
-		return
-	}
-	b, err := byz.New(behavior)
-	if err != nil {
-		return
-	}
-	l.nodes[i].byz = true
-	l.nodes[i].Node.SetBehavior(b)
-}
-
-// validateByz rejects plans naming unknown Byzantine behaviors or
-// out-of-range nodes before any virtual time elapses (the engine fires
-// byz events mid-run, too late to surface an error — and a typo'd node
-// id would otherwise yield a vacuously "Byzantine" run with no
-// adversary in it).
-func validateByz(plan scenario.Plan, n int) error {
-	for _, ev := range plan.Events {
-		if ev.Kind != scenario.KindByz {
-			continue
-		}
-		if _, err := byz.New(ev.Behavior); err != nil {
-			return err
-		}
-		if ev.Node < 0 || ev.Node >= n {
-			return fmt.Errorf("protocol: byz event targets node %d, have nodes 0..%d", ev.Node, n-1)
-		}
-	}
-	return nil
-}
-
-// Run executes a single-hop protocol simulation and returns measurements.
-func Run(opts Options) (*Result, error) {
-	if opts.N != 3*opts.F+1 {
-		return nil, fmt.Errorf("protocol: need N = 3F+1, got N=%d F=%d", opts.N, opts.F)
-	}
-	if opts.Deadline <= 0 {
-		opts.Deadline = 60 * time.Minute
-	}
-	if err := validateByz(opts.Scenario, opts.N); err != nil {
-		return nil, err
-	}
-	byzN := opts.Scenario.ByzNodes()
-	if len(byzN) > opts.F {
-		return nil, fmt.Errorf("protocol: %d Byzantine nodes exceed F=%d", len(byzN), opts.F)
-	}
-	sched := sim.New(opts.Seed)
-	ch := wireless.NewChannel(sched, opts.Net)
-
-	suites, err := crypto.Deal(opts.N, opts.F, opts.Crypto, rand.New(rand.NewSource(opts.Seed^0x5eed)))
-	if err != nil {
-		return nil, err
-	}
-	ncfg := node.Config{Transport: opts.Transport, Batched: opts.Batched, Seed: opts.Seed}
-	nodes := make([]*runNode, opts.N)
-	for i := range nodes {
-		nodes[i] = &runNode{Node: node.New(sched, ch, wireless.NodeID(i), suites[i], ncfg), idx: i, byz: byzN[i]}
-	}
-	eng := scenario.Start(sched, opts.Scenario, opts.Seed, runLifecycle{nodes})
-	ch.SetDeliveryHook(eng.Hook())
-
-	res := &Result{}
-	for epoch := 0; epoch < opts.Epochs; epoch++ {
-		start := sched.Now()
-		for _, n := range nodes {
-			n.startEpoch(sched, uint16(epoch), opts, nil)
-		}
-		err := node.Drive(sched, start+opts.Deadline, func() bool { return allHonestDone(nodes) })
-		if err != nil {
-			return nil, fmt.Errorf("protocol: epoch %d (%s %s batched=%v): %w",
-				epoch, opts.Protocol, opts.Coin, opts.Batched, err)
-		}
-		res.EpochLatencies = append(res.EpochLatencies, sched.Now()-start)
-		res.DeliveredTxs += countTxs(nodes, opts)
-		insts := make([]Instance, 0, len(nodes))
-		for _, n := range nodes {
-			// Agreement is an honest-node property: a Byzantine node's own
-			// engine is not bound by what it told its peers.
-			if !n.crashed && !n.byz && n.inst != nil {
-				insts = append(insts, n.inst)
-			}
-		}
-		if err := AgreementCheck(insts); err != nil {
-			return nil, fmt.Errorf("protocol: epoch %d safety violation: %w", epoch, err)
-		}
-	}
-
-	finalize(res, sched, ch, nodes)
-	return res, nil
-}
-
-// startEpoch rebuilds the node's components for a fresh epoch and submits
-// its proposal. onDone, if non-nil, fires when the node decides the epoch
-// locally (the multihop driver chains the global tier off it).
-func (n *runNode) startEpoch(sched *sim.Scheduler, epoch uint16, opts Options, onDone func()) {
-	n.done = false
-	n.inst = nil
-	if n.crashed {
-		n.done = true // crashed nodes never finish; exclude from barrier
-		return
-	}
-	tr := n.Transport()
-	tr.SetEpoch(epoch)
-	env := &component.Env{
-		N:       opts.N,
-		F:       opts.F,
-		Me:      n.idx,
-		Epoch:   epoch,
-		Session: n.TransportConfig().Session,
-		Suite:   n.Suite,
-		T:       tr,
-		CPU:     n.CPU,
-		Sched:   sched,
-		Rand:    n.Rand,
-	}
-	n.inst = newInstance(env, opts.Protocol, opts.Coin, opts.Batched, opts.Encrypt, func() {
-		n.done = true
-		if onDone != nil {
-			onDone()
-		}
-	})
-	n.inst.Start(makeProposal(n.idx, int(epoch), opts))
-}
-
-// newInstance builds one epoch's consensus engine for a protocol variant.
-// Both the one-shot runner and the Chain SMR engine construct epochs
+// NewInstance builds one epoch's consensus engine for a protocol variant.
+// The one-shot drivers and the Chain SMR engine construct every epoch
 // through this factory.
-func newInstance(env *component.Env, p Kind, coin CoinKind, batched, encrypt bool, onDecide func()) Instance {
+func NewInstance(env *component.Env, p Kind, coin CoinKind, batched, encrypt bool, onDecide func()) Instance {
 	switch p {
 	case HoneyBadger:
 		return NewACS(env, ACSOptions{Coin: coin, Batched: batched, Encrypt: encrypt, OnDecide: onDecide})
@@ -300,11 +60,13 @@ func Variants() []Variant {
 	}
 }
 
-// makeProposal builds a deterministic batch of transactions.
-func makeProposal(node, epoch int, opts Options) []byte {
-	prop := make([]byte, opts.BatchSize*opts.TxSize)
-	for t := 0; t < opts.BatchSize; t++ {
-		tx := prop[t*opts.TxSize : (t+1)*opts.TxSize]
+// MakeProposal builds the one-shot drivers' deterministic proposal batch:
+// batchSize transactions of txSize bytes, tagged with the proposer and
+// epoch.
+func MakeProposal(node, epoch, batchSize, txSize int) []byte {
+	prop := make([]byte, batchSize*txSize)
+	for t := 0; t < batchSize; t++ {
+		tx := prop[t*txSize : (t+1)*txSize]
 		binary.BigEndian.PutUint32(tx, uint32(node))
 		binary.BigEndian.PutUint32(tx[4:], uint32(epoch))
 		binary.BigEndian.PutUint32(tx[8:], uint32(t))
@@ -315,60 +77,8 @@ func makeProposal(node, epoch int, opts Options) []byte {
 	return prop
 }
 
-func allHonestDone(nodes []*runNode) bool {
-	for _, n := range nodes {
-		if !n.done && !n.byz {
-			return false
-		}
-	}
-	return true
-}
-
-// countTxs counts the transactions accepted this epoch (from the first
-// honest node's output; agreement tests verify outputs match).
-func countTxs(nodes []*runNode, opts Options) int {
-	for _, n := range nodes {
-		if n.crashed || n.byz || n.inst == nil {
-			continue
-		}
-		total := 0
-		for _, prop := range n.inst.Outputs() {
-			total += len(prop) / opts.TxSize
-		}
-		return total
-	}
-	return 0
-}
-
-func finalize(res *Result, sched *sim.Scheduler, ch *wireless.Channel, nodes []*runNode) {
-	var sum time.Duration
-	for _, l := range res.EpochLatencies {
-		sum += l
-	}
-	if len(res.EpochLatencies) > 0 {
-		res.MeanLatency = sum / time.Duration(len(res.EpochLatencies))
-	}
-	if now := sched.Now(); now > 0 {
-		res.TPM = float64(res.DeliveredTxs) / now.Minutes()
-	}
-	st := ch.Stats()
-	res.Accesses = st.Accesses
-	res.Collisions = st.Collisions
-	res.Frames = st.Frames
-	res.BytesOnAir = st.BytesOnAir
-	deployed := make([]*node.Node, len(nodes))
-	for i, n := range nodes {
-		deployed[i] = n.Node
-	}
-	ts := node.SumStats(deployed)
-	res.LogicalSent = ts.LogicalSent
-	res.SignOps = ts.SignOps
-	res.VerifyOps = ts.VerifyOps
-	res.Rejected = ts.Rejected
-}
-
 // AgreementCheck verifies that all honest nodes produced identical outputs
-// in their final epoch (test helper; exported for the property tests).
+// in their final epoch (exported for the drivers and property tests).
 func AgreementCheck(nodes []Instance) error {
 	var ref [][]byte
 	for _, inst := range nodes {

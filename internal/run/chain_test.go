@@ -1,0 +1,298 @@
+package run
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/scenario"
+)
+
+func quickChainSpec(p protocol.Kind, coin protocol.CoinKind, batched bool, seed int64) Spec {
+	spec := Defaults(p, coin)
+	spec.Batched = batched
+	spec.Workload = Chain(20)
+	spec.Seed = seed
+	return spec
+}
+
+// TestChainPipelinedLossy is the acceptance run: >= 20 epochs at pipeline
+// depth 2 on the lossy default channel, for both ConsensusBatcher and the
+// baseline transport; all correct nodes must commit identical, gap-free
+// logs (Run fails otherwise).
+func TestChainPipelinedLossy(t *testing.T) {
+	for _, batched := range []bool{true, false} {
+		batched := batched
+		t.Run(fmt.Sprintf("batched=%v", batched), func(t *testing.T) {
+			t.Parallel()
+			spec := quickChainSpec(protocol.HoneyBadger, protocol.CoinSig, batched, 1)
+			res, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Chain.EpochsCommitted < 20 {
+				t.Fatalf("committed %d epochs, want >= 20", res.Chain.EpochsCommitted)
+			}
+			if res.Chain.CommittedTxs == 0 || res.Chain.ThroughputBps <= 0 {
+				t.Fatalf("no sustained throughput: %+v", res.Chain)
+			}
+			t.Logf("batched=%v: %d epochs, %d txs, %.1f B/s, commit latency %v, dedup dropped %d",
+				batched, res.Chain.EpochsCommitted, res.Chain.CommittedTxs, res.Chain.ThroughputBps,
+				res.Chain.MeanCommitLatency.Round(time.Millisecond), res.Chain.DedupDropped)
+		})
+	}
+}
+
+// TestChainAllVariantsLossy runs multi-epoch SMR agreement for all five
+// protocol variants on the lossy channel.
+func TestChainAllVariantsLossy(t *testing.T) {
+	for i, v := range protocol.Variants() {
+		v, i := v, i
+		t.Run(v.Name, func(t *testing.T) {
+			t.Parallel()
+			spec := quickChainSpec(v.Kind, v.Coin, true, 40+int64(i))
+			spec.Workload.Epochs = 6
+			res, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Chain.CommittedTxs == 0 {
+				t.Error("no transactions committed")
+			}
+			t.Logf("%s: %d txs in %v (%.1f B/s)", v.Name, res.Chain.CommittedTxs,
+				res.Duration.Round(time.Second), res.Chain.ThroughputBps)
+		})
+	}
+}
+
+// TestChainDeeperPipelineKeepsAgreement raises the depth beyond 2.
+func TestChainDeeperPipelineKeepsAgreement(t *testing.T) {
+	spec := quickChainSpec(protocol.HoneyBadger, protocol.CoinSig, true, 3)
+	spec.Workload.Window = 4
+	spec.Workload.Epochs = 10
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chain.MaxOpenEpochs <= 1 {
+		t.Errorf("pipeline never overlapped: max open epochs %d", res.Chain.MaxOpenEpochs)
+	}
+}
+
+// TestChainWithCrashFault checks sustained progress with f crashed nodes.
+func TestChainWithCrashFault(t *testing.T) {
+	spec := quickChainSpec(protocol.HoneyBadger, protocol.CoinSig, true, 4)
+	spec.Workload.Epochs = 5
+	spec.Scenario = scenario.Crash(3)
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chain.CommittedTxs == 0 {
+		t.Error("no transactions committed with a crashed node")
+	}
+	if res.Chain.Logs[3] != nil {
+		t.Error("crashed node produced a log")
+	}
+}
+
+// TestChainDeterministic: same seed, same log and measurements.
+func TestChainDeterministic(t *testing.T) {
+	spec := quickChainSpec(protocol.DumboKind, protocol.CoinSig, true, 5)
+	spec.Workload.Epochs = 4
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Duration != b.Duration || a.Chain.CommittedTxs != b.Chain.CommittedTxs || a.Accesses != b.Accesses {
+		t.Errorf("same seed differs: %v/%d/%d vs %v/%d/%d",
+			a.Duration, a.Chain.CommittedTxs, a.Accesses, b.Duration, b.Chain.CommittedTxs, b.Accesses)
+	}
+}
+
+// TestChainEpochGC: open epoch state stays bounded by the GC lag, not the
+// chain length.
+func TestChainEpochGC(t *testing.T) {
+	spec := quickChainSpec(protocol.HoneyBadger, protocol.CoinSig, true, 6)
+	spec.Workload.Epochs = 12
+	spec.Workload.Window = 2
+	spec.Workload.GCLag = 3
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chain.MaxOpenEpochs > spec.Workload.GCLag+spec.Workload.Window+1 {
+		t.Errorf("max open epochs %d exceeds GC bound %d",
+			res.Chain.MaxOpenEpochs, spec.Workload.GCLag+spec.Workload.Window+1)
+	}
+}
+
+// TestChainDedup: every client tx is broadcast to all four mempools, so
+// without commit-time dedup the log would repeat most payloads ~4x.
+func TestChainDedup(t *testing.T) {
+	spec := quickChainSpec(protocol.HoneyBadger, protocol.CoinSig, true, 7)
+	spec.Workload.Epochs = 8
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chain.DedupDropped == 0 {
+		t.Error("commit dedup never triggered despite broadcast clients")
+	}
+	seen := map[string]bool{}
+	for _, entry := range res.Chain.Logs[0] {
+		for _, tx := range entry.Txs {
+			if seen[string(tx)] {
+				t.Fatalf("duplicate tx committed in epoch %d", entry.Epoch)
+			}
+			seen[string(tx)] = true
+		}
+	}
+	if res.Chain.CommittedTxs > res.Chain.SubmittedTxs {
+		t.Errorf("committed %d txs > submitted %d", res.Chain.CommittedTxs, res.Chain.SubmittedTxs)
+	}
+}
+
+// TestChainCrashRecovery is the crash-recovery acceptance run: node 2
+// crashes around epoch 5 and recovers around epoch 10 (the default cadence
+// is ~5m45s per epoch). The recovered node must rejoin mid-run through
+// core.Mux.OnUnknownEpoch, catch up on the epochs it lost through NACK
+// retransmission and repair, and commit the same gap-free log as everyone
+// else — under both transports.
+func TestChainCrashRecovery(t *testing.T) {
+	for _, batched := range []bool{true, false} {
+		batched := batched
+		t.Run(fmt.Sprintf("batched=%v", batched), func(t *testing.T) {
+			t.Parallel()
+			spec := quickChainSpec(protocol.HoneyBadger, protocol.CoinSig, batched, 1)
+			spec.Workload.Epochs = 14
+			// Peers must still hold the recovered node's missing epochs:
+			// keep the GC window as long as the run.
+			spec.Workload.GCLag = spec.Workload.Epochs
+			spec.Scenario = scenario.Plan{}.Then(
+				scenario.CrashAt(30*time.Minute, 2),   // ~epoch 5
+				scenario.RecoverAt(60*time.Minute, 2), // ~epoch 10
+			)
+			res, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, log := range res.Chain.Logs {
+				if len(log) != spec.Workload.Epochs {
+					t.Fatalf("node %d committed %d epochs, want %d (recovered node must catch up)",
+						i, len(log), spec.Workload.Epochs)
+				}
+				for e, entry := range log {
+					if entry.Epoch != e {
+						t.Fatalf("node %d log has a gap at %d (epoch %d)", i, e, entry.Epoch)
+					}
+				}
+			}
+			// The recovered node's log must be byte-identical to node 0's.
+			for e := range res.Chain.Logs[0] {
+				a, b := res.Chain.Logs[0][e], res.Chain.Logs[2][e]
+				if len(a.Txs) != len(b.Txs) {
+					t.Fatalf("epoch %d: node0 %d txs, recovered node %d txs", e, len(a.Txs), len(b.Txs))
+				}
+				for j := range a.Txs {
+					if string(a.Txs[j]) != string(b.Txs[j]) {
+						t.Fatalf("epoch %d tx %d differs between node 0 and the recovered node", e, j)
+					}
+				}
+			}
+			t.Logf("batched=%v: recovered node caught up; %d epochs in %v",
+				batched, res.Chain.EpochsCommitted, res.Duration.Round(time.Second))
+		})
+	}
+}
+
+// TestChainCrashRecoveryAllFamilies runs the same crash-recovery scenario
+// across the other protocol families (Dumbo's serial-ABA catch-up and
+// BEAT's coin-flipping path are distinct code).
+func TestChainCrashRecoveryAllFamilies(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		kind protocol.Kind
+		coin protocol.CoinKind
+	}{
+		{"Dumbo-SC", protocol.DumboKind, protocol.CoinSig},
+		{"BEAT", protocol.BEAT, protocol.CoinFlip},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			spec := quickChainSpec(tc.kind, tc.coin, true, 2)
+			spec.Workload.Epochs = 12
+			spec.Workload.GCLag = spec.Workload.Epochs
+			spec.Scenario = scenario.Plan{}.Then(
+				scenario.CrashAt(25*time.Minute, 1),
+				scenario.RecoverAt(55*time.Minute, 1),
+			)
+			res, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Chain.Logs[1]) != spec.Workload.Epochs {
+				t.Fatalf("recovered node committed %d epochs, want %d",
+					len(res.Chain.Logs[1]), spec.Workload.Epochs)
+			}
+		})
+	}
+}
+
+// TestChainPartitionHeals: a partition that splits the quorum stalls the
+// asynchronous protocol (safety holds, liveness waits); healing it lets
+// the run complete.
+func TestChainPartitionHeals(t *testing.T) {
+	spec := quickChainSpec(protocol.HoneyBadger, protocol.CoinSig, true, 3)
+	spec.Workload.Epochs = 8
+	spec.Scenario = scenario.Plan{}.Then(
+		scenario.PartitionAt(10*time.Minute, []int{0, 1}, []int{2, 3}),
+		scenario.HealAt(40*time.Minute),
+	)
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 30-minute partition must show up as lost time relative to the
+	// fault-free run of the same seed.
+	spec.Scenario = scenario.Plan{}
+	free, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration <= free.Duration {
+		t.Errorf("partitioned run (%v) not slower than fault-free (%v)", res.Duration, free.Duration)
+	}
+}
+
+// TestChainScenarioDeterministic: the scenario engine (crash, recovery,
+// catch-up, and the seed-derived adversary randomness) must not break
+// run-level determinism.
+func TestChainScenarioDeterministic(t *testing.T) {
+	spec := quickChainSpec(protocol.HoneyBadger, protocol.CoinSig, true, 9)
+	spec.Workload.Epochs = 10
+	spec.Workload.GCLag = 10
+	spec.Scenario = scenario.Plan{}.Then(
+		scenario.CrashAt(20*time.Minute, 3),
+		scenario.RecoverAt(45*time.Minute, 3),
+		scenario.LossBurst(15*time.Minute, 5*time.Minute, 0.3),
+	)
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Duration != b.Duration || a.Chain.CommittedTxs != b.Chain.CommittedTxs || a.Accesses != b.Accesses {
+		t.Errorf("scenario run not deterministic: %v/%d/%d vs %v/%d/%d",
+			a.Duration, a.Chain.CommittedTxs, a.Accesses, b.Duration, b.Chain.CommittedTxs, b.Accesses)
+	}
+}

@@ -1,0 +1,682 @@
+package run
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/byz"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/node"
+	"repro/internal/packet"
+	"repro/internal/protocol"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/wireless"
+)
+
+// Clustered × Chain: the matrix cell the legacy drivers could not reach —
+// pipelined multi-epoch SMR over the paper's Sec. V-B two-tier wireless
+// deployment.
+//
+// Each cluster is a full chain deployment on its own channel: P mux nodes
+// running protocol.Chain, ordering that cluster's client traffic into a
+// local replicated log. One uplink seat per cluster (a second radio+MCU
+// on the global channel) runs a second protocol.Chain over the M seats,
+// whose "client transactions" are cluster cuts — (cluster, epoch, digest)
+// records of committed local log entries. Relay duty rotates: the leader
+// for local epoch e is member e mod P; when it commits e it hands the cut
+// to its seat, and the global chain pipelines the cuts of all clusters
+// into the cross-cluster total order. If the designated leader is down,
+// relay duty fails over to the next live member in rotation (the cut
+// content is identical at every honest member, so any of them can relay
+// it). Committed global entries flow back down: the relay for global
+// epoch g broadcasts a frontier beacon — (ordered-cut count, rolling
+// digest of the global order) — on its newest open local epoch transport,
+// so followers continuously learn how far the cross-cluster order has
+// advanced.
+//
+// The scenario engine is wired through both tiers. Crash/recovery acts on
+// cluster nodes with full mid-run chain recovery; partitions act within
+// cluster channels; loss/jam/delay also cover the global channel; a byz
+// event arms its behavior on the member and on the cluster's seat — the
+// cluster's uplink is only as trustworthy as its members — so the global
+// tier faces a real Byzantine participant. A cluster any byz event ever
+// targets is "tainted": relay duty skips its scripted nodes, and the
+// global-tier barrier, log agreement, and cut-provenance checks cover
+// untainted seats and clusters only (within a cluster, the honest members
+// must still agree among themselves). Cuts are not yet authenticated by
+// their cluster — a Byzantine seat can forge cut records, which the
+// post-run provenance check surfaces — so, as with the one-shot clustered
+// driver, adversarial runs measure how far the defenses reach rather than
+// promising full cross-tier Byzantine tolerance.
+
+// cutSize is the wire size of one cluster-cut record:
+// u32 cluster | u32 local epoch | 32-byte entry digest.
+const cutSize = 40
+
+// beaconKey is the frontier beacon's intent slot on the local channels.
+var beaconKey = core.IntentKey{Kind: packet.KindGlobal, Phase: packet.PhaseFinish, Slot: 0}
+
+// MakeCutTx builds the cluster-cut record the rotating leader submits to
+// the global tier for one committed local epoch.
+func MakeCutTx(cluster, epoch int, digest [32]byte) []byte {
+	tx := make([]byte, cutSize)
+	binary.BigEndian.PutUint32(tx, uint32(cluster))
+	binary.BigEndian.PutUint32(tx[4:], uint32(epoch))
+	copy(tx[8:], digest[:])
+	return tx
+}
+
+// parseCutTx decodes a cut record; ok is false for foreign payloads.
+func parseCutTx(tx []byte) (cluster, epoch int, digest [32]byte, ok bool) {
+	if len(tx) != cutSize {
+		return 0, 0, digest, false
+	}
+	cluster = int(binary.BigEndian.Uint32(tx))
+	epoch = int(binary.BigEndian.Uint32(tx[4:]))
+	copy(digest[:], tx[8:])
+	return cluster, epoch, digest, true
+}
+
+// entryDigest binds a cut to the exact committed entry content.
+func entryDigest(entry protocol.LogEntry) [32]byte {
+	h := sha256.New()
+	var eb [4]byte
+	binary.BigEndian.PutUint32(eb[:], uint32(entry.Epoch))
+	h.Write(eb[:])
+	h.Write(protocol.EncodeBatch(entry.Txs))
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// mhcMember is one cluster node and its chain engine plus the driver-side
+// dissemination state.
+type mhcMember struct {
+	node  *node.Node
+	chain *protocol.Chain
+	byz   bool // scripted Byzantine at any point (excluded from relay duty)
+	// latest is the newest open local epoch transport (beacon carrier).
+	latest *core.Transport
+	// heardCuts/heardDigest is the highest global frontier beacon received.
+	heardCuts   int
+	heardDigest [32]byte
+}
+
+// mhcCluster is one cluster: members on a private channel plus the
+// global-tier seat and its ordering chain.
+type mhcCluster struct {
+	idx     int
+	ch      *wireless.Channel
+	members []*mhcMember
+	seat    *node.Node
+	gchain  *protocol.Chain
+	tainted bool // some byz event targets this cluster
+	// nextCut is the lowest local epoch whose cut is not yet submitted.
+	nextCut int
+	// cuts tracks the global order as this cluster's seat commits it:
+	// total cut count and the rolling digest the relays beacon.
+	cutCount  int
+	cutDigest [32]byte
+	// gotCuts[c2] is the set of local epochs for which a cut of cluster
+	// c2 appeared in this seat's global log (the global-tier barrier).
+	gotCuts []map[int]bool
+}
+
+// mhcDriver holds the whole deployment for the lifecycle and callbacks.
+type mhcDriver struct {
+	spec     Spec
+	target   int
+	clusters []*mhcCluster
+	perma    map[int]bool
+}
+
+func (d *mhcDriver) member(flat int) (*mhcCluster, *mhcMember) {
+	p := d.spec.Topology.PerCluster
+	return d.clusters[flat/p], d.clusters[flat/p].members[flat%p]
+}
+
+// CrashNode implements scenario.Lifecycle across the cluster tier.
+func (d *mhcDriver) CrashNode(i int) {
+	if i < 0 || i >= d.spec.Nodes() {
+		return
+	}
+	cl, m := d.member(i)
+	if m.node.Down() {
+		return
+	}
+	m.chain.Crash()
+	m.node.Crash()
+	m.latest = nil // its transports are gone with the mux epochs
+	// Relay failover: cuts the crashed node was designated to submit are
+	// taken over by the next live member in rotation.
+	d.pumpCuts(cl)
+}
+
+// RecoverNode implements scenario.Lifecycle: mid-run chain recovery.
+func (d *mhcDriver) RecoverNode(i int) {
+	if i < 0 || i >= d.spec.Nodes() {
+		return
+	}
+	cl, m := d.member(i)
+	if !m.node.Down() {
+		return
+	}
+	m.node.Recover()
+	m.chain.Recover()
+	// A member that comes back with its chain already at the target has no
+	// pipeline epoch left to carry or hear beacons on (Chain.Recover cannot
+	// reopen epochs past MaxEpochs): it re-syncs the frontier directly from
+	// its cluster's uplink seat — the same driver-level link relays hand
+	// cuts up through in the other direction.
+	if m.chain.CommittedEpochs() >= d.target && cl.cutCount > m.heardCuts {
+		m.heardCuts = cl.cutCount
+		m.heardDigest = cl.cutDigest
+	}
+	// Both driver-glue directions stalled by a whole-cluster outage must
+	// restart here, because no further local commit may come to retrigger
+	// them: pending cuts go up (relay duty re-evaluated against the
+	// recovered membership), and the current global frontier is
+	// re-beaconed down so recovered followers hear it.
+	d.pumpCuts(cl)
+	d.beacon(cl, len(cl.gchain.Log()))
+}
+
+// SetByzantine arms the behavior on the member and on its cluster's seat:
+// the cluster's uplink is only as trustworthy as its members.
+func (d *mhcDriver) SetByzantine(i int, behavior string) {
+	if i < 0 || i >= d.spec.Nodes() {
+		return
+	}
+	b, err := byz.New(behavior)
+	if err != nil {
+		return
+	}
+	cl, m := d.member(i)
+	m.node.SetBehavior(b)
+	cl.seat.SetBehavior(b)
+}
+
+// pumpCuts submits every due cluster cut in order. The designated relay
+// for local epoch e is member e mod P; the cut is handed to the seat when
+// the relay commits e, or — if the relay is down or scripted Byzantine —
+// when the next live honest member in rotation has the entry committed.
+func (d *mhcDriver) pumpCuts(cl *mhcCluster) {
+	p := d.spec.Topology.PerCluster
+	for cl.nextCut < d.target {
+		e := cl.nextCut
+		var src *protocol.Chain
+		for k := 0; k < p; k++ {
+			m := cl.members[(e+k)%p]
+			if m.byz || m.node.Down() {
+				continue // untrusted or dead relay; duty passes on
+			}
+			// First trustworthy live member in rotation is the relay; the
+			// cut waits until it has committed the epoch (it will: honest
+			// live chains reach the target, recovering mid-run if needed).
+			// The log, not CommittedEpochs, carries the signal: OnCommit
+			// fires after the entry is appended but before the frontier
+			// counter advances.
+			if len(m.chain.Log()) > e {
+				src = m.chain
+			}
+			break
+		}
+		if src == nil {
+			return
+		}
+		cl.gchain.Submit(MakeCutTx(cl.idx, e, entryDigest(src.Log()[e])))
+		cl.nextCut++
+	}
+}
+
+// onGlobalCommit tallies seat c's newly committed global entry and has
+// the rotating relay beacon the advanced frontier into the cluster.
+func (d *mhcDriver) onGlobalCommit(cl *mhcCluster, g int) {
+	entry := cl.gchain.Log()[g]
+	for _, tx := range entry.Txs {
+		h := sha256.New()
+		h.Write(cl.cutDigest[:])
+		h.Write(tx)
+		h.Sum(cl.cutDigest[:0])
+		cl.cutCount++
+		if c2, e, _, ok := parseCutTx(tx); ok && c2 >= 0 && c2 < len(d.clusters) && e >= 0 && e < d.target {
+			if cl.gotCuts[c2] == nil {
+				cl.gotCuts[c2] = make(map[int]bool)
+			}
+			cl.gotCuts[c2][e] = true
+		}
+	}
+	d.beacon(cl, g)
+}
+
+// beacon broadcasts the cluster seat's current global frontier — cut
+// count plus rolling digest — through the rotating relay's newest open
+// local epoch transport. Followers keep the highest count heard.
+func (d *mhcDriver) beacon(cl *mhcCluster, g int) {
+	p := d.spec.Topology.PerCluster
+	var relay *mhcMember
+	for k := 0; k < p; k++ {
+		m := cl.members[(g+k)%p]
+		if !m.byz && !m.node.Down() && m.latest != nil {
+			relay = m
+			break
+		}
+	}
+	if relay == nil {
+		return // cluster blackout; the next commit re-beacons
+	}
+	payload := make([]byte, 4+32)
+	binary.BigEndian.PutUint32(payload, uint32(cl.cutCount))
+	copy(payload[4:], cl.cutDigest[:])
+	relay.latest.Update(core.Intent{IntentKey: beaconKey, Data: payload})
+	// The relay learned the frontier from its own seat.
+	if cl.cutCount > relay.heardCuts {
+		relay.heardCuts = cl.cutCount
+		relay.heardDigest = cl.cutDigest
+	}
+}
+
+// hookMember wires one member's chain into the driver: cut relay on local
+// commits, the pipeline-depth gauge, and beacon send/receive on every
+// pipeline epoch transport.
+func (d *mhcDriver) hookMember(cl *mhcCluster, m *mhcMember, maxOpen *int) {
+	m.chain.OnCommit = func(int) {
+		if o := m.chain.OpenEpochs(); o > *maxOpen {
+			*maxOpen = o
+		}
+		d.pumpCuts(cl)
+	}
+	m.chain.OnEpochOpen = func(_ int, tr *core.Transport) {
+		m.latest = tr
+		tr.Register(packet.KindGlobal, core.HandlerFunc(func(_ uint16, sec packet.Section) {
+			for _, ent := range sec.Entries {
+				if len(ent.Data) != 4+32 {
+					continue
+				}
+				count := int(binary.BigEndian.Uint32(ent.Data))
+				if count > m.heardCuts {
+					m.heardCuts = count
+					copy(m.heardDigest[:], ent.Data[4:])
+				}
+			}
+		}))
+	}
+}
+
+// runClusteredChain executes the Clustered × Chain cell.
+func runClusteredChain(spec Spec) (*Report, error) {
+	M, P := spec.Topology.Clusters, spec.Topology.PerCluster
+	fg := (M - 1) / 3
+	byzN := spec.Scenario.ByzNodes()
+	if err := byzPerGroup(byzN, M, P, spec.F); err != nil {
+		return nil, err
+	}
+	perma := spec.Scenario.DownForever()
+	// A byz event taints its whole cluster's uplink seat, so tainted
+	// clusters are Byzantine participants of the M-seat global group:
+	// more than f_g of them exceeds what the global tier tolerates.
+	// Reject upfront, like every other invalid adversarial plan.
+	taintedClusters := 0
+	for c := 0; c < M; c++ {
+		for i := 0; i < P; i++ {
+			if byzN[c*P+i] {
+				taintedClusters++
+				break
+			}
+		}
+	}
+	if taintedClusters > fg {
+		return nil, fmt.Errorf("run: byz events taint %d clusters' uplink seats, global tier tolerates f=%d", taintedClusters, fg)
+	}
+	// Every cluster needs at least one honest member that is not scripted
+	// to stay dead: relay duty and the reference log both come from the
+	// honest live members, and a fully dead (or fully untrusted) cluster
+	// would stall the global barrier until the deadline. Reject upfront.
+	for c := 0; c < M; c++ {
+		live := false
+		for i := 0; i < P; i++ {
+			if flat := c*P + i; !perma[flat] && !byzN[flat] {
+				live = true
+				break
+			}
+		}
+		if !live {
+			return nil, fmt.Errorf("run: cluster %d has no honest live member; its cuts could never be relayed", c)
+		}
+	}
+	target := spec.Workload.Epochs
+
+	sched := sim.New(spec.Seed)
+	globalCh := wireless.NewChannel(sched, spec.Net)
+	globalSuites, err := crypto.Deal(M, fg, spec.Crypto, rand.New(rand.NewSource(spec.Seed^0x61)))
+	if err != nil {
+		return nil, err
+	}
+
+	ccfg, err := chainConfig(spec)
+	if err != nil {
+		return nil, err
+	}
+	// The global chain orders cut records: no payload encryption (digests
+	// are public), no sharding (each seat proposes exactly its own
+	// cluster's cuts), and a cut policy that proposes as soon as one cut
+	// is pending — cut cadence, not batch fill, sets the global tempo.
+	gccfg := protocol.DefaultChainConfig(spec.Protocol, spec.Coin)
+	gccfg.Batched = spec.Batched
+	gccfg.Encrypt = false
+	gccfg.Window = spec.Workload.Window
+	gccfg.GCLag = spec.Workload.GCLag
+	gccfg.MaxEpochs = 0 // runs until every cluster's cuts are ordered
+	gccfg.Mempool = protocol.MempoolConfig{TargetBatchBytes: cutSize, Shards: 1}
+
+	d := &mhcDriver{spec: spec, target: target, perma: perma}
+	ncfg := node.Config{Transport: spec.Transport, Batched: spec.Batched, Seed: spec.Seed}
+	gcfg := node.Config{Transport: spec.Transport, Batched: spec.Batched, Seed: spec.Seed ^ 0x61}
+	gcfg.Transport.Session = globalSession(spec.Transport.Session)
+
+	maxOpen := 0
+	for c := 0; c < M; c++ {
+		ch := wireless.NewChannel(sched, spec.Net)
+		suites, err := crypto.Deal(P, spec.F, spec.Crypto, rand.New(rand.NewSource(spec.Seed+int64(c)*101)))
+		if err != nil {
+			return nil, err
+		}
+		cl := &mhcCluster{idx: c, ch: ch, gotCuts: make([]map[int]bool, M)}
+		for i := 0; i < P; i++ {
+			n := node.NewMux(sched, ch, wireless.NodeID(i), suites[i], ncfg)
+			chain := protocol.NewChain(sched, n.CPU, n.Mux(), suites[i], P, spec.F, i,
+				n.TransportConfig().Session, n.Rand, ccfg)
+			m := &mhcMember{node: n, chain: chain, byz: byzN[c*P+i]}
+			cl.tainted = cl.tainted || m.byz
+			cl.members = append(cl.members, m)
+		}
+		// The uplink seat: a second radio+MCU per cluster on the global
+		// channel, running the cross-cluster ordering chain.
+		cl.seat = node.NewMux(sched, globalCh, wireless.NodeID(c), globalSuites[c], gcfg)
+		cl.gchain = protocol.NewChain(sched, cl.seat.CPU, cl.seat.Mux(), globalSuites[c], M, fg, c,
+			cl.seat.TransportConfig().Session, cl.seat.Rand, gccfg)
+		d.clusters = append(d.clusters, cl)
+	}
+	for _, cl := range d.clusters {
+		cl := cl
+		for _, m := range cl.members {
+			d.hookMember(cl, m, &maxOpen)
+		}
+		cl.gchain.OnCommit = func(g int) { d.onGlobalCommit(cl, g) }
+	}
+
+	eng := scenario.Start(sched, spec.Scenario, spec.Seed, d)
+	for c, cl := range d.clusters {
+		base := c * P
+		cl.ch.SetDeliveryHook(eng.HookMapped(func(id wireless.NodeID) int { return base + int(id) }))
+	}
+	globalCh.SetDeliveryHook(eng.HookNetOnly())
+
+	// Client workload: each cluster receives its own sustained stream —
+	// one transaction per TxInterval, broadcast to the cluster's live
+	// mempools. Sequence numbers are global so payloads are distinct
+	// across clusters.
+	honestMember := func(flat int) bool { return !byzN[flat] && !perma[flat] }
+	localsDone := func() bool {
+		for c, cl := range d.clusters {
+			for i, m := range cl.members {
+				if honestMember(c*P+i) && m.chain.CommittedEpochs() < target {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	untainted := 0
+	for _, cl := range d.clusters {
+		if !cl.tainted {
+			untainted++
+		}
+	}
+	globalDone := func() bool {
+		for _, cl := range d.clusters {
+			if cl.tainted {
+				continue
+			}
+			for _, cl2 := range d.clusters {
+				if cl2.tainted {
+					continue
+				}
+				if len(cl.gotCuts[cl2.idx]) < target {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	heardDone := func() bool {
+		for c, cl := range d.clusters {
+			if cl.tainted {
+				continue
+			}
+			for i, m := range cl.members {
+				if honestMember(c*P+i) && m.heardCuts < untainted*target {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	done := func() bool { return localsDone() && globalDone() && heardDone() }
+
+	submitted := 0
+	var inject func()
+	inject = func() {
+		if localsDone() {
+			return
+		}
+		for _, cl := range d.clusters {
+			tx := protocol.MakeClientTx(submitted, spec.Workload.TxSize)
+			submitted++
+			for _, m := range cl.members {
+				if !m.node.Down() {
+					m.chain.Submit(tx)
+				}
+			}
+		}
+		sched.After(spec.Workload.TxInterval, inject)
+	}
+	sched.After(100*time.Millisecond, inject)
+	for _, cl := range d.clusters {
+		for _, m := range cl.members {
+			m.chain.Start()
+		}
+		cl.gchain.Start()
+	}
+
+	if err := node.Drive(sched, spec.Deadline, done); err != nil {
+		front := make([][]int, M)
+		cuts := make([]int, M)
+		heard := make([][]int, M)
+		gstate := make([]string, M)
+		for c, cl := range d.clusters {
+			cuts[c] = cl.cutCount
+			gstate[c] = fmt.Sprintf("c%d{gfront=%d open=%d pool=%d/%dB nextCut=%d}",
+				c, cl.gchain.CommittedEpochs(), cl.gchain.OpenEpochs(),
+				cl.gchain.Mempool().Len(), cl.gchain.Mempool().PendingBytes(), cl.nextCut)
+			for _, m := range cl.members {
+				front[c] = append(front[c], m.chain.CommittedEpochs())
+				heard[c] = append(heard[c], m.heardCuts)
+			}
+		}
+		return nil, fmt.Errorf("run: clustered chain (%s %s batched=%v depth=%d) at frontiers %v, seat cuts %v, heard %v, global %v: %w",
+			spec.Protocol, spec.Coin, spec.Batched, spec.Workload.Window, front, cuts, heard, gstate, err)
+	}
+
+	rep, err := d.finishClusteredChain(spec, sched, globalCh, submitted, maxOpen, byzN)
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// finishClusteredChain runs the post-run safety checks — local agreement
+// per cluster, global agreement across untainted seats, cut provenance,
+// and follower frontier-digest consistency — then folds the two tiers'
+// measurements into the Report.
+func (d *mhcDriver) finishClusteredChain(spec Spec, sched *sim.Scheduler, globalCh *wireless.Channel, submitted, maxOpen int, byzN map[int]bool) (*Report, error) {
+	M, P := spec.Topology.Clusters, spec.Topology.PerCluster
+
+	// Local tier: the honest members of every cluster (tainted or not)
+	// must have committed identical gap-free logs.
+	refMember := make([]*mhcMember, M) // first honest member per cluster
+	for c, cl := range d.clusters {
+		honest := make([]*protocol.Chain, P)
+		for i, m := range cl.members {
+			flat := c*P + i
+			if !byzN[flat] && !d.perma[flat] {
+				honest[i] = m.chain
+				if refMember[c] == nil {
+					refMember[c] = m
+				}
+			}
+		}
+		if err := protocol.CheckLogs(honest); err != nil {
+			return nil, fmt.Errorf("run: cluster %d: %w", c, err)
+		}
+		if refMember[c] == nil {
+			return nil, fmt.Errorf("run: cluster %d has no honest live member", c)
+		}
+	}
+
+	// Global tier: untainted seats must agree on the cross-cluster order.
+	var refSeat *mhcCluster
+	globalHonest := make([]*protocol.Chain, M)
+	for c, cl := range d.clusters {
+		if cl.tainted {
+			continue
+		}
+		globalHonest[c] = cl.gchain
+		if refSeat == nil || cl.cutCount > refSeat.cutCount {
+			refSeat = cl
+		}
+	}
+	if refSeat == nil {
+		return nil, fmt.Errorf("run: every cluster is Byzantine-tainted; no trusted global order")
+	}
+	if err := protocol.CheckLogs(globalHonest); err != nil {
+		return nil, fmt.Errorf("run: global tier: %w", err)
+	}
+
+	// Cut provenance: walk the longest untainted global order once,
+	// rebuilding the rolling beacon digests, verifying that every cut
+	// claiming an untainted cluster matches that cluster's true committed
+	// entry, and that the true cut of every untainted (cluster, epoch)
+	// appears.
+	seen := make([]map[int]bool, M)
+	for c := range seen {
+		seen[c] = make(map[int]bool)
+	}
+	var rolling [32]byte
+	digests := make([][32]byte, 1, refSeat.cutCount+1)
+	for _, entry := range refSeat.gchain.Log() {
+		for _, tx := range entry.Txs {
+			h := sha256.New()
+			h.Write(rolling[:])
+			h.Write(tx)
+			h.Sum(rolling[:0])
+			digests = append(digests, rolling)
+			c2, e, dig, ok := parseCutTx(tx)
+			if !ok || c2 < 0 || c2 >= M || e < 0 || e >= d.target {
+				continue // foreign payload; only a tainted seat can produce one
+			}
+			if d.clusters[c2].tainted {
+				continue
+			}
+			if want := entryDigest(refMember[c2].chain.Log()[e]); dig != want {
+				return nil, fmt.Errorf("run: global order holds a forged cut for cluster %d epoch %d", c2, e)
+			}
+			seen[c2][e] = true
+		}
+	}
+	for c, cl := range d.clusters {
+		if cl.tainted {
+			continue
+		}
+		for e := 0; e < d.target; e++ {
+			if !seen[c][e] {
+				return nil, fmt.Errorf("run: cluster %d epoch %d missing from the global order", c, e)
+			}
+		}
+	}
+
+	// Follower dissemination: every honest member of an untainted cluster
+	// must have heard a frontier beacon consistent with the global order.
+	for c, cl := range d.clusters {
+		if cl.tainted {
+			continue
+		}
+		for i, m := range cl.members {
+			flat := c*P + i
+			if byzN[flat] || d.perma[flat] {
+				continue
+			}
+			if m.heardCuts > refSeat.cutCount {
+				return nil, fmt.Errorf("run: cluster %d member %d heard frontier %d beyond the global order (%d)",
+					c, i, m.heardCuts, refSeat.cutCount)
+			}
+			if !bytes.Equal(m.heardDigest[:], digests[m.heardCuts][:]) {
+				return nil, fmt.Errorf("run: cluster %d member %d heard a frontier digest diverging from the global order", c, i)
+			}
+		}
+	}
+
+	rep := spec.report()
+	rep.Duration = sched.Now()
+	cr := &ChainReport{
+		EpochsCommitted: d.target,
+		SubmittedTxs:    submitted,
+		MaxOpenEpochs:   maxOpen,
+		Logs:            make([][]protocol.LogEntry, M*P),
+	}
+	rep.Chain = cr
+	var latSum time.Duration
+	for c, cl := range d.clusters {
+		ref := refMember[c]
+		cr.CommittedTxs += ref.chain.CommittedTxs()
+		cr.CommittedBytes += ref.chain.CommittedBytes()
+		cr.DedupDropped += ref.chain.DedupDropped()
+		latSum += ref.chain.MeanCommitLatency()
+		for i, m := range cl.members {
+			flat := c*P + i
+			if !byzN[flat] && !d.perma[flat] {
+				cr.Logs[flat] = m.chain.Log()
+			}
+		}
+	}
+	cr.MeanCommitLatency = latSum / time.Duration(M)
+	if rep.Duration > 0 {
+		cr.ThroughputBps = float64(cr.CommittedBytes) / rep.Duration.Seconds()
+	}
+
+	rep.Tiers = &TierReport{
+		GlobalEntries: len(refSeat.gchain.Log()),
+		OrderedCuts:   refSeat.cutCount,
+		GlobalLogs:    make([][]protocol.LogEntry, M),
+	}
+	var localChs []*wireless.Channel
+	var nodes, seats []*node.Node
+	for _, cl := range d.clusters {
+		localChs = append(localChs, cl.ch)
+		for _, m := range cl.members {
+			nodes = append(nodes, m.node)
+		}
+		seats = append(seats, cl.seat)
+		if !cl.tainted {
+			rep.Tiers.GlobalLogs[cl.idx] = cl.gchain.Log()
+		}
+	}
+	foldTwoTierStats(rep, globalCh, localChs, nodes, seats)
+	return rep, nil
+}

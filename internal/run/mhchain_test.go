@@ -1,0 +1,159 @@
+package run
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/byz"
+	"repro/internal/protocol"
+	"repro/internal/scenario"
+)
+
+func quickMHChainSpec(p protocol.Kind, coin protocol.CoinKind, target int, seed int64) Spec {
+	spec := Defaults(p, coin)
+	spec.Topology = Clustered(4, 4)
+	spec.Workload = Chain(target)
+	spec.Workload.TxInterval = 2 * time.Second
+	spec.Seed = seed
+	return spec
+}
+
+// TestClusteredChainAgreement is the acceptance run for the new matrix
+// cell: 4 clusters of 4 run pipelined SMR on the lossy default channel,
+// every honest node commits the per-cluster target, every cluster's cuts
+// land in the cross-cluster total order, the untainted seats' global logs
+// agree, and every follower's heard frontier digest matches the global
+// order (Run fails on any violation; the assertions below are the
+// measurements).
+func TestClusteredChainAgreement(t *testing.T) {
+	res, err := Run(quickMHChainSpec(protocol.HoneyBadger, protocol.CoinSig, 4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chain.EpochsCommitted != 4 {
+		t.Fatalf("per-cluster target not reached: %d", res.Chain.EpochsCommitted)
+	}
+	if res.Tiers == nil || res.Tiers.OrderedCuts < 4*4 {
+		t.Fatalf("global order holds %d cuts, want >= 16 (4 clusters x 4 epochs)", res.Tiers.OrderedCuts)
+	}
+	if res.Tiers.GlobalEntries == 0 || res.Tiers.GlobalAccesses == 0 || res.Tiers.LocalAccesses == 0 {
+		t.Fatalf("expected traffic and commits on both tiers: %+v", res.Tiers)
+	}
+	if res.Chain.CommittedTxs == 0 || res.Chain.ThroughputBps <= 0 {
+		t.Fatalf("no sustained throughput: %+v", res.Chain)
+	}
+	// Per-cluster logs must exist for every node and carry distinct
+	// traffic (clusters order disjoint client streams).
+	seen := map[string]bool{}
+	for flat, log := range res.Chain.Logs {
+		if len(log) != 4 {
+			t.Fatalf("node %d committed %d epochs, want 4", flat, len(log))
+		}
+		for _, entry := range log {
+			for _, tx := range entry.Txs {
+				key := string(tx)
+				if flat%4 == 0 && seen[key] {
+					t.Fatalf("tx committed by two clusters; client streams not disjoint")
+				}
+				if flat%4 == 0 {
+					seen[key] = true
+				}
+			}
+		}
+	}
+	t.Logf("4x4 clustered chain: %d txs, %d cuts in %d global entries, %v virtual, %.2f B/s",
+		res.Chain.CommittedTxs, res.Tiers.OrderedCuts, res.Tiers.GlobalEntries,
+		res.Duration.Round(time.Second), res.Chain.ThroughputBps)
+}
+
+// TestClusteredChainDumbo exercises the second protocol family end to end
+// on the new cell (Dumbo's serial-ABA path is distinct code on both
+// tiers).
+func TestClusteredChainDumbo(t *testing.T) {
+	res, err := Run(quickMHChainSpec(protocol.DumboKind, protocol.CoinSig, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tiers.OrderedCuts < 4*3 {
+		t.Fatalf("global order holds %d cuts, want >= 12", res.Tiers.OrderedCuts)
+	}
+}
+
+// TestClusteredChainLeaderCrash crashes a rotating relay leader mid-run:
+// cluster 0's member 0 (the relay for local epochs 0, 4, ...) goes down
+// and later recovers. Relay duty must fail over so cluster 0's cuts keep
+// reaching the global tier, the crashed node must catch back up to the
+// full log, and every cross-cluster check must still pass.
+func TestClusteredChainLeaderCrash(t *testing.T) {
+	spec := quickMHChainSpec(protocol.HoneyBadger, protocol.CoinSig, 6, 3)
+	spec.Workload.GCLag = spec.Workload.Epochs // peers must hold the outage's epochs
+	spec.Scenario = scenario.Plan{}.Then(
+		scenario.CrashAt(20*time.Minute, 0),   // cluster 0, member 0: relay for epoch 4
+		scenario.RecoverAt(80*time.Minute, 0), // back for the tail of the run
+	)
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Chain.Logs[0]); got != spec.Workload.Epochs {
+		t.Fatalf("crashed leader committed %d epochs after recovery, want %d", got, spec.Workload.Epochs)
+	}
+	if res.Tiers.OrderedCuts < 4*spec.Workload.Epochs {
+		t.Fatalf("global order holds %d cuts, want >= %d despite the leader crash",
+			res.Tiers.OrderedCuts, 4*spec.Workload.Epochs)
+	}
+}
+
+// TestClusteredChainByzantineMember arms a Byzantine member (and, through
+// it, the cluster's uplink seat) and requires the untainted clusters to
+// stay safe and live: local logs agree, their cuts are all ordered with
+// matching digests, and no forged cut for an untainted cluster survives
+// (Run fails otherwise).
+func TestClusteredChainByzantineMember(t *testing.T) {
+	spec := quickMHChainSpec(protocol.HoneyBadger, protocol.CoinSig, 3, 4)
+	spec.Workload.GCLag = spec.Workload.Epochs
+	// Flat node 15 = cluster 3, member 3: a follower in early epochs.
+	spec.Scenario = scenario.Byz(byz.NameGarbage, 15)
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for flat, log := range res.Chain.Logs {
+		if flat == 15 {
+			if log != nil {
+				t.Fatal("Byzantine member's log included in the honest result set")
+			}
+			continue
+		}
+		if len(log) != spec.Workload.Epochs {
+			t.Fatalf("honest node %d committed %d epochs, want %d", flat, len(log), spec.Workload.Epochs)
+		}
+	}
+	if res.Tiers.GlobalLogs[3] != nil {
+		t.Fatal("tainted seat's global log included in the trusted set")
+	}
+	if res.Rejected == 0 {
+		t.Error("garbage adversary ran but no rejections surfaced in Stats")
+	}
+}
+
+// TestClusteredChainDeterministic: same Spec, same Report — the new cell
+// preserves run-level determinism (cut relay, beacons, and failover all
+// ride the scheduler).
+func TestClusteredChainDeterministic(t *testing.T) {
+	spec := quickMHChainSpec(protocol.HoneyBadger, protocol.CoinSig, 3, 5)
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Duration != b.Duration || a.Chain.CommittedTxs != b.Chain.CommittedTxs ||
+		a.Accesses != b.Accesses || a.Tiers.OrderedCuts != b.Tiers.OrderedCuts {
+		t.Errorf("same seed differs: %v/%d/%d/%d vs %v/%d/%d/%d",
+			a.Duration, a.Chain.CommittedTxs, a.Accesses, a.Tiers.OrderedCuts,
+			b.Duration, b.Chain.CommittedTxs, b.Accesses, b.Tiers.OrderedCuts)
+	}
+}

@@ -1,0 +1,271 @@
+// Package run is the unified experiment API: one entry point,
+// Run(Spec) (*Report, error), over two orthogonal axes — Topology
+// (single-hop or clustered two-tier) × Workload (one-shot epochs or
+// sustained chain SMR) — plus the protocol, coin, transport, crypto,
+// channel, and fault-scenario knobs every deployment shares.
+//
+// The package replaces the three parallel drivers the repo grew — the
+// protocol package's legacy one-shot, multihop, and chain entry points —
+// and their three drifting Options/Result structs. Composing the axes also fills the
+// matrix cell none of the legacy drivers could reach: Clustered × Chain,
+// pipelined multi-epoch SMR over the paper's Sec. V-B two-tier wireless
+// deployment, where each cluster runs a local replicated log and rotating
+// leaders order cluster cuts on the global tier (see mhchain.go).
+//
+// Every run is a deterministic function of its Spec: the same Spec
+// reproduces the same Report bit-for-bit, which the golden BENCH tests
+// rely on.
+package run
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/protocol"
+	"repro/internal/scenario"
+	"repro/internal/wireless"
+)
+
+// TopologyKind names the deployment shape.
+type TopologyKind string
+
+// The topology axis.
+const (
+	TopoSingleHop TopologyKind = "single-hop"
+	TopoClustered TopologyKind = "clustered"
+)
+
+// Topology is one axis of the experiment matrix: how the nodes are laid
+// out on the air. The zero value is single-hop.
+type Topology struct {
+	Kind TopologyKind
+	// Clusters is M, the number of single-hop clusters (and global-tier
+	// seats); it must be 3f_g+1. Clustered only.
+	Clusters int
+	// PerCluster is the cluster size N_i (must be 3F+1). Zero adopts
+	// Spec.N; a non-zero value overrides it.
+	PerCluster int
+}
+
+// SingleHop is the paper's base deployment: every node on one channel.
+func SingleHop() Topology { return Topology{Kind: TopoSingleHop} }
+
+// Clustered is the paper's Sec. V-B deployment: clusters single-hop
+// clusters of perCluster nodes, each on its own channel, with one
+// global-tier seat per cluster on a separate channel.
+func Clustered(clusters, perCluster int) Topology {
+	return Topology{Kind: TopoClustered, Clusters: clusters, PerCluster: perCluster}
+}
+
+// WorkloadKind names the traffic pattern.
+type WorkloadKind string
+
+// The workload axis.
+const (
+	LoadOneShot WorkloadKind = "oneshot"
+	LoadChain   WorkloadKind = "chain"
+)
+
+// Workload is the other axis: what the consensus group is asked to order.
+// The zero value is the one-shot workload with all defaults.
+type Workload struct {
+	Kind WorkloadKind
+	// Epochs is the run length: one-shot runs exactly this many epochs;
+	// chain runs until every correct node commits this many (the target
+	// commit frontier).
+	Epochs int
+	// BatchSize is the one-shot proposal size in transactions.
+	BatchSize int
+	// TxSize is the payload size in bytes (both workloads).
+	TxSize int
+	// TxInterval is the chain workload's mean gap between client
+	// submissions. Each transaction is broadcast to every live node's
+	// mempool (per cluster, under the clustered topology).
+	TxInterval time.Duration
+	// Window is the chain pipeline depth (1 = sequential epochs).
+	Window int
+	// GCLag is how many epochs behind the commit frontier per-epoch state
+	// is kept to serve NACK repairs (crash recovery needs it to span the
+	// outage). Zero picks the engine default.
+	GCLag int
+	// Mempool tunes the chain proposal-cut policy; zero fields default.
+	Mempool protocol.MempoolConfig
+}
+
+// OneShot is the paper's evaluation workload: epochs independent epochs
+// of fixed deterministic proposals.
+func OneShot(epochs int) Workload {
+	return Workload{Kind: LoadOneShot, Epochs: epochs, BatchSize: 4, TxSize: 64}
+}
+
+// Chain is the sustained SMR workload: continuous client traffic ordered
+// into a replicated log until every correct node commits targetEpochs
+// epochs, with a depth-2 pipeline.
+func Chain(targetEpochs int) Workload {
+	return Workload{
+		Kind:       LoadChain,
+		Epochs:     targetEpochs,
+		TxSize:     64,
+		TxInterval: 4 * time.Second,
+		Window:     2,
+	}
+}
+
+// Spec is one experiment: the full cross of the Topology × Workload axes
+// with the shared protocol/transport/crypto/channel/fault knobs. Build it
+// with Defaults and override fields; zero-valued tuning fields are
+// normalized inside Run.
+type Spec struct {
+	Protocol protocol.Kind
+	Coin     protocol.CoinKind
+	// Batched selects ConsensusBatcher vs the per-instance baseline.
+	Batched bool
+	// Encrypt runs the threshold-encrypted proposal path (the censorship
+	// defense); Defaults enables it for every family but Dumbo.
+	Encrypt bool
+	// N and F size one consensus group: the whole network under
+	// single-hop, each cluster under the clustered topology (N = 3F+1).
+	N, F int
+
+	Topology Topology
+	Workload Workload
+
+	Seed      int64
+	Net       wireless.Config
+	Crypto    crypto.Config
+	Transport core.Config // Session/FlushDelay/RetxInterval; zero = defaults
+	// Scenario scripts faults into the run: crashes, recoveries,
+	// partitions, loss/jam bursts, the asynchronous delay adversary, and
+	// active-Byzantine behavior activation. The zero value is the
+	// fault-free run. Node ids are flat across the deployment
+	// (cluster*PerCluster + in-cluster index under the clustered
+	// topology).
+	Scenario scenario.Plan
+	// Deadline bounds the run in virtual time: per epoch for one-shot
+	// workloads, whole-run for chain workloads. Zero picks the workload
+	// default (60 min per epoch, 8 h per chain run).
+	Deadline time.Duration
+}
+
+// Defaults returns the paper-calibrated baseline Spec: single-hop
+// one-shot, N=4, LoRa-class channel, light crypto, ConsensusBatcher on.
+// This is the one defaults builder; select other matrix cells by
+// replacing Topology and Workload (run.Clustered, run.Chain) — the
+// workload-specific tuning defaults are filled in by Run.
+func Defaults(p protocol.Kind, coin protocol.CoinKind) Spec {
+	return Spec{
+		Protocol: p,
+		Coin:     coin,
+		Batched:  true,
+		Encrypt:  p != protocol.DumboKind,
+		N:        4,
+		F:        1,
+		Topology: SingleHop(),
+		Workload: OneShot(3),
+		Seed:     1,
+		Net:      wireless.DefaultConfig(),
+		Crypto:   crypto.LightConfig(),
+	}
+}
+
+// normalize fills the Spec's zero-valued tuning fields with the legacy
+// drivers' defaults, so the one builder serves every matrix cell without
+// the old field-by-field copies drifting apart again.
+func (s Spec) normalize() Spec {
+	if s.Topology.Kind == "" {
+		s.Topology.Kind = TopoSingleHop
+	}
+	if s.Topology.Kind == TopoClustered {
+		if s.Topology.PerCluster == 0 {
+			s.Topology.PerCluster = s.N
+		}
+		s.N = s.Topology.PerCluster
+		s.F = (s.N - 1) / 3
+	}
+	if s.Workload.Kind == "" {
+		s.Workload.Kind = LoadOneShot
+	}
+	switch s.Workload.Kind {
+	case LoadOneShot:
+		if s.Workload.Epochs <= 0 {
+			s.Workload.Epochs = 3
+		}
+		if s.Workload.BatchSize <= 0 {
+			s.Workload.BatchSize = 4
+		}
+		if s.Workload.TxSize <= 0 {
+			s.Workload.TxSize = 64
+		}
+		if s.Workload.TxSize < 12 {
+			// MakeProposal writes a 12-byte header per transaction.
+			s.Workload.TxSize = 12
+		}
+		if s.Deadline <= 0 {
+			s.Deadline = 60 * time.Minute
+		}
+	case LoadChain:
+		if s.Workload.Epochs <= 0 {
+			s.Workload.Epochs = 1
+		}
+		if s.Workload.Window <= 0 {
+			s.Workload.Window = 1
+		}
+		if s.Workload.TxSize <= 0 {
+			s.Workload.TxSize = 64
+		}
+		if s.Workload.TxSize < 12 {
+			s.Workload.TxSize = 12
+		}
+		if s.Workload.TxInterval <= 0 {
+			s.Workload.TxInterval = 4 * time.Second
+		}
+		if s.Deadline <= 0 {
+			s.Deadline = 8 * time.Hour
+		}
+	}
+	return s
+}
+
+// validate rejects malformed axes before any virtual time elapses.
+func (s Spec) validate() error {
+	switch s.Protocol {
+	case protocol.HoneyBadger, protocol.BEAT, protocol.DumboKind:
+	default:
+		return fmt.Errorf("run: unknown protocol %q", s.Protocol)
+	}
+	if s.N != 3*s.F+1 {
+		return fmt.Errorf("run: need N = 3F+1, got N=%d F=%d", s.N, s.F)
+	}
+	switch s.Topology.Kind {
+	case TopoSingleHop:
+	case TopoClustered:
+		if s.Topology.Clusters < 4 || (s.Topology.Clusters-1)%3 != 0 {
+			return fmt.Errorf("run: clusters must be 3f+1 >= 4, got %d", s.Topology.Clusters)
+		}
+		if s.Topology.PerCluster != 3*s.F+1 {
+			return fmt.Errorf("run: cluster size %d != 3F+1", s.Topology.PerCluster)
+		}
+	default:
+		return fmt.Errorf("run: unknown topology %q", s.Topology.Kind)
+	}
+	switch s.Workload.Kind {
+	case LoadOneShot, LoadChain:
+	default:
+		return fmt.Errorf("run: unknown workload %q", s.Workload.Kind)
+	}
+	return nil
+}
+
+// Nodes returns the deployment's flat node count (the scenario id space).
+func (s Spec) Nodes() int {
+	if s.Topology.Kind == TopoClustered {
+		per := s.Topology.PerCluster
+		if per == 0 {
+			per = s.N
+		}
+		return s.Topology.Clusters * per
+	}
+	return s.N
+}

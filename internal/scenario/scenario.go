@@ -6,11 +6,13 @@
 // one simulation; its randomness is derived from the run seed, so a
 // scenario is as reproducible as the rest of the simulation.
 //
-// The same Plan runs against all three drivers (protocol.Run,
-// protocol.RunMultihop, protocol.ChainRun); what differs is the lifecycle
-// the driver exposes. The one-shot drivers rejoin a recovered node at the
-// next epoch boundary; the SMR driver rejoins it mid-run through
-// core.Mux.OnUnknownEpoch and NACK retransmission catch-up.
+// The same Plan runs against every cell of the run.Spec experiment
+// matrix (internal/run); what differs is the lifecycle the driver
+// exposes. The one-shot drivers rejoin a recovered node at the next
+// epoch boundary; the chain drivers rejoin it mid-run through
+// core.Mux.OnUnknownEpoch and NACK retransmission catch-up; the
+// clustered drivers map flat node ids onto cluster channels and carry
+// byz behaviors onto the global tier.
 package scenario
 
 import (
