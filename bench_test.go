@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/sweep"
 )
 
 // Each benchmark regenerates one table or figure of the paper's evaluation
@@ -21,7 +22,7 @@ func reportLatency(b *testing.B, name string, d time.Duration) {
 // node for N=4 parallel components under wired/baseline/ConsensusBatcher.
 func BenchmarkTable1MessageOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.Table1(int64(i) + 1)
+		rows, err := bench.Table1(int64(i)+1, sweep.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -37,7 +38,7 @@ func BenchmarkTable1MessageOverhead(b *testing.B) {
 // signature operations across parameter sets (Fig. 10a).
 func BenchmarkFig10aThresholdSigOps(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.Fig10aThresholdSig(1); err != nil {
+		if _, err := bench.Fig10aThresholdSig(1, sweep.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -47,7 +48,7 @@ func BenchmarkFig10aThresholdSigOps(b *testing.B) {
 // operations across group sizes (Fig. 10b).
 func BenchmarkFig10bThresholdCoinOps(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.Fig10bThresholdCoin(1); err != nil {
+		if _, err := bench.Fig10bThresholdCoin(1, sweep.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -68,7 +69,7 @@ func BenchmarkFig10cSignatureSizes(b *testing.B) {
 // crypto (Fig. 10d).
 func BenchmarkFig10dCryptoImpact(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.Fig10dCryptoImpact(int64(i)+1, 1, []int{4})
+		rows, err := bench.Fig10dCryptoImpact(int64(i)+1, 1, []int{4}, sweep.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -84,7 +85,7 @@ func BenchmarkFig10dCryptoImpact(b *testing.B) {
 // (Fig. 11a).
 func BenchmarkFig11aBroadcastParallelism(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.Fig11aBroadcastParallelism(int64(i) + 1)
+		rows, err := bench.Fig11aBroadcastParallelism(int64(i)+1, sweep.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -101,7 +102,7 @@ func BenchmarkFig11aBroadcastParallelism(b *testing.B) {
 // BenchmarkFig11bProposalSize sweeps proposal sizes (Fig. 11b).
 func BenchmarkFig11bProposalSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.Fig11bProposalSize(int64(i) + 1); err != nil {
+		if _, err := bench.Fig11bProposalSize(int64(i)+1, sweep.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -110,7 +111,7 @@ func BenchmarkFig11bProposalSize(b *testing.B) {
 // BenchmarkFig12aABAParallel sweeps parallel ABA instances (Fig. 12a).
 func BenchmarkFig12aABAParallel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.Fig12aParallel(int64(i) + 1)
+		rows, err := bench.Fig12aParallel(int64(i)+1, sweep.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -127,7 +128,7 @@ func BenchmarkFig12aABAParallel(b *testing.B) {
 // BenchmarkFig12bABASerial sweeps serial ABA instances (Fig. 12b).
 func BenchmarkFig12bABASerial(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.Fig12bSerial(int64(i) + 1); err != nil {
+		if _, err := bench.Fig12bSerial(int64(i)+1, sweep.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -137,7 +138,7 @@ func BenchmarkFig12bABASerial(b *testing.B) {
 // (Fig. 13a).
 func BenchmarkFig13aSingleHop(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.Fig13aSingleHop(int64(i)+1, 1, 4)
+		rows, err := bench.Fig13aSingleHop(int64(i)+1, 1, 4, sweep.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -153,7 +154,7 @@ func BenchmarkFig13aSingleHop(b *testing.B) {
 // (Fig. 13b).
 func BenchmarkFig13bMultiHop(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.Fig13bMultiHop(int64(i)+1, 1, 4)
+		rows, err := bench.Fig13bMultiHop(int64(i)+1, 1, 4, sweep.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -170,7 +171,7 @@ func BenchmarkFig13bMultiHop(b *testing.B) {
 // transports, protocols, and pipeline depths 1/2/4.
 func BenchmarkChainSustainedThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.ChainThroughput(int64(i)+1, 8)
+		rows, err := bench.ChainThroughput(int64(i)+1, 8, sweep.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -190,7 +191,7 @@ func BenchmarkChainSustainedThroughput(b *testing.B) {
 // adversary, jamming bursts, and partition/heal, per transport.
 func BenchmarkFaultScenarios(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.FaultSweep(int64(i)+1, 6)
+		rows, err := bench.FaultSweep(int64(i)+1, 6, sweep.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,231 +1,139 @@
 // Command wbft-bench regenerates every table and figure of the paper's
-// evaluation section and prints them as text tables.
+// evaluation section (plus the beyond-the-paper SMR sweeps) through the
+// declarative grid engine in internal/sweep.
 //
 // Usage:
 //
-//	wbft-bench [-exp all|table1|fig10a|fig10b|fig10c|fig10d|fig11a|fig11b|fig12a|fig12b|fig13a|fig13b|chain|faults|byz|mhchain]
-//	           [-seed N] [-epochs N] [-batch N] [-reps N] [-chain-epochs N] [-json FILE]
+//	wbft-bench [-exp all|<name>] [-list] [-parallel N] [-filter SUBSTR]
+//	           [-seed N] [-epochs N] [-batch N] [-reps N] [-chain-epochs N]
+//	           [-json FILE] [-csv FILE] [-v]
 //
-// The chain experiment (sustained SMR throughput vs pipeline depth), the
-// faults experiment (scenario x protocol x transport sweep of the
-// scripted fault engine), the byz experiment (active-Byzantine behavior x
-// protocol x transport sweep with f misbehaving replicas), and the
-// mhchain experiment (pipelined SMR per cluster with cluster cuts ordered
-// on the global tier — the run.Spec matrix cell the paper's one-shot
-// multihop evaluation stops short of) are not in the paper; -json writes
-// the selected experiment's points as a trajectory file
-// (BENCH_chain.json, BENCH_faults.json, BENCH_byz.json, or
-// BENCH_mhchain.json; with -exp all it applies to chain).
+// -list enumerates the registered experiments; an unknown -exp value
+// exits non-zero with the same list. -parallel sets the sweep worker
+// pool (default: GOMAXPROCS); results are bit-identical at every worker
+// count — only wall-clock changes. -filter restricts a sweep to cells
+// whose name ("HB-SC/batched/depth=2") contains the substring. -json and
+// -csv write the selected experiment's points as machine-readable files
+// (the BENCH_*.json trajectories; with -exp all they apply to chain).
+// -v streams per-cell progress to stderr.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/sweep"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run")
+	exp := flag.String("exp", "all", "experiment to run (see -list)")
+	list := flag.Bool("list", false, "list registered experiments and exit")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker pool size")
+	filter := flag.String("filter", "", "run only sweep cells whose name contains this substring")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	epochs := flag.Int("epochs", 1, "epochs per protocol run")
 	batch := flag.Int("batch", 4, "transactions per proposal")
 	reps := flag.Int("reps", 3, "repetitions for crypto microbenchmarks")
-	chainEpochs := flag.Int("chain-epochs", 10, "epochs per run of the chain experiment")
-	jsonPath := flag.String("json", "", "write chain experiment points to this JSON file")
+	chainEpochs := flag.Int("chain-epochs", 10, "epochs per run of the chain-workload sweeps")
+	jsonPath := flag.String("json", "", "write the experiment's points to this JSON trajectory file")
+	csvPath := flag.String("csv", "", "write the experiment's points to this CSV file")
+	verbose := flag.Bool("v", false, "stream per-cell sweep progress to stderr")
 	flag.Parse()
 
-	if err := run(*exp, *seed, *epochs, *batch, *reps, *chainEpochs, *jsonPath); err != nil {
+	if *list {
+		printList(os.Stdout)
+		return
+	}
+	ctx := &bench.Context{
+		Seed:        *seed,
+		Epochs:      *epochs,
+		Batch:       *batch,
+		Reps:        *reps,
+		ChainEpochs: *chainEpochs,
+		Workers:     *parallel,
+		Filter:      *filter,
+		Out:         os.Stdout,
+	}
+	if *verbose {
+		ctx.Progress = func(done, total int, name string, elapsed time.Duration) {
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s (%s)\n", done, total, name, elapsed.Round(time.Millisecond))
+		}
+	}
+	if err := run(ctx, *exp, *jsonPath, *csvPath); err != nil {
 		fmt.Fprintln(os.Stderr, "wbft-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, seed int64, epochs, batch, reps, chainEpochs int, jsonPath string) error {
-	w := os.Stdout
-	all := exp == "all"
-	did := false
-	sep := func() { fmt.Fprintln(w) }
-
-	if all || exp == "table1" {
-		did = true
-		rows, err := bench.Table1(seed)
-		if err != nil {
-			return err
-		}
-		bench.PrintTable1(w, rows)
-		sep()
-	}
-	if all || exp == "fig10a" {
-		did = true
-		rows, err := bench.Fig10aThresholdSig(reps)
-		if err != nil {
-			return err
-		}
-		bench.PrintCryptoOps(w, "Fig. 10a — threshold signature operation latency (this machine)", rows)
-		sep()
-	}
-	if all || exp == "fig10b" {
-		did = true
-		rows, err := bench.Fig10bThresholdCoin(reps)
-		if err != nil {
-			return err
-		}
-		bench.PrintCryptoOps(w, "Fig. 10b — threshold coin flipping operation latency (this machine)", rows)
-		sep()
-	}
-	if all || exp == "fig10c" {
-		did = true
-		bench.PrintSizes(w, bench.Fig10cSizes())
-		sep()
-	}
-	if all || exp == "fig10d" {
-		did = true
-		rows, err := bench.Fig10dCryptoImpact(seed, epochs, nil)
-		if err != nil {
-			return err
-		}
-		bench.PrintFig10d(w, rows)
-		sep()
-	}
-	if all || exp == "fig11a" {
-		did = true
-		rows, err := bench.Fig11aBroadcastParallelism(seed)
-		if err != nil {
-			return err
-		}
-		bench.PrintFig11a(w, rows)
-		sep()
-	}
-	if all || exp == "fig11b" {
-		did = true
-		rows, err := bench.Fig11bProposalSize(seed)
-		if err != nil {
-			return err
-		}
-		bench.PrintFig11b(w, rows)
-		sep()
-	}
-	if all || exp == "fig12a" {
-		did = true
-		rows, err := bench.Fig12aParallel(seed)
-		if err != nil {
-			return err
-		}
-		bench.PrintFig12(w, "Fig. 12a — ABA latency vs parallel instances", rows)
-		sep()
-	}
-	if all || exp == "fig12b" {
-		did = true
-		rows, err := bench.Fig12bSerial(seed)
-		if err != nil {
-			return err
-		}
-		bench.PrintFig12(w, "Fig. 12b — ABA latency vs serial instances", rows)
-		sep()
-	}
-	if all || exp == "fig13a" {
-		did = true
-		rows, err := bench.Fig13aSingleHop(seed, epochs, batch)
-		if err != nil {
-			return err
-		}
-		bench.PrintFig13(w, "Fig. 13a — single-hop: 8 consensus configurations", rows)
-		sep()
-	}
-	if all || exp == "fig13b" {
-		did = true
-		rows, err := bench.Fig13bMultiHop(seed, epochs, batch)
-		if err != nil {
-			return err
-		}
-		bench.PrintFig13(w, "Fig. 13b — multi-hop (16 nodes, 4 clusters): 8 configurations", rows)
-		sep()
-	}
-	if all || exp == "chain" {
-		did = true
-		rows, err := bench.ChainThroughput(seed, chainEpochs)
-		if err != nil {
-			return err
-		}
-		bench.PrintChain(w, rows)
-		if jsonPath != "" {
-			if err := writeJSON(w, jsonPath, func(f *os.File) error {
-				return bench.WriteChainJSON(f, seed, rows)
-			}); err != nil {
-				return err
+func run(ctx *bench.Context, exp, jsonPath, csvPath string) error {
+	if exp == "all" {
+		ran := 0
+		for _, e := range bench.Experiments() {
+			// With -exp all the machine-readable sinks apply to the chain
+			// sweep (the historical behavior).
+			ctx.JSONPath, ctx.CSVPath = "", ""
+			if e.Name == "chain" {
+				ctx.JSONPath, ctx.CSVPath = jsonPath, csvPath
 			}
-		}
-		sep()
-	}
-	if all || exp == "faults" {
-		did = true
-		rows, err := bench.FaultSweep(seed, chainEpochs)
-		if err != nil {
-			return err
-		}
-		bench.PrintFaults(w, rows)
-		if jsonPath != "" && exp == "faults" {
-			if err := writeJSON(w, jsonPath, func(f *os.File) error {
-				return bench.WriteFaultsJSON(f, seed, rows)
-			}); err != nil {
-				return err
+			err := e.Run(ctx)
+			// Experiments use disjoint cell vocabularies, so a -filter
+			// meant for one sweep legitimately matches nothing in the
+			// others: skip those rather than aborting the walk.
+			if errors.Is(err, sweep.ErrNoCells) {
+				fmt.Fprintf(ctx.Out, "%s: no cells match -filter %q; skipped\n\n", e.Name, ctx.Filter)
+				continue
 			}
-		}
-		sep()
-	}
-	if all || exp == "byz" {
-		did = true
-		rows, err := bench.ByzSweep(seed, chainEpochs)
-		if err != nil {
-			return err
-		}
-		bench.PrintByz(w, rows)
-		if jsonPath != "" && exp == "byz" {
-			if err := writeJSON(w, jsonPath, func(f *os.File) error {
-				return bench.WriteByzJSON(f, seed, rows)
-			}); err != nil {
-				return err
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.Name, err)
 			}
+			ran++
+			fmt.Fprintln(ctx.Out)
 		}
-		sep()
-	}
-	if all || exp == "mhchain" {
-		did = true
-		rows, err := bench.MHChainSweep(seed, chainEpochs)
-		if err != nil {
-			return err
+		if ran == 0 {
+			return fmt.Errorf("no experiment has cells matching -filter %q", ctx.Filter)
 		}
-		bench.PrintMHChain(w, rows)
-		if jsonPath != "" && exp == "mhchain" {
-			if err := writeJSON(w, jsonPath, func(f *os.File) error {
-				return bench.WriteMHChainJSON(f, seed, rows)
-			}); err != nil {
-				return err
-			}
-		}
-		sep()
+		return nil
 	}
-	if !did {
-		return fmt.Errorf("unknown experiment %q", exp)
+	e, ok := bench.Lookup(exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "wbft-bench: unknown experiment %q\n\n", exp)
+		printList(os.Stderr)
+		os.Exit(2)
 	}
-	return nil
+	if (jsonPath != "" || csvPath != "") && !e.Trajectory {
+		return fmt.Errorf("experiment %q has no machine-readable point emission (-json/-csv); trajectory experiments: %s",
+			exp, strings.Join(trajectoryNames(), ", "))
+	}
+	ctx.JSONPath, ctx.CSVPath = jsonPath, csvPath
+	return e.Run(ctx)
 }
 
-// writeJSON writes one experiment's trajectory file and reports it.
-func writeJSON(w *os.File, path string, write func(*os.File) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+func printList(w *os.File) {
+	fmt.Fprintln(w, "registered experiments (-exp NAME, or -exp all):")
+	for _, e := range bench.Experiments() {
+		tags := ""
+		if e.Trajectory {
+			tags = "  [-json/-csv]"
+		}
+		if e.Serial {
+			tags += "  [serial]"
+		}
+		fmt.Fprintf(w, "  %-8s %s%s\n", e.Name, e.Desc, tags)
 	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
+}
+
+func trajectoryNames() []string {
+	var out []string
+	for _, e := range bench.Experiments() {
+		if e.Trajectory {
+			out = append(out, e.Name)
+		}
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "wrote %s\n", path)
-	return nil
+	return out
 }

@@ -18,7 +18,8 @@
 //	internal/run        the unified experiment API: run.Run(run.Spec) over
 //	                    Topology (single-hop | clustered) x Workload
 //	                    (one-shot | chain), incl. clustered chained SMR
-//	internal/bench      per-table/figure experiment harness
+//	internal/sweep      deterministic parallel grid engine for sweeps
+//	internal/bench      experiment registry: per-table/figure grids
 //	cmd/...             CLI tools; examples/... runnable demos
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the

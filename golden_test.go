@@ -4,12 +4,15 @@ import (
 	"encoding/json"
 	"math"
 	"os"
+	"reflect"
 	"testing"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/protocol"
 	"repro/internal/run"
 	"repro/internal/scenario"
+	"repro/internal/sweep"
 )
 
 // These tests pin the unified run API to the committed BENCH trajectory
@@ -224,4 +227,96 @@ func TestGoldenByzBitIdentical(t *testing.T) {
 	if matched != 1 {
 		t.Fatalf("matched %d golden rows, want 1", matched)
 	}
+}
+
+// TestGoldenSweepsParallelDeterminism is the sweep engine's acceptance
+// gate: every committed BENCH trajectory must reproduce bit-identically
+// at -parallel 1 and -parallel 8. Per-cell seeds are a pure function of
+// grid coordinates and each cell owns its scheduler/channel/RNGs (the
+// one shared structure, crypto.DealCached, is keyed and race-safe), so
+// worker count and completion order cannot leak into results. Only the
+// per-row elapsed_ms wall-clock metadata is exempt — it is the one field
+// documented as volatile.
+func TestGoldenSweepsParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates all four BENCH trajectories twice")
+	}
+	if raceEnabled {
+		t.Skip("full regenerations are ~10x slower under -race; the smoke sweeps cover the same concurrent paths")
+	}
+	cases := []struct {
+		file string
+		run  func(seed int64, workers int) (any, error)
+	}{
+		// Epochs per sweep match the regeneration commands in
+		// EXPERIMENTS.md (chain-epochs 10/12/8/4).
+		{"BENCH_chain.json", func(seed int64, w int) (any, error) {
+			return bench.ChainThroughput(seed, 10, sweep.Options{Workers: w})
+		}},
+		{"BENCH_faults.json", func(seed int64, w int) (any, error) {
+			return bench.FaultSweep(seed, 12, sweep.Options{Workers: w})
+		}},
+		{"BENCH_byz.json", func(seed int64, w int) (any, error) {
+			return bench.ByzSweep(seed, 8, sweep.Options{Workers: w})
+		}},
+		{"BENCH_mhchain.json", func(seed int64, w int) (any, error) {
+			return bench.MHChainSweep(seed, 4, sweep.Options{Workers: w})
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.file, func(t *testing.T) {
+			t.Parallel()
+			golden := loadGolden(t, tc.file)
+			want := make([]map[string]any, len(golden.Points))
+			for i, raw := range golden.Points {
+				want[i] = canonicalPoint(t, raw)
+			}
+			for _, workers := range []int{1, 8} {
+				rows, err := tc.run(golden.Seed, workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				raws := marshalPoints(t, rows)
+				if len(raws) != len(want) {
+					t.Fatalf("workers=%d: got %d rows, golden has %d", workers, len(raws), len(want))
+				}
+				for i, raw := range raws {
+					got := canonicalPoint(t, raw)
+					if !reflect.DeepEqual(got, want[i]) {
+						t.Errorf("workers=%d row %d diverges from golden:\n got  %v\n want %v",
+							workers, i, got, want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// canonicalPoint decodes one trajectory point and strips the documented
+// volatile field (elapsed_ms is wall-clock sweep metadata, not a
+// simulated outcome).
+func canonicalPoint(t *testing.T, raw json.RawMessage) map[string]any {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, "elapsed_ms")
+	return m
+}
+
+// marshalPoints round-trips a sweep's row slice through JSON, yielding
+// the same representation the committed trajectory files use.
+func marshalPoints(t *testing.T, rows any) []json.RawMessage {
+	t.Helper()
+	blob, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raws []json.RawMessage
+	if err := json.Unmarshal(blob, &raws); err != nil {
+		t.Fatal(err)
+	}
+	return raws
 }

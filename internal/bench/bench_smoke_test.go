@@ -3,6 +3,8 @@ package bench
 import (
 	"testing"
 	"time"
+
+	"repro/internal/sweep"
 )
 
 func TestBroadcastLatencyAllKinds(t *testing.T) {
@@ -66,7 +68,7 @@ func TestABASerial(t *testing.T) {
 }
 
 func TestTable1ShapesHold(t *testing.T) {
-	rows, err := Table1(5)
+	rows, err := Table1(5, sweep.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +98,7 @@ func TestFig10CryptoOpsFast(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real crypto measurements")
 	}
-	rows, err := Fig10bThresholdCoin(1)
+	rows, err := Fig10bThresholdCoin(1, sweep.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +118,7 @@ func TestFaultSweepSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("24 chain runs")
 	}
-	rows, err := FaultSweep(1, 2)
+	rows, err := FaultSweep(1, 2, sweep.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +140,7 @@ func TestByzSweepSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("16 chain runs")
 	}
-	rows, err := ByzSweep(1, 2)
+	rows, err := ByzSweep(1, 2, sweep.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

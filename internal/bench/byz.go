@@ -1,15 +1,14 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
-	"time"
 
 	"repro/internal/byz"
 	"repro/internal/protocol"
 	"repro/internal/run"
 	"repro/internal/scenario"
+	"repro/internal/sweep"
 )
 
 // ByzPoint is one sustained-SMR measurement with f actively Byzantine
@@ -34,6 +33,32 @@ type ByzPoint struct {
 	RejectedMsgs uint64 `json:"rejected_msgs"`
 	HonestSafe   bool   `json:"honest_safe"`
 	Error        string `json:"error,omitempty"`
+	// ElapsedMS is the wall-clock cost of producing this row — sweep
+	// metadata, not a simulated (golden-checked) outcome.
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// behaviorAxis arms f = (N-1)/3 replicas with one active-Byzantine
+// behavior from t=0. The axis reads the Spec's N, so it must come after
+// any axis that changes the group size (here none does — N stays at the
+// base's 4).
+func behaviorAxis() sweep.Axis[run.Spec] {
+	ax := sweep.Axis[run.Spec]{Name: "behavior"}
+	for _, behavior := range byz.Names() {
+		behavior := behavior
+		ax.Points = append(ax.Points, sweep.Point[run.Spec]{
+			Label: behavior,
+			Apply: func(s *run.Spec) {
+				f := (s.N - 1) / 3
+				plan := scenario.Plan{}
+				for i := 0; i < f; i++ {
+					plan = plan.Then(scenario.ByzAt(0, s.N-1-i, behavior))
+				}
+				s.Scenario = plan
+			},
+		})
+	}
+	return ax
 }
 
 // ByzSweep runs every active-Byzantine behavior against two protocol
@@ -44,67 +69,63 @@ type ByzPoint struct {
 // verification, the DECIDED gadget) runs but is never attacked; here it
 // is. A behavior that defeats a configuration is recorded as a row with
 // Error or HonestSafe=false rather than aborting the sweep.
-func ByzSweep(seed int64, epochs int) ([]ByzPoint, error) {
+func ByzSweep(seed int64, epochs int, opts sweep.Options) ([]ByzPoint, error) {
 	if epochs <= 0 {
 		epochs = 8
 	}
-	var out []ByzPoint
-	for _, behavior := range byz.Names() {
-		for _, p := range []struct {
-			name string
-			kind protocol.Kind
-			coin protocol.CoinKind
-		}{
-			{"HB-SC", protocol.HoneyBadger, protocol.CoinSig},
-			{"Dumbo-SC", protocol.DumboKind, protocol.CoinSig},
-		} {
-			for _, batched := range []bool{true, false} {
-				spec := run.Defaults(p.kind, p.coin)
-				spec.Seed = seed
-				spec.Batched = batched
-				spec.Workload = run.Chain(epochs)
-				spec.Workload.TxInterval = time.Second // keep proposals full
-				spec.Workload.GCLag = epochs           // comparable with FaultSweep
-				f := (spec.N - 1) / 3
-				plan := scenario.Plan{}
-				for i := 0; i < f; i++ {
-					plan = plan.Then(scenario.ByzAt(0, spec.N-1-i, behavior))
-				}
-				spec.Scenario = plan
-				tname := "baseline"
-				if batched {
-					tname = "batched"
-				}
-				pt := ByzPoint{
-					Behavior:  behavior,
-					Spec:      plan.String(),
-					Protocol:  p.name,
-					Transport: tname,
-					ByzNodes:  f,
-				}
-				res, err := run.Run(spec)
-				if err != nil {
-					pt.Error = err.Error()
-				} else {
-					pt.Epochs = res.Chain.EpochsCommitted
-					pt.CommittedTxs = res.Chain.CommittedTxs
-					pt.VirtualSecs = res.Duration.Seconds()
-					pt.ThroughputBps = res.Chain.ThroughputBps
-					pt.CommitLatencyS = res.Chain.MeanCommitLatency.Seconds()
-					pt.RejectedMsgs = res.Rejected
-					// The driver already verified agreement and gap-freedom
-					// across honest logs; what remains is provenance.
-					forged := protocol.CountForged(res.Chain.Logs, spec.Workload.TxSize, res.Chain.SubmittedTxs)
-					pt.HonestSafe = forged == 0
-					if forged > 0 {
-						pt.Error = fmt.Sprintf("%d forged transactions committed", forged)
-					}
-				}
-				out = append(out, pt)
-			}
-		}
+	base := chainBase(seed, epochs)
+	base.Workload.GCLag = epochs // comparable with FaultSweep
+	grid := sweep.Grid[run.Spec]{
+		Base: base,
+		Axes: []sweep.Axis[run.Spec]{behaviorAxis(), protoAxis(), transportAxis()},
 	}
-	return out, nil
+	results, err := sweep.Run(grid, opts, func(c sweep.Cell[run.Spec]) (ByzPoint, error) {
+		pt := ByzPoint{
+			Behavior:  c.Labels[0],
+			Spec:      c.Config.Scenario.String(),
+			Protocol:  c.Labels[1],
+			Transport: c.Labels[2],
+			ByzNodes:  (c.Config.N - 1) / 3,
+		}
+		res, err := run.Run(c.Config)
+		if err != nil {
+			pt.Error = err.Error()
+			return pt, nil
+		}
+		pt.Epochs = res.Chain.EpochsCommitted
+		pt.CommittedTxs = res.Chain.CommittedTxs
+		pt.VirtualSecs = res.Duration.Seconds()
+		pt.ThroughputBps = res.Chain.ThroughputBps
+		pt.CommitLatencyS = res.Chain.MeanCommitLatency.Seconds()
+		pt.RejectedMsgs = res.Rejected
+		// The driver already verified agreement and gap-freedom across
+		// honest logs; what remains is provenance.
+		forged := protocol.CountForged(res.Chain.Logs, c.Config.Workload.TxSize, res.Chain.SubmittedTxs)
+		pt.HonestSafe = forged == 0
+		if forged > 0 {
+			pt.Error = fmt.Sprintf("%d forged transactions committed", forged)
+		}
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ByzPoint, len(results))
+	for i, r := range results {
+		r.Value.ElapsedMS = r.Elapsed.Milliseconds()
+		rows[i] = r.Value
+	}
+	return rows, nil
+}
+
+// runByzExp is the registry entry: sweep, table, trajectory.
+func runByzExp(ctx *Context) error {
+	rows, err := ByzSweep(ctx.Seed, ctx.ChainEpochs, ctx.sweepOpts(false))
+	if err != nil {
+		return err
+	}
+	PrintByz(ctx.Out, rows)
+	return ctx.emit("byzantine-sweep", rows)
 }
 
 // PrintByz renders the Byzantine sweep.
@@ -125,16 +146,4 @@ func PrintByz(w io.Writer, rows []ByzPoint) {
 			r.Behavior, r.Protocol, r.Transport, r.ByzNodes, r.Epochs,
 			r.CommittedTxs, r.ThroughputBps, r.RejectedMsgs, safe)
 	}
-}
-
-// WriteByzJSON records the sweep as the BENCH_byz.json trajectory file
-// referenced by EXPERIMENTS.md.
-func WriteByzJSON(w io.Writer, seed int64, rows []ByzPoint) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(struct {
-		Experiment string     `json:"experiment"`
-		Seed       int64      `json:"seed"`
-		Points     []ByzPoint `json:"points"`
-	}{Experiment: "byzantine-sweep", Seed: seed, Points: rows})
 }

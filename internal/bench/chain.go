@@ -1,13 +1,11 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
-	"time"
 
-	"repro/internal/protocol"
 	"repro/internal/run"
+	"repro/internal/sweep"
 )
 
 // ChainPoint is one sustained-SMR measurement: committed payload bytes per
@@ -28,58 +26,61 @@ type ChainPoint struct {
 	CommitLatencyS float64 `json:"commit_latency_s"`
 	Accesses       uint64  `json:"accesses"`
 	DedupDropped   int     `json:"dedup_dropped"`
+	// ElapsedMS is the wall-clock cost of producing this row — sweep
+	// metadata, not a simulated (golden-checked) outcome.
+	ElapsedMS int64 `json:"elapsed_ms"`
 }
 
 // ChainThroughput sweeps pipeline depth for two protocol families under
 // both transports on the lossy default channel. Traffic is sized so the
 // mempool can always fill the next proposal: the sweep isolates how much
 // of the epoch cadence pipelining reclaims.
-func ChainThroughput(seed int64, epochs int) ([]ChainPoint, error) {
+func ChainThroughput(seed int64, epochs int, opts sweep.Options) ([]ChainPoint, error) {
 	if epochs <= 0 {
 		epochs = 10
 	}
-	var out []ChainPoint
-	for _, p := range []struct {
-		name string
-		kind protocol.Kind
-		coin protocol.CoinKind
-	}{
-		{"HB-SC", protocol.HoneyBadger, protocol.CoinSig},
-		{"Dumbo-SC", protocol.DumboKind, protocol.CoinSig},
-	} {
-		for _, batched := range []bool{true, false} {
-			for _, depth := range []int{1, 2, 4} {
-				spec := run.Defaults(p.kind, p.coin)
-				spec.Seed = seed
-				spec.Batched = batched
-				spec.Workload = run.Chain(epochs)
-				spec.Workload.Window = depth
-				spec.Workload.TxInterval = time.Second // keep proposals full
-				res, err := run.Run(spec)
-				if err != nil {
-					return nil, fmt.Errorf("bench: chain %s batched=%v depth=%d: %w", p.name, batched, depth, err)
-				}
-				tname := "baseline"
-				if batched {
-					tname = "batched"
-				}
-				out = append(out, ChainPoint{
-					Protocol:       p.name,
-					Transport:      tname,
-					Depth:          depth,
-					Epochs:         res.Chain.EpochsCommitted,
-					CommittedTxs:   res.Chain.CommittedTxs,
-					CommittedBytes: res.Chain.CommittedBytes,
-					VirtualSecs:    res.Duration.Seconds(),
-					ThroughputBps:  res.Chain.ThroughputBps,
-					CommitLatencyS: res.Chain.MeanCommitLatency.Seconds(),
-					Accesses:       res.Accesses,
-					DedupDropped:   res.Chain.DedupDropped,
-				})
-			}
-		}
+	grid := sweep.Grid[run.Spec]{
+		Base: chainBase(seed, epochs),
+		Axes: []sweep.Axis[run.Spec]{protoAxis(), transportAxis(), depthAxis(1, 2, 4)},
 	}
-	return out, nil
+	results, err := sweep.Run(grid, opts, func(c sweep.Cell[run.Spec]) (ChainPoint, error) {
+		res, err := run.Run(c.Config)
+		if err != nil {
+			return ChainPoint{}, fmt.Errorf("bench: chain %s: %w", c.Name(), err)
+		}
+		return ChainPoint{
+			Protocol:       c.Labels[0],
+			Transport:      c.Labels[1],
+			Depth:          c.Config.Workload.Window,
+			Epochs:         res.Chain.EpochsCommitted,
+			CommittedTxs:   res.Chain.CommittedTxs,
+			CommittedBytes: res.Chain.CommittedBytes,
+			VirtualSecs:    res.Duration.Seconds(),
+			ThroughputBps:  res.Chain.ThroughputBps,
+			CommitLatencyS: res.Chain.MeanCommitLatency.Seconds(),
+			Accesses:       res.Accesses,
+			DedupDropped:   res.Chain.DedupDropped,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ChainPoint, len(results))
+	for i, r := range results {
+		r.Value.ElapsedMS = r.Elapsed.Milliseconds()
+		rows[i] = r.Value
+	}
+	return rows, nil
+}
+
+// runChainExp is the registry entry: sweep, table, trajectory.
+func runChainExp(ctx *Context) error {
+	rows, err := ChainThroughput(ctx.Seed, ctx.ChainEpochs, ctx.sweepOpts(false))
+	if err != nil {
+		return err
+	}
+	PrintChain(ctx.Out, rows)
+	return ctx.emit("chain-sustained-throughput", rows)
 }
 
 // PrintChain renders the sustained-throughput sweep.
@@ -92,16 +93,4 @@ func PrintChain(w io.Writer, rows []ChainPoint) {
 			r.Protocol, r.Transport, r.Depth, r.Epochs, r.CommittedTxs,
 			r.VirtualSecs, r.ThroughputBps, r.CommitLatencyS, r.Accesses)
 	}
-}
-
-// WriteChainJSON records the sweep as the BENCH_chain.json trajectory file
-// referenced by EXPERIMENTS.md.
-func WriteChainJSON(w io.Writer, seed int64, rows []ChainPoint) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(struct {
-		Experiment string       `json:"experiment"`
-		Seed       int64        `json:"seed"`
-		Points     []ChainPoint `json:"points"`
-	}{Experiment: "chain-sustained-throughput", Seed: seed, Points: rows})
 }

@@ -11,6 +11,12 @@ import (
 	"repro/internal/wireless"
 )
 
+// This file holds the single-cell executors of the Fig. 11/12 component
+// grids: each function runs one rig to completion and returns one
+// latency sample. The grids in fig11_13.go fan these out across
+// variants, counts, and averaging seeds on the sweep engine; nothing
+// here loops.
+
 // BroadcastKind names a broadcast protocol variant from Fig. 11.
 type BroadcastKind string
 

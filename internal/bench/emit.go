@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"strings"
+)
+
+// This file is the package's one row-emission path: every sweep's points
+// go through WriteTrajectory (the BENCH_*.json files), WriteCSV, or the
+// per-experiment Print function — there is no bespoke emit code left in
+// the experiment files.
+
+// GeneratedWith records how a trajectory file was produced. It is sweep
+// metadata, deliberately separate from the points: the golden tests (and
+// the determinism guarantee) cover the points only, while workers and the
+// Go version may legitimately differ between regenerations that produce
+// bit-identical results.
+type GeneratedWith struct {
+	Workers   int    `json:"workers"`
+	GoVersion string `json:"goversion"`
+}
+
+// WriteTrajectory writes one sweep's machine-readable record:
+//
+//	{experiment, seed, generated_with: {workers, goversion}, points: [...]}
+//
+// points is the sweep's row slice; each row carries its own elapsed_ms.
+// Result fields are a pure function of (experiment, seed) — regeneration
+// at any worker count reproduces them bit-identically; only the
+// generated_with header and the per-row elapsed_ms wall-clock fields
+// vary between invocations.
+func WriteTrajectory(w io.Writer, experiment string, seed int64, workers int, points any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Experiment    string        `json:"experiment"`
+		Seed          int64         `json:"seed"`
+		GeneratedWith GeneratedWith `json:"generated_with"`
+		Points        any           `json:"points"`
+	}{
+		Experiment:    experiment,
+		Seed:          seed,
+		GeneratedWith: GeneratedWith{Workers: workers, GoVersion: runtime.Version()},
+		Points:        points,
+	})
+}
+
+// WriteCSV flattens a slice of point structs into CSV, deriving the
+// header from the structs' json tags (the same names the trajectory
+// files use). Values are rendered with %v; strings containing commas or
+// quotes are quoted.
+func WriteCSV(w io.Writer, points any) error {
+	v := reflect.ValueOf(points)
+	if v.Kind() != reflect.Slice {
+		return fmt.Errorf("bench: WriteCSV wants a slice, got %T", points)
+	}
+	if v.Len() == 0 {
+		return nil
+	}
+	st := v.Index(0).Type()
+	if st.Kind() != reflect.Struct {
+		return fmt.Errorf("bench: WriteCSV wants a slice of structs, got %T", points)
+	}
+	var cols []int
+	var header []string
+	for i := 0; i < st.NumField(); i++ {
+		f := st.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		name := strings.Split(f.Tag.Get("json"), ",")[0]
+		if name == "-" {
+			continue
+		}
+		if name == "" {
+			name = f.Name
+		}
+		cols = append(cols, i)
+		header = append(header, name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for r := 0; r < v.Len(); r++ {
+		row := make([]string, len(cols))
+		for j, i := range cols {
+			row[j] = csvField(fmt.Sprintf("%v", v.Index(r).Field(i).Interface()))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,14 +1,13 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"time"
 
-	"repro/internal/protocol"
 	"repro/internal/run"
 	"repro/internal/scenario"
+	"repro/internal/sweep"
 )
 
 // FaultPoint is one sustained-SMR measurement under a scripted fault
@@ -30,6 +29,9 @@ type FaultPoint struct {
 	Accesses       uint64  `json:"accesses"`
 	Collisions     uint64  `json:"collisions"`
 	Error          string  `json:"error,omitempty"` // deadline/deadlock, if the scenario defeated the run
+	// ElapsedMS is the wall-clock cost of producing this row — sweep
+	// metadata, not a simulated (golden-checked) outcome.
+	ElapsedMS int64 `json:"elapsed_ms"`
 }
 
 // faultScenario names one scripted plan of the sweep. Crash/recovery times
@@ -60,64 +62,78 @@ func faultScenarios() []faultScenario {
 	}
 }
 
+// scenarioAxis turns the scripted fault plans into a grid axis.
+func scenarioAxis() sweep.Axis[run.Spec] {
+	ax := sweep.Axis[run.Spec]{Name: "scenario"}
+	for _, sc := range faultScenarios() {
+		sc := sc
+		ax.Points = append(ax.Points, sweep.Point[run.Spec]{
+			Label: sc.name,
+			Apply: func(s *run.Spec) { s.Scenario = sc.plan },
+		})
+	}
+	return ax
+}
+
 // FaultSweep runs every fault scenario against two protocol families under
 // both transports on the sustained SMR deployment and reports throughput,
 // latency, and contention under each condition. A scenario that defeats a
 // run (deadline or deadlock) is recorded as a row with Error set rather
 // than aborting the sweep — "this configuration does not survive this
 // fault" is itself the measurement.
-func FaultSweep(seed int64, epochs int) ([]FaultPoint, error) {
+func FaultSweep(seed int64, epochs int, opts sweep.Options) ([]FaultPoint, error) {
 	if epochs <= 0 {
 		epochs = 12
 	}
-	var out []FaultPoint
-	for _, sc := range faultScenarios() {
-		for _, p := range []struct {
-			name string
-			kind protocol.Kind
-			coin protocol.CoinKind
-		}{
-			{"HB-SC", protocol.HoneyBadger, protocol.CoinSig},
-			{"Dumbo-SC", protocol.DumboKind, protocol.CoinSig},
-		} {
-			for _, batched := range []bool{true, false} {
-				spec := run.Defaults(p.kind, p.coin)
-				spec.Seed = seed
-				spec.Batched = batched
-				spec.Workload = run.Chain(epochs)
-				spec.Workload.TxInterval = time.Second // keep proposals full
-				// Recovery catch-up needs peers to keep the missing epochs
-				// alive; give every run the same (generous) GC window so
-				// the scenarios stay comparable.
-				spec.Workload.GCLag = epochs
-				spec.Scenario = sc.plan
-				tname := "baseline"
-				if batched {
-					tname = "batched"
-				}
-				pt := FaultPoint{
-					Scenario:  sc.name,
-					Spec:      sc.plan.String(),
-					Protocol:  p.name,
-					Transport: tname,
-				}
-				res, err := run.Run(spec)
-				if err != nil {
-					pt.Error = err.Error()
-				} else {
-					pt.Epochs = res.Chain.EpochsCommitted
-					pt.CommittedTxs = res.Chain.CommittedTxs
-					pt.VirtualSecs = res.Duration.Seconds()
-					pt.ThroughputBps = res.Chain.ThroughputBps
-					pt.CommitLatencyS = res.Chain.MeanCommitLatency.Seconds()
-					pt.Accesses = res.Accesses
-					pt.Collisions = res.Collisions
-				}
-				out = append(out, pt)
-			}
-		}
+	base := chainBase(seed, epochs)
+	// Recovery catch-up needs peers to keep the missing epochs alive; give
+	// every run the same (generous) GC window so the scenarios stay
+	// comparable.
+	base.Workload.GCLag = epochs
+	grid := sweep.Grid[run.Spec]{
+		Base: base,
+		Axes: []sweep.Axis[run.Spec]{scenarioAxis(), protoAxis(), transportAxis()},
 	}
-	return out, nil
+	results, err := sweep.Run(grid, opts, func(c sweep.Cell[run.Spec]) (FaultPoint, error) {
+		pt := FaultPoint{
+			Scenario:  c.Labels[0],
+			Spec:      c.Config.Scenario.String(),
+			Protocol:  c.Labels[1],
+			Transport: c.Labels[2],
+		}
+		res, err := run.Run(c.Config)
+		if err != nil {
+			pt.Error = err.Error()
+			return pt, nil
+		}
+		pt.Epochs = res.Chain.EpochsCommitted
+		pt.CommittedTxs = res.Chain.CommittedTxs
+		pt.VirtualSecs = res.Duration.Seconds()
+		pt.ThroughputBps = res.Chain.ThroughputBps
+		pt.CommitLatencyS = res.Chain.MeanCommitLatency.Seconds()
+		pt.Accesses = res.Accesses
+		pt.Collisions = res.Collisions
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]FaultPoint, len(results))
+	for i, r := range results {
+		r.Value.ElapsedMS = r.Elapsed.Milliseconds()
+		rows[i] = r.Value
+	}
+	return rows, nil
+}
+
+// runFaultsExp is the registry entry: sweep, table, trajectory.
+func runFaultsExp(ctx *Context) error {
+	rows, err := FaultSweep(ctx.Seed, ctx.ChainEpochs, ctx.sweepOpts(false))
+	if err != nil {
+		return err
+	}
+	PrintFaults(ctx.Out, rows)
+	return ctx.emit("fault-scenario-sweep", rows)
 }
 
 // PrintFaults renders the fault sweep.
@@ -134,16 +150,4 @@ func PrintFaults(w io.Writer, rows []FaultPoint) {
 			r.Scenario, r.Protocol, r.Transport, r.Epochs, r.CommittedTxs,
 			r.VirtualSecs, r.ThroughputBps, r.CommitLatencyS, r.Accesses)
 	}
-}
-
-// WriteFaultsJSON records the sweep as the BENCH_faults.json trajectory
-// file referenced by EXPERIMENTS.md.
-func WriteFaultsJSON(w io.Writer, seed int64, rows []FaultPoint) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(struct {
-		Experiment string       `json:"experiment"`
-		Seed       int64        `json:"seed"`
-		Points     []FaultPoint `json:"points"`
-	}{Experiment: "fault-scenario-sweep", Seed: seed, Points: rows})
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/crypto/threshsig"
 	"repro/internal/protocol"
 	"repro/internal/run"
+	"repro/internal/sweep"
 )
 
 // CryptoOpRow is one (parameter set, operation) measurement for
@@ -25,121 +26,171 @@ type CryptoOpRow struct {
 	Latency time.Duration
 }
 
+// Fig. 10a/10b run on the sweep engine like every other experiment, with
+// one cell per parameter set — but they are registered Serial: the cells
+// measure wall-clock latency, and concurrent cells contending for cores
+// would distort exactly the numbers being reported.
+
+// measureFig10aSet runs the threshold-signature op ladder for one
+// parameter set.
+func measureFig10aSet(fix threshsig.ModulusFixture, reps int, paperEq map[string]string) ([]CryptoOpRow, error) {
+	rng := rand.New(rand.NewSource(7))
+	var key *threshsig.Key
+	dealT := measure(reps, func() {
+		var err error
+		key, err = threshsig.Deal(fix.Name, fix.P, fix.Q, 2, 4, rng)
+		if err != nil {
+			panic(err)
+		}
+	})
+	msg := []byte("fig10a")
+	var share *threshsig.SigShare
+	signT := measure(reps, func() {
+		var err error
+		share, err = key.Public.Sign(key.Shares[0], msg, rng)
+		if err != nil {
+			panic(err)
+		}
+	})
+	verifyShareT := measure(reps, func() {
+		if err := key.Public.VerifyShare(msg, share); err != nil {
+			panic(err)
+		}
+	})
+	share2, err := key.Public.Sign(key.Shares[1], msg, rng)
+	if err != nil {
+		return nil, err
+	}
+	var sig *threshsig.Signature
+	combineT := measure(reps, func() {
+		var err error
+		sig, err = key.Public.Combine(msg, []*threshsig.SigShare{share, share2})
+		if err != nil {
+			panic(err)
+		}
+	})
+	verifyT := measure(reps, func() {
+		if err := key.Public.Verify(msg, sig); err != nil {
+			panic(err)
+		}
+	})
+	var rows []CryptoOpRow
+	for _, p := range []struct {
+		op string
+		d  time.Duration
+	}{
+		{"dealer", dealT}, {"sign", signT}, {"verifyshare", verifyShareT},
+		{"combineshare", combineT}, {"verifysignature", verifyT},
+	} {
+		rows = append(rows, CryptoOpRow{Set: fix.Name, PaperEq: paperEq[fix.Name], Op: p.op, Latency: p.d})
+	}
+	return rows, nil
+}
+
 // Fig10aThresholdSig measures dealer/sign/verify-share/combine/verify for
 // every embedded parameter set (reps repetitions, mean reported).
-func Fig10aThresholdSig(reps int) ([]CryptoOpRow, error) {
+func Fig10aThresholdSig(reps int, opts sweep.Options) ([]CryptoOpRow, error) {
 	if reps <= 0 {
 		reps = 3
 	}
-	var rows []CryptoOpRow
 	paperEq := paperNames()
+	ax := sweep.Axis[threshsig.ModulusFixture]{Name: "set"}
 	for _, fix := range threshsig.Fixtures() {
-		rng := rand.New(rand.NewSource(7))
-		var key *threshsig.Key
-		dealT := measure(reps, func() {
-			var err error
-			key, err = threshsig.Deal(fix.Name, fix.P, fix.Q, 2, 4, rng)
-			if err != nil {
-				panic(err)
-			}
+		fix := fix
+		ax.Points = append(ax.Points, sweep.Point[threshsig.ModulusFixture]{
+			Label: fix.Name,
+			Apply: func(c *threshsig.ModulusFixture) { *c = fix },
 		})
-		msg := []byte("fig10a")
-		var share *threshsig.SigShare
-		signT := measure(reps, func() {
-			var err error
-			share, err = key.Public.Sign(key.Shares[0], msg, rng)
-			if err != nil {
-				panic(err)
-			}
-		})
-		verifyShareT := measure(reps, func() {
-			if err := key.Public.VerifyShare(msg, share); err != nil {
-				panic(err)
-			}
-		})
-		share2, err := key.Public.Sign(key.Shares[1], msg, rng)
+	}
+	grid := sweep.Grid[threshsig.ModulusFixture]{Axes: []sweep.Axis[threshsig.ModulusFixture]{ax}}
+	results, err := sweep.Run(grid, opts, func(c sweep.Cell[threshsig.ModulusFixture]) ([]CryptoOpRow, error) {
+		return measureFig10aSet(c.Config, reps, paperEq)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []CryptoOpRow
+	for _, r := range results {
+		rows = append(rows, r.Value...)
+	}
+	return rows, nil
+}
+
+// measureFig10bGroup runs the coin op ladder for one DH group.
+func measureFig10bGroup(g *group.Group, reps int, paperEq map[string]string) ([]CryptoOpRow, error) {
+	groupToSig := map[string]string{
+		"SG-512": "TS-512", "SG-768": "TS-768", "SG-1024": "TS-1024",
+		"SG-1536": "TS-1536", "SG-2048": "TS-2048", "SG-3072": "TS-3072",
+	}
+	rng := rand.New(rand.NewSource(7))
+	var key *threshcoin.Key
+	dealT := measure(reps, func() {
+		var err error
+		key, err = threshcoin.Deal(g, 2, 4, rng)
 		if err != nil {
-			return nil, err
+			panic(err)
 		}
-		var sig *threshsig.Signature
-		combineT := measure(reps, func() {
-			var err error
-			sig, err = key.Public.Combine(msg, []*threshsig.SigShare{share, share2})
-			if err != nil {
-				panic(err)
-			}
-		})
-		verifyT := measure(reps, func() {
-			if err := key.Public.Verify(msg, sig); err != nil {
-				panic(err)
-			}
-		})
-		for _, p := range []struct {
-			op string
-			d  time.Duration
-		}{
-			{"dealer", dealT}, {"sign", signT}, {"verifyshare", verifyShareT},
-			{"combineshare", combineT}, {"verifysignature", verifyT},
-		} {
-			rows = append(rows, CryptoOpRow{Set: fix.Name, PaperEq: paperEq[fix.Name], Op: p.op, Latency: p.d})
+	})
+	name := []byte("fig10b")
+	var share *threshcoin.CoinShare
+	signT := measure(reps, func() {
+		var err error
+		share, err = key.Public.Share(key.Shares[0], name, rng)
+		if err != nil {
+			panic(err)
 		}
+	})
+	verifyT := measure(reps, func() {
+		if err := key.Public.VerifyShare(name, share); err != nil {
+			panic(err)
+		}
+	})
+	share2, err := key.Public.Share(key.Shares[1], name, rng)
+	if err != nil {
+		return nil, err
+	}
+	combineT := measure(reps, func() {
+		if _, err := key.Public.Combine(name, []*threshcoin.CoinShare{share, share2}); err != nil {
+			panic(err)
+		}
+	})
+	var rows []CryptoOpRow
+	for _, p := range []struct {
+		op string
+		d  time.Duration
+	}{
+		{"dealer", dealT}, {"sign", signT}, {"verifyshare", verifyT}, {"combineshare", combineT},
+	} {
+		rows = append(rows, CryptoOpRow{Set: g.Name, PaperEq: paperEq[groupToSig[g.Name]], Op: p.op, Latency: p.d})
 	}
 	return rows, nil
 }
 
 // Fig10bThresholdCoin measures dealer/sign/verify-share/combine for the
 // DH-based coin across group sizes.
-func Fig10bThresholdCoin(reps int) ([]CryptoOpRow, error) {
+func Fig10bThresholdCoin(reps int, opts sweep.Options) ([]CryptoOpRow, error) {
 	if reps <= 0 {
 		reps = 3
 	}
-	var rows []CryptoOpRow
-	groupToSig := map[string]string{
-		"SG-512": "TS-512", "SG-768": "TS-768", "SG-1024": "TS-1024",
-		"SG-1536": "TS-1536", "SG-2048": "TS-2048", "SG-3072": "TS-3072",
-	}
 	paperEq := paperNames()
+	ax := sweep.Axis[*group.Group]{Name: "group"}
 	for _, g := range group.All() {
-		rng := rand.New(rand.NewSource(7))
-		var key *threshcoin.Key
-		dealT := measure(reps, func() {
-			var err error
-			key, err = threshcoin.Deal(g, 2, 4, rng)
-			if err != nil {
-				panic(err)
-			}
+		g := g
+		ax.Points = append(ax.Points, sweep.Point[*group.Group]{
+			Label: g.Name,
+			Apply: func(c **group.Group) { *c = g },
 		})
-		name := []byte("fig10b")
-		var share *threshcoin.CoinShare
-		signT := measure(reps, func() {
-			var err error
-			share, err = key.Public.Share(key.Shares[0], name, rng)
-			if err != nil {
-				panic(err)
-			}
-		})
-		verifyT := measure(reps, func() {
-			if err := key.Public.VerifyShare(name, share); err != nil {
-				panic(err)
-			}
-		})
-		share2, err := key.Public.Share(key.Shares[1], name, rng)
-		if err != nil {
-			return nil, err
-		}
-		combineT := measure(reps, func() {
-			if _, err := key.Public.Combine(name, []*threshcoin.CoinShare{share, share2}); err != nil {
-				panic(err)
-			}
-		})
-		for _, p := range []struct {
-			op string
-			d  time.Duration
-		}{
-			{"dealer", dealT}, {"sign", signT}, {"verifyshare", verifyT}, {"combineshare", combineT},
-		} {
-			rows = append(rows, CryptoOpRow{Set: g.Name, PaperEq: paperEq[groupToSig[g.Name]], Op: p.op, Latency: p.d})
-		}
+	}
+	grid := sweep.Grid[*group.Group]{Axes: []sweep.Axis[*group.Group]{ax}}
+	results, err := sweep.Run(grid, opts, func(c sweep.Cell[*group.Group]) ([]CryptoOpRow, error) {
+		return measureFig10bGroup(c.Config, reps, paperEq)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []CryptoOpRow
+	for _, r := range results {
+		rows = append(rows, r.Value...)
 	}
 	return rows, nil
 }
@@ -191,35 +242,73 @@ type Fig10dPoint struct {
 // Fig10dCryptoImpact runs HoneyBadgerBFT-SC with the light and heavy
 // crypto configurations over a batch-size sweep (Fig. 10d: lighter curves
 // give lower latency and higher throughput).
-func Fig10dCryptoImpact(seed int64, epochs int, batches []int) ([]Fig10dPoint, error) {
+func Fig10dCryptoImpact(seed int64, epochs int, batches []int, opts sweep.Options) ([]Fig10dPoint, error) {
 	if len(batches) == 0 {
 		batches = []int{2, 4, 8, 16}
 	}
-	var out []Fig10dPoint
-	for _, cfgRow := range []struct {
-		name string
-		cfg  crypto.Config
-	}{
-		{"light(BN158-eq)", crypto.LightConfig()},
-		{"heavy(BN254-eq)", crypto.HeavyConfig()},
-	} {
-		for _, b := range batches {
-			spec := run.Defaults(protocol.HoneyBadger, protocol.CoinSig)
-			spec.Crypto = cfgRow.cfg
-			spec.Workload = run.OneShot(epochs)
-			spec.Workload.BatchSize = b
-			spec.Seed = seed
-			res, err := run.Run(spec)
-			if err != nil {
-				return nil, fmt.Errorf("bench: fig10d %s b=%d: %w", cfgRow.name, b, err)
-			}
-			out = append(out, Fig10dPoint{
-				Config: cfgRow.name, BatchSize: b,
-				Latency: res.OneShot.MeanLatency, TPM: res.OneShot.TPM,
-			})
-		}
+	base := run.Defaults(protocol.HoneyBadger, protocol.CoinSig)
+	base.Seed = seed
+	base.Workload = run.OneShot(epochs)
+	cfgAxis := sweep.Axis[run.Spec]{Name: "config", Points: []sweep.Point[run.Spec]{
+		{Label: "light(BN158-eq)", Apply: func(s *run.Spec) { s.Crypto = crypto.LightConfig() }},
+		{Label: "heavy(BN254-eq)", Apply: func(s *run.Spec) { s.Crypto = crypto.HeavyConfig() }},
+	}}
+	batchAxis := sweep.Axis[run.Spec]{Name: "batch"}
+	for _, b := range batches {
+		b := b
+		batchAxis.Points = append(batchAxis.Points, sweep.Point[run.Spec]{
+			Label: fmt.Sprintf("batch=%d", b),
+			Apply: func(s *run.Spec) { s.Workload.BatchSize = b },
+		})
 	}
-	return out, nil
+	grid := sweep.Grid[run.Spec]{Base: base, Axes: []sweep.Axis[run.Spec]{cfgAxis, batchAxis}}
+	results, err := sweep.Run(grid, opts, func(c sweep.Cell[run.Spec]) (Fig10dPoint, error) {
+		res, err := run.Run(c.Config)
+		if err != nil {
+			return Fig10dPoint{}, fmt.Errorf("bench: fig10d %s: %w", c.Name(), err)
+		}
+		return Fig10dPoint{
+			Config: c.Labels[0], BatchSize: c.Config.Workload.BatchSize,
+			Latency: res.OneShot.MeanLatency, TPM: res.OneShot.TPM,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Values(results), nil
+}
+
+// Registry entries for the Fig. 10 experiments.
+func runFig10a(ctx *Context) error {
+	rows, err := Fig10aThresholdSig(ctx.Reps, ctx.sweepOpts(true))
+	if err != nil {
+		return err
+	}
+	PrintCryptoOps(ctx.Out, "Fig. 10a — threshold signature operation latency (this machine)", rows)
+	return nil
+}
+
+func runFig10b(ctx *Context) error {
+	rows, err := Fig10bThresholdCoin(ctx.Reps, ctx.sweepOpts(true))
+	if err != nil {
+		return err
+	}
+	PrintCryptoOps(ctx.Out, "Fig. 10b — threshold coin flipping operation latency (this machine)", rows)
+	return nil
+}
+
+func runFig10c(ctx *Context) error {
+	PrintSizes(ctx.Out, Fig10cSizes())
+	return nil
+}
+
+func runFig10d(ctx *Context) error {
+	rows, err := Fig10dCryptoImpact(ctx.Seed, ctx.Epochs, nil, ctx.sweepOpts(false))
+	if err != nil {
+		return err
+	}
+	PrintFig10d(ctx.Out, rows)
+	return nil
 }
 
 // PrintCryptoOps renders Fig. 10a/10b rows.

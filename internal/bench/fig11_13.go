@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/protocol"
 	"repro/internal/run"
+	"repro/internal/sweep"
 )
 
 // Fig11aPoint is one (variant, parallelism) latency measurement.
@@ -17,36 +18,128 @@ type Fig11aPoint struct {
 }
 
 // figSeeds is how many seeds each figure point averages over: common-coin
-// round counts are luck-driven, so single-seed points are noisy.
+// round counts are luck-driven, so single-seed points are noisy. On the
+// grid the seeds are their own (innermost) axis, so the engine runs every
+// (point, seed) cell independently and the aggregation below averages
+// results per outer grid point.
 const figSeeds = 5
 
-func meanOverSeeds(base int64, f func(seed int64) (time.Duration, error)) (time.Duration, error) {
-	var sum time.Duration
+// figCell is the grid configuration shared by the Fig. 11/12 component
+// sweeps: which rig experiment to run and with what knobs. Each sweep
+// uses the fields its axes set and ignores the rest.
+type figCell struct {
+	Kind     BroadcastKind
+	Variant  ABAVariant
+	Parallel int
+	Packets  int
+	Serial   int
+	Seed     int64
+}
+
+// seedAxis is the innermost averaging axis; the derivation (base +
+// s*1009) is historical and keeps figure trajectories comparable across
+// PRs.
+func seedAxis(base int64) sweep.Axis[figCell] {
+	ax := sweep.Axis[figCell]{Name: "seed"}
 	for s := int64(0); s < figSeeds; s++ {
-		lat, err := f(base + s*1009)
-		if err != nil {
-			return 0, err
-		}
-		sum += lat
+		seed := base + s*1009
+		ax.Points = append(ax.Points, sweep.Point[figCell]{
+			Label: fmt.Sprintf("seed=%d", seed),
+			Apply: func(c *figCell) { c.Seed = seed },
+		})
 	}
-	return sum / figSeeds, nil
+	return ax
+}
+
+func countAxis(name string, set func(*figCell, int), vals ...int) sweep.Axis[figCell] {
+	ax := sweep.Axis[figCell]{Name: name}
+	for _, v := range vals {
+		v := v
+		ax.Points = append(ax.Points, sweep.Point[figCell]{
+			Label: fmt.Sprintf("%s=%d", name, v),
+			Apply: func(c *figCell) { set(c, v) },
+		})
+	}
+	return ax
+}
+
+// meanGroup is one outer grid point's seed-averaged latency, identified
+// by its coordinates on the non-seed axes.
+type meanGroup struct {
+	coords []int // per-axis point indices, seed axis dropped
+	lat    time.Duration
+}
+
+// outerCoords strips the innermost (seed) axis from a result's
+// coordinates.
+func outerCoords(r sweep.Result[time.Duration]) []int {
+	return r.Coords[:len(r.Coords)-1]
+}
+
+func sameCoords(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// meanLatencies averages results per outer grid point. Grouping by the
+// cells' axis coordinates (results arrive in grid order, so a group is a
+// consecutive run) keeps the association correct when -filter drops some
+// seeds or points, and lets callers read axis values off the group
+// instead of re-deriving positions arithmetically.
+func meanLatencies(results []sweep.Result[time.Duration]) []meanGroup {
+	var out []meanGroup
+	for i := 0; i < len(results); {
+		outer := outerCoords(results[i])
+		var sum time.Duration
+		n := 0
+		for i < len(results) && sameCoords(outerCoords(results[i]), outer) {
+			sum += results[i].Value
+			n++
+			i++
+		}
+		out = append(out, meanGroup{coords: outer, lat: sum / time.Duration(n)})
+	}
+	return out
 }
 
 // Fig11aBroadcastParallelism sweeps parallelism 1..4 for the five
 // broadcast variants (Fig. 11a: PRBC > CBC > RBC; -small variants flatter).
-func Fig11aBroadcastParallelism(seed int64) ([]Fig11aPoint, error) {
-	var out []Fig11aPoint
+func Fig11aBroadcastParallelism(seed int64, opts sweep.Options) ([]Fig11aPoint, error) {
+	kindAx := sweep.Axis[figCell]{Name: "variant"}
 	for _, k := range AllBroadcastKinds() {
-		for par := 1; par <= 4; par++ {
-			k, par := k, par
-			lat, err := meanOverSeeds(seed, func(s int64) (time.Duration, error) {
-				return BroadcastLatency(k, par, 1, true, s)
-			})
-			if err != nil {
-				return nil, fmt.Errorf("bench: fig11a %s par=%d: %w", k, par, err)
-			}
-			out = append(out, Fig11aPoint{Kind: k, Parallel: par, Latency: lat})
+		k := k
+		kindAx.Points = append(kindAx.Points, sweep.Point[figCell]{
+			Label: string(k),
+			Apply: func(c *figCell) { c.Kind = k },
+		})
+	}
+	counts := []int{1, 2, 3, 4}
+	grid := sweep.Grid[figCell]{Axes: []sweep.Axis[figCell]{
+		kindAx,
+		countAxis("parallel", func(c *figCell, v int) { c.Parallel = v }, counts...),
+		seedAxis(seed),
+	}}
+	results, err := sweep.Run(grid, opts, func(c sweep.Cell[figCell]) (time.Duration, error) {
+		lat, err := BroadcastLatency(c.Config.Kind, c.Config.Parallel, 1, true, c.Config.Seed)
+		if err != nil {
+			return 0, fmt.Errorf("bench: fig11a %s: %w", c.Name(), err)
 		}
+		return lat, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig11aPoint
+	for _, m := range meanLatencies(results) {
+		out = append(out, Fig11aPoint{
+			Kind:     AllBroadcastKinds()[m.coords[0]],
+			Parallel: counts[m.coords[1]],
+			Latency:  m.lat,
+		})
 	}
 	return out, nil
 }
@@ -61,19 +154,35 @@ type Fig11bPoint struct {
 // Fig11bProposalSize sweeps proposal sizes of 1..4 packets at full
 // parallelism for RBC/PRBC/CBC (Fig. 11b: the CBC-RBC gap grows with
 // proposal size).
-func Fig11bProposalSize(seed int64) ([]Fig11bPoint, error) {
-	var out []Fig11bPoint
-	for _, k := range []BroadcastKind{BRBC, BPRBC, BCBC} {
-		for pk := 1; pk <= 4; pk++ {
-			k, pk := k, pk
-			lat, err := meanOverSeeds(seed, func(s int64) (time.Duration, error) {
-				return BroadcastLatency(k, 4, pk, true, s)
-			})
-			if err != nil {
-				return nil, fmt.Errorf("bench: fig11b %s packets=%d: %w", k, pk, err)
-			}
-			out = append(out, Fig11bPoint{Kind: k, Packets: pk, Latency: lat})
+func Fig11bProposalSize(seed int64, opts sweep.Options) ([]Fig11bPoint, error) {
+	kinds := []BroadcastKind{BRBC, BPRBC, BCBC}
+	kindAx := sweep.Axis[figCell]{Name: "variant"}
+	for _, k := range kinds {
+		k := k
+		kindAx.Points = append(kindAx.Points, sweep.Point[figCell]{
+			Label: string(k),
+			Apply: func(c *figCell) { c.Kind = k },
+		})
+	}
+	counts := []int{1, 2, 3, 4}
+	grid := sweep.Grid[figCell]{Axes: []sweep.Axis[figCell]{
+		kindAx,
+		countAxis("packets", func(c *figCell, v int) { c.Packets = v }, counts...),
+		seedAxis(seed),
+	}}
+	results, err := sweep.Run(grid, opts, func(c sweep.Cell[figCell]) (time.Duration, error) {
+		lat, err := BroadcastLatency(c.Config.Kind, 4, c.Config.Packets, true, c.Config.Seed)
+		if err != nil {
+			return 0, fmt.Errorf("bench: fig11b %s: %w", c.Name(), err)
 		}
+		return lat, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig11bPoint
+	for _, m := range meanLatencies(results) {
+		out = append(out, Fig11bPoint{Kind: kinds[m.coords[0]], Packets: counts[m.coords[1]], Latency: m.lat})
 	}
 	return out, nil
 }
@@ -85,38 +194,65 @@ type Fig12Point struct {
 	Latency time.Duration
 }
 
+func abaAxis(variants []ABAVariant) sweep.Axis[figCell] {
+	ax := sweep.Axis[figCell]{Name: "variant"}
+	for _, v := range variants {
+		v := v
+		ax.Points = append(ax.Points, sweep.Point[figCell]{
+			Label: string(v),
+			Apply: func(c *figCell) { c.Variant = v },
+		})
+	}
+	return ax
+}
+
 // Fig12aParallel sweeps 1..4 parallel instances for the three ABA variants.
-func Fig12aParallel(seed int64) ([]Fig12Point, error) {
-	var out []Fig12Point
-	for _, v := range AllABAVariants() {
-		for par := 1; par <= 4; par++ {
-			v, par := v, par
-			lat, err := meanOverSeeds(seed, func(s int64) (time.Duration, error) {
-				return ABAParallelLatency(v, par, s)
-			})
-			if err != nil {
-				return nil, fmt.Errorf("bench: fig12a %s par=%d: %w", v, par, err)
-			}
-			out = append(out, Fig12Point{Variant: v, Count: par, Latency: lat})
+func Fig12aParallel(seed int64, opts sweep.Options) ([]Fig12Point, error) {
+	counts := []int{1, 2, 3, 4}
+	grid := sweep.Grid[figCell]{Axes: []sweep.Axis[figCell]{
+		abaAxis(AllABAVariants()),
+		countAxis("parallel", func(c *figCell, v int) { c.Parallel = v }, counts...),
+		seedAxis(seed),
+	}}
+	results, err := sweep.Run(grid, opts, func(c sweep.Cell[figCell]) (time.Duration, error) {
+		lat, err := ABAParallelLatency(c.Config.Variant, c.Config.Parallel, c.Config.Seed)
+		if err != nil {
+			return 0, fmt.Errorf("bench: fig12a %s: %w", c.Name(), err)
 		}
+		return lat, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig12Point
+	for _, m := range meanLatencies(results) {
+		out = append(out, Fig12Point{Variant: AllABAVariants()[m.coords[0]], Count: counts[m.coords[1]], Latency: m.lat})
 	}
 	return out, nil
 }
 
 // Fig12bSerial sweeps 1..4 serial instances for ABA-LC and ABA-SC.
-func Fig12bSerial(seed int64) ([]Fig12Point, error) {
-	var out []Fig12Point
-	for _, v := range []ABAVariant{ABALC, ABASC} {
-		for ser := 1; ser <= 4; ser++ {
-			v, ser := v, ser
-			lat, err := meanOverSeeds(seed, func(s int64) (time.Duration, error) {
-				return ABASerialLatency(v, ser, s)
-			})
-			if err != nil {
-				return nil, fmt.Errorf("bench: fig12b %s serial=%d: %w", v, ser, err)
-			}
-			out = append(out, Fig12Point{Variant: v, Count: ser, Latency: lat})
+func Fig12bSerial(seed int64, opts sweep.Options) ([]Fig12Point, error) {
+	variants := []ABAVariant{ABALC, ABASC}
+	counts := []int{1, 2, 3, 4}
+	grid := sweep.Grid[figCell]{Axes: []sweep.Axis[figCell]{
+		abaAxis(variants),
+		countAxis("serial", func(c *figCell, v int) { c.Serial = v }, counts...),
+		seedAxis(seed),
+	}}
+	results, err := sweep.Run(grid, opts, func(c sweep.Cell[figCell]) (time.Duration, error) {
+		lat, err := ABASerialLatency(c.Config.Variant, c.Config.Serial, c.Config.Seed)
+		if err != nil {
+			return 0, fmt.Errorf("bench: fig12b %s: %w", c.Name(), err)
 		}
+		return lat, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig12Point
+	for _, m := range meanLatencies(results) {
+		out = append(out, Fig12Point{Variant: variants[m.coords[0]], Count: counts[m.coords[1]], Latency: m.lat})
 	}
 	return out, nil
 }
@@ -155,63 +291,136 @@ func fig13Configs() []struct {
 	}
 }
 
-// Fig13aSingleHop measures all eight configurations on the 4-node
-// single-hop network.
-func Fig13aSingleHop(seed int64, epochs, batch int) ([]ProtocolPoint, error) {
-	var out []ProtocolPoint
-	for _, c := range fig13Configs() {
+// fig13Point is one seed's (latency, throughput) sample.
+type fig13Point struct {
+	Latency time.Duration
+	TPM     float64
+}
+
+// fig13Sweep runs the 8-configuration x figSeeds grid for one topology.
+func fig13Sweep(seed int64, epochs, batch int, topo run.Topology, deadline time.Duration, opts sweep.Options) ([]ProtocolPoint, error) {
+	configs := fig13Configs()
+	cfgAx := sweep.Axis[run.Spec]{Name: "config"}
+	for _, c := range configs {
 		c := c
-		var tpmSum float64
-		lat, err := meanOverSeeds(seed, func(s int64) (time.Duration, error) {
-			spec := run.Defaults(c.Kind, c.Coin)
-			spec.Batched = c.Batched
-			spec.Workload = run.OneShot(epochs)
-			spec.Workload.BatchSize = batch
-			spec.Seed = s
-			spec.Deadline = 4 * time.Hour
-			res, err := run.Run(spec)
-			if err != nil {
-				return 0, err
-			}
-			tpmSum += res.OneShot.TPM
-			return res.OneShot.MeanLatency, nil
+		cfgAx.Points = append(cfgAx.Points, sweep.Point[run.Spec]{
+			Label: c.Name,
+			Apply: func(s *run.Spec) {
+				s.Protocol, s.Coin, s.Batched = c.Kind, c.Coin, c.Batched
+				s.Encrypt = c.Kind != protocol.DumboKind
+			},
 		})
+	}
+	seedAx := sweep.Axis[run.Spec]{Name: "seed"}
+	for s := int64(0); s < figSeeds; s++ {
+		sv := seed + s*1009
+		seedAx.Points = append(seedAx.Points, sweep.Point[run.Spec]{
+			Label: fmt.Sprintf("seed=%d", sv),
+			Apply: func(spec *run.Spec) { spec.Seed = sv },
+		})
+	}
+	base := run.Defaults(protocol.HoneyBadger, protocol.CoinSig)
+	base.Topology = topo
+	base.Workload = run.OneShot(epochs)
+	base.Workload.BatchSize = batch
+	base.Deadline = deadline
+	grid := sweep.Grid[run.Spec]{Base: base, Axes: []sweep.Axis[run.Spec]{cfgAx, seedAx}}
+	results, err := sweep.Run(grid, opts, func(c sweep.Cell[run.Spec]) (fig13Point, error) {
+		res, err := run.Run(c.Config)
 		if err != nil {
-			return nil, fmt.Errorf("bench: fig13a %s: %w", c.Name, err)
+			return fig13Point{}, fmt.Errorf("bench: fig13 %s: %w", c.Name(), err)
 		}
-		out = append(out, ProtocolPoint{Name: c.Name, Latency: lat, TPM: tpmSum / figSeeds})
+		return fig13Point{Latency: res.OneShot.MeanLatency, TPM: res.OneShot.TPM}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []ProtocolPoint
+	for i := 0; i < len(results); {
+		cfg := results[i].Coords[0]
+		var latSum time.Duration
+		var tpmSum float64
+		n := 0
+		for i < len(results) && results[i].Coords[0] == cfg {
+			latSum += results[i].Value.Latency
+			tpmSum += results[i].Value.TPM
+			n++
+			i++
+		}
+		out = append(out, ProtocolPoint{
+			Name:    configs[cfg].Name,
+			Latency: latSum / time.Duration(n),
+			TPM:     tpmSum / float64(n),
+		})
 	}
 	return out, nil
 }
 
+// Fig13aSingleHop measures all eight configurations on the 4-node
+// single-hop network.
+func Fig13aSingleHop(seed int64, epochs, batch int, opts sweep.Options) ([]ProtocolPoint, error) {
+	return fig13Sweep(seed, epochs, batch, run.SingleHop(), 4*time.Hour, opts)
+}
+
 // Fig13bMultiHop measures all eight configurations on the 16-node,
 // 4-cluster network.
-func Fig13bMultiHop(seed int64, epochs, batch int) ([]ProtocolPoint, error) {
-	var out []ProtocolPoint
-	for _, c := range fig13Configs() {
-		c := c
-		var tpmSum float64
-		lat, err := meanOverSeeds(seed, func(s int64) (time.Duration, error) {
-			spec := run.Defaults(c.Kind, c.Coin)
-			spec.Topology = run.Clustered(4, 4)
-			spec.Batched = c.Batched
-			spec.Workload = run.OneShot(epochs)
-			spec.Workload.BatchSize = batch
-			spec.Seed = s
-			spec.Deadline = 8 * time.Hour
-			res, err := run.Run(spec)
-			if err != nil {
-				return 0, err
-			}
-			tpmSum += res.OneShot.TPM
-			return res.OneShot.MeanLatency, nil
-		})
-		if err != nil {
-			return nil, fmt.Errorf("bench: fig13b %s: %w", c.Name, err)
-		}
-		out = append(out, ProtocolPoint{Name: c.Name, Latency: lat, TPM: tpmSum / figSeeds})
+func Fig13bMultiHop(seed int64, epochs, batch int, opts sweep.Options) ([]ProtocolPoint, error) {
+	return fig13Sweep(seed, epochs, batch, run.Clustered(4, 4), 8*time.Hour, opts)
+}
+
+// Registry entries for the Fig. 11–13 experiments.
+func runFig11a(ctx *Context) error {
+	rows, err := Fig11aBroadcastParallelism(ctx.Seed, ctx.sweepOpts(false))
+	if err != nil {
+		return err
 	}
-	return out, nil
+	PrintFig11a(ctx.Out, rows)
+	return nil
+}
+
+func runFig11b(ctx *Context) error {
+	rows, err := Fig11bProposalSize(ctx.Seed, ctx.sweepOpts(false))
+	if err != nil {
+		return err
+	}
+	PrintFig11b(ctx.Out, rows)
+	return nil
+}
+
+func runFig12a(ctx *Context) error {
+	rows, err := Fig12aParallel(ctx.Seed, ctx.sweepOpts(false))
+	if err != nil {
+		return err
+	}
+	PrintFig12(ctx.Out, "Fig. 12a — ABA latency vs parallel instances", rows)
+	return nil
+}
+
+func runFig12b(ctx *Context) error {
+	rows, err := Fig12bSerial(ctx.Seed, ctx.sweepOpts(false))
+	if err != nil {
+		return err
+	}
+	PrintFig12(ctx.Out, "Fig. 12b — ABA latency vs serial instances", rows)
+	return nil
+}
+
+func runFig13a(ctx *Context) error {
+	rows, err := Fig13aSingleHop(ctx.Seed, ctx.Epochs, ctx.Batch, ctx.sweepOpts(false))
+	if err != nil {
+		return err
+	}
+	PrintFig13(ctx.Out, "Fig. 13a — single-hop: 8 consensus configurations", rows)
+	return nil
+}
+
+func runFig13b(ctx *Context) error {
+	rows, err := Fig13bMultiHop(ctx.Seed, ctx.Epochs, ctx.Batch, ctx.sweepOpts(false))
+	if err != nil {
+		return err
+	}
+	PrintFig13(ctx.Out, "Fig. 13b — multi-hop (16 nodes, 4 clusters): 8 configurations", rows)
+	return nil
 }
 
 // PrintFig11a renders the broadcast-parallelism series.

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/run"
+	"repro/internal/sweep"
+)
+
+// This file holds the axes the run.Spec-based sweeps share. Every sweep
+// in the package is a sweep.Grid over either run.Spec (protocol-level
+// experiments) or a small local cell struct (component rigs, crypto
+// microbenchmarks); the grid declares *what* varies and the engine owns
+// *how* cells execute. Row order in every emitted table and trajectory
+// file is grid enumeration order, which reproduces the historical
+// nested-loop order of the pre-engine drivers — the committed BENCH
+// files did not reorder when the loops were deleted.
+
+// specPoint sets the protocol family on a run.Spec, replicating
+// run.Defaults' coupling of Encrypt to the family (Dumbo runs without the
+// threshold-encryption censorship defense).
+func specPoint(name string, kind protocol.Kind, coin protocol.CoinKind) sweep.Point[run.Spec] {
+	return sweep.Point[run.Spec]{Label: name, Apply: func(s *run.Spec) {
+		s.Protocol, s.Coin = kind, coin
+		s.Encrypt = kind != protocol.DumboKind
+	}}
+}
+
+// protoAxis is the two-family protocol axis of the SMR sweeps.
+func protoAxis() sweep.Axis[run.Spec] {
+	return sweep.Axis[run.Spec]{Name: "protocol", Points: []sweep.Point[run.Spec]{
+		specPoint("HB-SC", protocol.HoneyBadger, protocol.CoinSig),
+		specPoint("Dumbo-SC", protocol.DumboKind, protocol.CoinSig),
+	}}
+}
+
+// transportAxis selects ConsensusBatcher vs the per-instance baseline.
+func transportAxis() sweep.Axis[run.Spec] {
+	return sweep.Axis[run.Spec]{Name: "transport", Points: []sweep.Point[run.Spec]{
+		{Label: "batched", Apply: func(s *run.Spec) { s.Batched = true }},
+		{Label: "baseline", Apply: func(s *run.Spec) { s.Batched = false }},
+	}}
+}
+
+// depthAxis sweeps the chain pipeline depth.
+func depthAxis(depths ...int) sweep.Axis[run.Spec] {
+	ax := sweep.Axis[run.Spec]{Name: "depth"}
+	for _, d := range depths {
+		d := d
+		ax.Points = append(ax.Points, sweep.Point[run.Spec]{
+			Label: fmt.Sprintf("depth=%d", d),
+			Apply: func(s *run.Spec) { s.Workload.Window = d },
+		})
+	}
+	return ax
+}
+
+// chainBase is the shared base Spec of the sustained-SMR sweeps: chain
+// workload at 1 s client interval (proposals always full), protocol and
+// transport left to the axes.
+func chainBase(seed int64, epochs int) run.Spec {
+	spec := run.Defaults(protocol.HoneyBadger, protocol.CoinSig)
+	spec.Seed = seed
+	spec.Workload = run.Chain(epochs)
+	spec.Workload.TxInterval = time.Second
+	return spec
+}

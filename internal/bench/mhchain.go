@@ -1,13 +1,11 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
-	"time"
 
-	"repro/internal/protocol"
 	"repro/internal/run"
+	"repro/internal/sweep"
 )
 
 // MHChainPoint is one Clustered × Chain measurement: sustained pipelined
@@ -34,63 +32,67 @@ type MHChainPoint struct {
 	LocalAccesses  uint64  `json:"local_accesses"`
 	GlobalAccesses uint64  `json:"global_accesses"`
 	Error          string  `json:"error,omitempty"`
+	// ElapsedMS is the wall-clock cost of producing this row — sweep
+	// metadata, not a simulated (golden-checked) outcome.
+	ElapsedMS int64 `json:"elapsed_ms"`
 }
 
 // MHChainSweep runs the Clustered × Chain cell for two protocol families
 // under both transports at pipeline depths 1 and 2 (4 clusters of 4, the
 // paper's 16-node deployment). A configuration the deployment defeats is
 // recorded as a row with Error set rather than aborting the sweep.
-func MHChainSweep(seed int64, epochs int) ([]MHChainPoint, error) {
+func MHChainSweep(seed int64, epochs int, opts sweep.Options) ([]MHChainPoint, error) {
 	if epochs <= 0 {
 		epochs = 4
 	}
-	var out []MHChainPoint
-	for _, p := range []struct {
-		name string
-		kind protocol.Kind
-		coin protocol.CoinKind
-	}{
-		{"HB-SC", protocol.HoneyBadger, protocol.CoinSig},
-		{"Dumbo-SC", protocol.DumboKind, protocol.CoinSig},
-	} {
-		for _, batched := range []bool{true, false} {
-			for _, depth := range []int{1, 2} {
-				spec := run.Defaults(p.kind, p.coin)
-				spec.Seed = seed
-				spec.Batched = batched
-				spec.Topology = run.Clustered(4, 4)
-				spec.Workload = run.Chain(epochs)
-				spec.Workload.Window = depth
-				spec.Workload.TxInterval = time.Second // keep proposals full
-				tname := "baseline"
-				if batched {
-					tname = "batched"
-				}
-				pt := MHChainPoint{
-					Protocol:  p.name,
-					Transport: tname,
-					Depth:     depth,
-					Clusters:  spec.Topology.Clusters,
-				}
-				res, err := run.Run(spec)
-				if err != nil {
-					pt.Error = err.Error()
-				} else {
-					pt.Epochs = res.Chain.EpochsCommitted
-					pt.CommittedTxs = res.Chain.CommittedTxs
-					pt.OrderedCuts = res.Tiers.OrderedCuts
-					pt.GlobalEntries = res.Tiers.GlobalEntries
-					pt.VirtualSecs = res.Duration.Seconds()
-					pt.ThroughputBps = res.Chain.ThroughputBps
-					pt.CommitLatencyS = res.Chain.MeanCommitLatency.Seconds()
-					pt.LocalAccesses = res.Tiers.LocalAccesses
-					pt.GlobalAccesses = res.Tiers.GlobalAccesses
-				}
-				out = append(out, pt)
-			}
-		}
+	base := chainBase(seed, epochs)
+	base.Topology = run.Clustered(4, 4)
+	grid := sweep.Grid[run.Spec]{
+		Base: base,
+		Axes: []sweep.Axis[run.Spec]{protoAxis(), transportAxis(), depthAxis(1, 2)},
 	}
-	return out, nil
+	results, err := sweep.Run(grid, opts, func(c sweep.Cell[run.Spec]) (MHChainPoint, error) {
+		pt := MHChainPoint{
+			Protocol:  c.Labels[0],
+			Transport: c.Labels[1],
+			Depth:     c.Config.Workload.Window,
+			Clusters:  c.Config.Topology.Clusters,
+		}
+		res, err := run.Run(c.Config)
+		if err != nil {
+			pt.Error = err.Error()
+			return pt, nil
+		}
+		pt.Epochs = res.Chain.EpochsCommitted
+		pt.CommittedTxs = res.Chain.CommittedTxs
+		pt.OrderedCuts = res.Tiers.OrderedCuts
+		pt.GlobalEntries = res.Tiers.GlobalEntries
+		pt.VirtualSecs = res.Duration.Seconds()
+		pt.ThroughputBps = res.Chain.ThroughputBps
+		pt.CommitLatencyS = res.Chain.MeanCommitLatency.Seconds()
+		pt.LocalAccesses = res.Tiers.LocalAccesses
+		pt.GlobalAccesses = res.Tiers.GlobalAccesses
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]MHChainPoint, len(results))
+	for i, r := range results {
+		r.Value.ElapsedMS = r.Elapsed.Milliseconds()
+		rows[i] = r.Value
+	}
+	return rows, nil
+}
+
+// runMHChainExp is the registry entry: sweep, table, trajectory.
+func runMHChainExp(ctx *Context) error {
+	rows, err := MHChainSweep(ctx.Seed, ctx.ChainEpochs, ctx.sweepOpts(false))
+	if err != nil {
+		return err
+	}
+	PrintMHChain(ctx.Out, rows)
+	return ctx.emit("clustered-chain-smr", rows)
 }
 
 // PrintMHChain renders the clustered-chain sweep.
@@ -107,16 +109,4 @@ func PrintMHChain(w io.Writer, rows []MHChainPoint) {
 			r.Protocol, r.Transport, r.Depth, r.Epochs, r.CommittedTxs, r.OrderedCuts,
 			r.VirtualSecs, r.ThroughputBps, r.CommitLatencyS, r.LocalAccesses, r.GlobalAccesses)
 	}
-}
-
-// WriteMHChainJSON records the sweep as the BENCH_mhchain.json trajectory
-// file referenced by EXPERIMENTS.md.
-func WriteMHChainJSON(w io.Writer, seed int64, rows []MHChainPoint) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(struct {
-		Experiment string         `json:"experiment"`
-		Seed       int64          `json:"seed"`
-		Points     []MHChainPoint `json:"points"`
-	}{Experiment: "clustered-chain-smr", Seed: seed, Points: rows})
 }

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// Context carries one wbft-bench invocation's knobs to every experiment:
+// the sweep parameters, the worker pool and filter for the grid engine,
+// and the output sinks. The registry below is the single catalog of
+// experiments — cmd/wbft-bench enumerates it for -list, dispatches -exp
+// through it, and there is no other wiring between the command and the
+// experiment code.
+type Context struct {
+	Seed        int64
+	Epochs      int // one-shot epochs per run
+	Batch       int // one-shot proposal size
+	Reps        int // crypto microbenchmark repetitions
+	ChainEpochs int // chain-workload commit target per run
+
+	Workers int    // sweep worker pool size (Serial experiments force 1)
+	Filter  string // substring filter on cell names ("HB-SC/batched/...")
+
+	Out      io.Writer // rendered tables
+	JSONPath string    // trajectory output ("" = none)
+	CSVPath  string    // CSV output ("" = none)
+	// Progress, if non-nil, observes every completed cell.
+	Progress func(done, total int, name string, elapsed time.Duration)
+}
+
+// sweepOpts builds the engine options for one experiment. Serial
+// experiments measure wall-clock latency (Fig. 10a/10b), where concurrent
+// cells would contend for the CPU and distort the numbers.
+func (c *Context) sweepOpts(serial bool) sweep.Options {
+	workers := c.Workers
+	if serial {
+		workers = 1
+	}
+	return sweep.Options{Workers: workers, Filter: c.Filter, Progress: c.Progress}
+}
+
+// emit writes an experiment's points to the configured JSON trajectory
+// and/or CSV sinks. This (plus the Print helpers) is the only row-emission
+// path in the package.
+func (c *Context) emit(experiment string, points any) error {
+	workers := c.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if c.JSONPath != "" {
+		if err := writeFile(c.JSONPath, func(f *os.File) error {
+			return WriteTrajectory(f, experiment, c.Seed, workers, points)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.Out, "wrote %s\n", c.JSONPath)
+	}
+	if c.CSVPath != "" {
+		if err := writeFile(c.CSVPath, func(f *os.File) error {
+			return WriteCSV(f, points)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.Out, "wrote %s\n", c.CSVPath)
+	}
+	return nil
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Experiment is one registry entry.
+type Experiment struct {
+	Name string
+	Desc string
+	// Serial experiments run their cells one at a time regardless of
+	// -parallel: they measure real wall-clock crypto latency.
+	Serial bool
+	// Trajectory experiments emit machine-readable point files (-json /
+	// -csv); the four committed BENCH_*.json sweeps.
+	Trajectory bool
+	Run        func(*Context) error
+}
+
+// Experiments returns the registry in canonical (-exp all) order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{Name: "table1", Desc: "Table I — message overhead per node, N=4 parallel components", Run: runTable1},
+		{Name: "fig10a", Desc: "Fig. 10a — threshold signature operation latency (wall-clock)", Serial: true, Run: runFig10a},
+		{Name: "fig10b", Desc: "Fig. 10b — threshold coin flipping operation latency (wall-clock)", Serial: true, Run: runFig10b},
+		{Name: "fig10c", Desc: "Fig. 10c — signature sizes", Run: runFig10c},
+		{Name: "fig10d", Desc: "Fig. 10d — HoneyBadgerBFT-SC latency/throughput vs crypto weight", Run: runFig10d},
+		{Name: "fig11a", Desc: "Fig. 11a — broadcast latency vs parallel instances", Run: runFig11a},
+		{Name: "fig11b", Desc: "Fig. 11b — broadcast latency vs proposal size", Run: runFig11b},
+		{Name: "fig12a", Desc: "Fig. 12a — ABA latency vs parallel instances", Run: runFig12a},
+		{Name: "fig12b", Desc: "Fig. 12b — ABA latency vs serial instances", Run: runFig12b},
+		{Name: "fig13a", Desc: "Fig. 13a — single-hop: 8 consensus configurations", Run: runFig13a},
+		{Name: "fig13b", Desc: "Fig. 13b — multi-hop (16 nodes, 4 clusters): 8 configurations", Run: runFig13b},
+		{Name: "chain", Desc: "chain — sustained SMR throughput vs pipeline depth (BENCH_chain.json)", Trajectory: true, Run: runChainExp},
+		{Name: "faults", Desc: "faults — SMR under scripted fault scenarios (BENCH_faults.json)", Trajectory: true, Run: runFaultsExp},
+		{Name: "byz", Desc: "byz — SMR with f actively Byzantine replicas (BENCH_byz.json)", Trajectory: true, Run: runByzExp},
+		{Name: "mhchain", Desc: "mhchain — clustered chained SMR, cuts ordered globally (BENCH_mhchain.json)", Trajectory: true, Run: runMHChainExp},
+	}
+}
+
+// Lookup finds a registered experiment by name.
+func Lookup(name string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Names returns the registered experiment names in order.
+func Names() []string {
+	exps := Experiments()
+	out := make([]string, len(exps))
+	for i, e := range exps {
+		out[i] = e.Name
+	}
+	return out
+}

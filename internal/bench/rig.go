@@ -1,9 +1,13 @@
 // Package bench is the experiment harness: for every table and figure in
 // the paper's evaluation (Table I, Fig. 10a–d, Fig. 11a–b, Fig. 12a–b,
-// Fig. 13a–b) it provides a function that runs the corresponding workload
-// on the simulator and returns the series the paper plots. cmd/wbft-bench
-// prints them as tables; the root bench_test.go exposes each as a Go
-// benchmark. EXPERIMENTS.md records paper-vs-measured shapes.
+// Fig. 13a–b) — plus the beyond-the-paper SMR sweeps — it declares a
+// sweep.Grid over a base configuration and executes it on the parallel
+// grid engine (internal/sweep). The registry in registry.go catalogs the
+// experiments for cmd/wbft-bench (-list/-exp dispatch); emit.go is the
+// one row-emission path (JSON trajectories, CSV, progress).
+// cmd/wbft-bench prints the results as tables; the root bench_test.go
+// exposes each experiment as a Go benchmark. EXPERIMENTS.md records
+// paper-vs-measured shapes and the engine's determinism contract.
 package bench
 
 import (
@@ -31,7 +35,7 @@ func NewComponentRig(seed int64, batched bool, cfg crypto.Config, net wireless.C
 	const n, f = 4, 1
 	sched := sim.New(seed)
 	ch := wireless.NewChannel(sched, net)
-	suites, err := crypto.Deal(n, f, cfg, rand.New(rand.NewSource(seed^0xbe)))
+	suites, err := crypto.DealCached(n, f, cfg, seed^0xbe)
 	if err != nil {
 		return nil, err
 	}

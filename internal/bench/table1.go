@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/component"
 	"repro/internal/crypto"
+	"repro/internal/sweep"
 	"repro/internal/wireless"
 )
 
@@ -23,12 +24,19 @@ type Table1Row struct {
 	MeasuredBatched  float64
 }
 
+// table1Cell is the grid configuration of one measured Table I point.
+type table1Cell struct {
+	Component string
+	Batched   bool
+}
+
 // Table1 computes the paper's Table I for N=4: the analytic columns use
 // the paper's formulas; the measured columns run each component with N
 // parallel instances on the simulator and count signed logical packets per
 // node (retransmissions make measured values slightly exceed the analytic
-// ideal).
-func Table1(seed int64) ([]Table1Row, error) {
+// ideal). The 5x2 measured grid runs on the sweep engine; the analytic
+// columns are joined onto the results by grid coordinate.
+func Table1(seed int64, opts sweep.Options) ([]Table1Row, error) {
 	const n = 4
 	rows := []Table1Row{
 		{Component: "RBC", Wired: (n - 1) * (1 + 2*n), BaselineWireless: 1 + 2*n, Batcher: 1 + 2},
@@ -37,20 +45,48 @@ func Table1(seed int64) ([]Table1Row, error) {
 		{Component: "Bracha's ABA", Wired: 3 * n * (n - 1) * (1 + 2*n), BaselineWireless: 3 * n * (1 + 2*n), Batcher: 3 * 3},
 		{Component: "Cachin's ABA", Wired: 3 * n * (n - 1), BaselineWireless: 3 * n, Batcher: 3},
 	}
-	for i := range rows {
-		for _, batched := range []bool{false, true} {
-			got, err := measureComponentPackets(rows[i].Component, batched, seed)
-			if err != nil {
-				return nil, fmt.Errorf("bench: table1 %s batched=%v: %w", rows[i].Component, batched, err)
-			}
-			if batched {
-				rows[i].MeasuredBatched = got
-			} else {
-				rows[i].MeasuredBaseline = got
-			}
+	compAxis := sweep.Axis[table1Cell]{Name: "component"}
+	for _, r := range rows {
+		name := r.Component
+		compAxis.Points = append(compAxis.Points, sweep.Point[table1Cell]{
+			Label: name,
+			Apply: func(c *table1Cell) { c.Component = name },
+		})
+	}
+	grid := sweep.Grid[table1Cell]{
+		Axes: []sweep.Axis[table1Cell]{compAxis, {Name: "transport", Points: []sweep.Point[table1Cell]{
+			{Label: "baseline", Apply: func(c *table1Cell) { c.Batched = false }},
+			{Label: "batched", Apply: func(c *table1Cell) { c.Batched = true }},
+		}}},
+	}
+	results, err := sweep.Run(grid, opts, func(c sweep.Cell[table1Cell]) (float64, error) {
+		got, err := measureComponentPackets(c.Config.Component, c.Config.Batched, seed)
+		if err != nil {
+			return 0, fmt.Errorf("bench: table1 %s: %w", c.Name(), err)
+		}
+		return got, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		if r.Coords[1] == 1 {
+			rows[r.Coords[0]].MeasuredBatched = r.Value
+		} else {
+			rows[r.Coords[0]].MeasuredBaseline = r.Value
 		}
 	}
 	return rows, nil
+}
+
+// runTable1 is the registry entry.
+func runTable1(ctx *Context) error {
+	rows, err := Table1(ctx.Seed, ctx.sweepOpts(false))
+	if err != nil {
+		return err
+	}
+	PrintTable1(ctx.Out, rows)
+	return nil
 }
 
 func measureComponentPackets(name string, batched bool, seed int64) (float64, error) {
@@ -159,13 +195,22 @@ func measureComponentPackets(name string, batched bool, seed int64) (float64, er
 	return rig.LogicalPerNode(), nil
 }
 
-// PrintTable1 renders Table I.
+// PrintTable1 renders Table I. A measured cell the sweep never ran
+// (excluded by -filter) renders as "-" — every real measurement is at
+// least one packet per node, so zero always means "not measured".
 func PrintTable1(w io.Writer, rows []Table1Row) {
+	meas := func(v float64) string {
+		if v == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f", v)
+	}
 	fmt.Fprintf(w, "Table I — message overhead per node, N=4 parallel components\n")
 	fmt.Fprintf(w, "%-14s %8s %10s %9s | %12s %11s\n",
 		"component", "wired", "baseline", "batcher", "measured-bl", "measured-cb")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-14s %8d %10d %9d | %12.1f %11.1f\n",
-			r.Component, r.Wired, r.BaselineWireless, r.Batcher, r.MeasuredBaseline, r.MeasuredBatched)
+		fmt.Fprintf(w, "%-14s %8d %10d %9d | %12s %11s\n",
+			r.Component, r.Wired, r.BaselineWireless, r.Batcher,
+			meas(r.MeasuredBaseline), meas(r.MeasuredBatched))
 	}
 }

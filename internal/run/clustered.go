@@ -4,7 +4,6 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
-	"math/rand"
 
 	"repro/internal/component"
 	"repro/internal/core"
@@ -65,7 +64,7 @@ func runClusteredOneShot(spec Spec) (*Report, error) {
 	fg := (M - 1) / 3
 
 	globalCh := wireless.NewChannel(sched, spec.Net)
-	globalSuites, err := crypto.Deal(M, fg, spec.Crypto, rand.New(rand.NewSource(spec.Seed^0x61)))
+	globalSuites, err := crypto.DealCached(M, fg, spec.Crypto, spec.Seed^0x61)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +74,7 @@ func runClusteredOneShot(spec Spec) (*Report, error) {
 	var flat []*osNode // scenario node-id space: cluster*PerCluster + i
 	for c := range clusters {
 		ch := wireless.NewChannel(sched, spec.Net)
-		suites, err := crypto.Deal(P, spec.F, spec.Crypto, rand.New(rand.NewSource(spec.Seed+int64(c)*101)))
+		suites, err := crypto.DealCached(P, spec.F, spec.Crypto, spec.Seed+int64(c)*101)
 		if err != nil {
 			return nil, err
 		}

@@ -5,7 +5,6 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
-	"math/rand"
 	"time"
 
 	"repro/internal/byz"
@@ -354,7 +353,7 @@ func runClusteredChain(spec Spec) (*Report, error) {
 
 	sched := sim.New(spec.Seed)
 	globalCh := wireless.NewChannel(sched, spec.Net)
-	globalSuites, err := crypto.Deal(M, fg, spec.Crypto, rand.New(rand.NewSource(spec.Seed^0x61)))
+	globalSuites, err := crypto.DealCached(M, fg, spec.Crypto, spec.Seed^0x61)
 	if err != nil {
 		return nil, err
 	}
@@ -383,7 +382,7 @@ func runClusteredChain(spec Spec) (*Report, error) {
 	maxOpen := 0
 	for c := 0; c < M; c++ {
 		ch := wireless.NewChannel(sched, spec.Net)
-		suites, err := crypto.Deal(P, spec.F, spec.Crypto, rand.New(rand.NewSource(spec.Seed+int64(c)*101)))
+		suites, err := crypto.DealCached(P, spec.F, spec.Crypto, spec.Seed+int64(c)*101)
 		if err != nil {
 			return nil, err
 		}

@@ -2,7 +2,6 @@ package run
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"repro/internal/byz"
@@ -86,7 +85,7 @@ func runOneShot(spec Spec) (*Report, error) {
 	sched := sim.New(spec.Seed)
 	ch := wireless.NewChannel(sched, spec.Net)
 
-	suites, err := crypto.Deal(spec.N, spec.F, spec.Crypto, rand.New(rand.NewSource(spec.Seed^0x5eed)))
+	suites, err := crypto.DealCached(spec.N, spec.F, spec.Crypto, spec.Seed^0x5eed)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package repro
+
+// raceEnabled reports that the race detector is not active; see
+// race_on_test.go.
+const raceEnabled = false

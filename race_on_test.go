@@ -1,0 +1,9 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports that the race detector is active. The full golden
+// regenerations skip under it — simulation is ~10x slower with -race and
+// the smoke sweeps already exercise the same concurrent engine paths —
+// while the plain CI job runs them at full speed.
+const raceEnabled = true
