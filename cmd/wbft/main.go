@@ -33,7 +33,8 @@
 //	jam@40m+60s              total loss for 60s
 //	delay:0.25,10s           async delay adversary (prob, max extra delay)
 //	byz@0s:3:equivocate      node 3 actively Byzantine: equivocate,
-//	                         withhold, garbage, or flipvotes (internal/byz)
+//	                         withhold, garbage, flipvotes, or forgecut
+//	                         (internal/byz)
 //
 // -crash N is shorthand for a crash at t=0 that never recovers. Under the
 // clustered topology, scenario node ids are flat:

@@ -41,10 +41,13 @@ type ByzPoint struct {
 // behaviorAxis arms f = (N-1)/3 replicas with one active-Byzantine
 // behavior from t=0. The axis reads the Spec's N, so it must come after
 // any axis that changes the group size (here none does — N stays at the
-// base's 4).
+// base's 4). The behavior list is pinned to the four single-hop attacks
+// rather than byz.Names(): byz.NameForgeCut targets the clustered
+// chain's cut records and has its own MHChainSweep cells — on this
+// single-hop deployment it would add rows that never forge anything.
 func behaviorAxis() sweep.Axis[run.Spec] {
 	ax := sweep.Axis[run.Spec]{Name: "behavior"}
-	for _, behavior := range byz.Names() {
+	for _, behavior := range []string{byz.NameEquivocate, byz.NameFlipVotes, byz.NameGarbage, byz.NameWithhold} {
 		behavior := behavior
 		ax.Points = append(ax.Points, sweep.Point[run.Spec]{
 			Label: behavior,

@@ -15,9 +15,9 @@
 // stream. Randomness comes from the node's seed-derived generator, so a
 // Byzantine run is as reproducible as a fault-free one.
 //
-// The four built-in behaviors form the scenario DSL vocabulary
+// The five built-in behaviors form the scenario DSL vocabulary
 // (`byz@<t>:<node>:<behavior>`): "equivocate", "withhold", "garbage",
-// and "flipvotes".
+// "flipvotes", and "forgecut".
 package byz
 
 import (
@@ -78,6 +78,7 @@ const (
 	NameWithhold   = "withhold"
 	NameGarbage    = "garbage"
 	NameFlipVotes  = "flipvotes"
+	NameForgeCut   = "forgecut"
 )
 
 // New constructs a built-in behavior by name. Unknown names error, which
@@ -92,6 +93,8 @@ func New(name string) (Behavior, error) {
 		return Garbage{}, nil
 	case NameFlipVotes:
 		return FlipVotes{}, nil
+	case NameForgeCut:
+		return &ForgeCut{}, nil
 	default:
 		return nil, fmt.Errorf("byz: unknown behavior %q (have %v)", name, Names())
 	}
@@ -99,7 +102,7 @@ func New(name string) (Behavior, error) {
 
 // Names lists the built-in behaviors, sorted.
 func Names() []string {
-	out := []string{NameEquivocate, NameWithhold, NameGarbage, NameFlipVotes}
+	out := []string{NameEquivocate, NameWithhold, NameGarbage, NameFlipVotes, NameForgeCut}
 	sort.Strings(out)
 	return out
 }

@@ -151,4 +151,11 @@ func TestByzValidation(t *testing.T) {
 	if _, err := Run(mcspec); err == nil {
 		t.Error("clustered chain accepted a fully perma-crashed cluster")
 	}
+	// Cut certificates need f+1 cluster signers: a cluster left with only
+	// one honest live member can still relay but never certify, so the
+	// driver must reject rather than deadline.
+	mcspec.Scenario = scenario.Crash(1, 2, 3)
+	if _, err := Run(mcspec); err == nil {
+		t.Error("clustered chain accepted a cluster with fewer than f+1 honest live signers")
+	}
 }

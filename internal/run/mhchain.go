@@ -10,6 +10,7 @@ import (
 	"repro/internal/byz"
 	"repro/internal/core"
 	"repro/internal/crypto"
+	"repro/internal/crypto/threshsig"
 	"repro/internal/node"
 	"repro/internal/packet"
 	"repro/internal/protocol"
@@ -48,39 +49,18 @@ import (
 // targets is "tainted": relay duty skips its scripted nodes, and the
 // global-tier barrier, log agreement, and cut-provenance checks cover
 // untainted seats and clusters only (within a cluster, the honest members
-// must still agree among themselves). Cuts are not yet authenticated by
-// their cluster — a Byzantine seat can forge cut records, which the
-// post-run provenance check surfaces — so, as with the one-shot clustered
-// driver, adversarial runs measure how far the defenses reach rather than
-// promising full cross-tier Byzantine tolerance.
-
-// cutSize is the wire size of one cluster-cut record:
-// u32 cluster | u32 local epoch | 32-byte entry digest.
-const cutSize = 40
+// must still agree among themselves). Cuts are authenticated by their
+// cluster: every cut carries a threshold certificate combined from f+1
+// member shares over (session, cluster, epoch, digest) (cutcert.go), and
+// every seat verifies the certificate before counting a committed cut
+// into the cross-cluster order — a Byzantine seat (byz "forgecut") can
+// place forged records in the raw global log, but they are rejected at
+// every honest seat (core.Stats.Rejected), never enter the cut order or
+// the frontier beacons, and the post-run provenance check proves no
+// forgery carried a valid certificate.
 
 // beaconKey is the frontier beacon's intent slot on the local channels.
 var beaconKey = core.IntentKey{Kind: packet.KindGlobal, Phase: packet.PhaseFinish, Slot: 0}
-
-// MakeCutTx builds the cluster-cut record the rotating leader submits to
-// the global tier for one committed local epoch.
-func MakeCutTx(cluster, epoch int, digest [32]byte) []byte {
-	tx := make([]byte, cutSize)
-	binary.BigEndian.PutUint32(tx, uint32(cluster))
-	binary.BigEndian.PutUint32(tx[4:], uint32(epoch))
-	copy(tx[8:], digest[:])
-	return tx
-}
-
-// parseCutTx decodes a cut record; ok is false for foreign payloads.
-func parseCutTx(tx []byte) (cluster, epoch int, digest [32]byte, ok bool) {
-	if len(tx) != cutSize {
-		return 0, 0, digest, false
-	}
-	cluster = int(binary.BigEndian.Uint32(tx))
-	epoch = int(binary.BigEndian.Uint32(tx[4:]))
-	copy(digest[:], tx[8:])
-	return cluster, epoch, digest, true
-}
 
 // entryDigest binds a cut to the exact committed entry content.
 func entryDigest(entry protocol.LogEntry) [32]byte {
@@ -105,6 +85,31 @@ type mhcMember struct {
 	// heardCuts/heardDigest is the highest global frontier beacon received.
 	heardCuts   int
 	heardDigest [32]byte
+	// cutShares caches this member's signed cut shares by local epoch —
+	// the member's "stable storage" (node.Crash keeps keys and logs too),
+	// so a failover re-collection gets already-signed shares for free.
+	cutShares map[int]*threshsig.SigShare
+}
+
+// cutCollect is one in-flight share collection: the cluster seat
+// gathering f+1 member shares over one cut before it can combine the
+// certificate and submit the cut to the global chain. Failover discards
+// the collection (CrashNode) and the next pumpCuts restarts it under the
+// new relay, re-requesting shares from the surviving members.
+type cutCollect struct {
+	epoch  int
+	digest [32]byte
+	msg    []byte // cutMsg the shares sign
+	needed int    // f+1, the cluster key's threshold
+	// requested marks members already asked, so topping up a collection
+	// (members committing the epoch late) never double-requests.
+	requested map[int]bool
+	// spare holds delivered-but-unverified shares; at most needed verifies
+	// are in flight at once, and spares replace shares that fail.
+	spare     []*threshsig.SigShare
+	shares    []*threshsig.SigShare // verified
+	verifying int
+	combining bool
 }
 
 // mhcCluster is one cluster: members on a private channel plus the
@@ -118,6 +123,10 @@ type mhcCluster struct {
 	tainted bool // some byz event targets this cluster
 	// nextCut is the lowest local epoch whose cut is not yet submitted.
 	nextCut int
+	// collect is the in-flight share collection for epoch nextCut (nil
+	// when no eligible relay has committed the epoch yet, or the certified
+	// cut is already submitted).
+	collect *cutCollect
 	// cuts tracks the global order as this cluster's seat commits it:
 	// total cut count and the rolling digest the relays beacon.
 	cutCount  int
@@ -133,6 +142,15 @@ type mhcDriver struct {
 	target   int
 	clusters []*mhcCluster
 	perma    map[int]bool
+	// gsession is the global-tier transport session, bound into every
+	// cut-certificate message (cross-deployment replay separation).
+	gsession uint32
+	// keys[c] is cluster c's low-threshold public key (threshold f+1):
+	// what members sign cut shares under and every seat verifies
+	// certificates against.
+	keys []*threshsig.PublicKey
+	// certs tallies the deployment's certificate work and rejections.
+	certs CutCertStats
 }
 
 func (d *mhcDriver) member(flat int) (*mhcCluster, *mhcMember) {
@@ -153,7 +171,11 @@ func (d *mhcDriver) CrashNode(i int) {
 	m.node.Crash()
 	m.latest = nil // its transports are gone with the mux epochs
 	// Relay failover: cuts the crashed node was designated to submit are
-	// taken over by the next live member in rotation.
+	// taken over by the next live member in rotation. The in-flight share
+	// collection (if any) dies with the crashed relay's duty — the
+	// taking-over relay re-collects, and members' cached shares make the
+	// re-collection cheap (no re-signing for shares already produced).
+	cl.collect = nil
 	d.pumpCuts(cl)
 }
 
@@ -201,14 +223,21 @@ func (d *mhcDriver) SetByzantine(i int, behavior string) {
 	cl.seat.SetBehavior(b)
 }
 
-// pumpCuts submits every due cluster cut in order. The designated relay
-// for local epoch e is member e mod P; the cut is handed to the seat when
-// the relay commits e, or — if the relay is down or scripted Byzantine —
-// when the next live honest member in rotation has the entry committed.
+// pumpCuts advances the cluster's cut pipeline. The designated relay for
+// local epoch e is member e mod P; when it has committed e — or, if it is
+// down or scripted Byzantine, when the next live honest member in
+// rotation has — the seat opens a share collection for the cut. The cut
+// is submitted to the global chain only once f+1 member shares have been
+// verified and combined into the cut certificate (combineCut), so cuts
+// still enter the global order strictly in local-epoch order, one
+// collection in flight per cluster.
 func (d *mhcDriver) pumpCuts(cl *mhcCluster) {
-	p := d.spec.Topology.PerCluster
-	for cl.nextCut < d.target {
+	if cl.nextCut >= d.target {
+		return
+	}
+	if cl.collect == nil {
 		e := cl.nextCut
+		p := d.spec.Topology.PerCluster
 		var src *protocol.Chain
 		for k := 0; k < p; k++ {
 			m := cl.members[(e+k)%p]
@@ -229,29 +258,177 @@ func (d *mhcDriver) pumpCuts(cl *mhcCluster) {
 		if src == nil {
 			return
 		}
-		cl.gchain.Submit(MakeCutTx(cl.idx, e, entryDigest(src.Log()[e])))
-		cl.nextCut++
+		digest := entryDigest(src.Log()[e])
+		cl.collect = &cutCollect{
+			epoch:     e,
+			digest:    digest,
+			msg:       cutMsg(d.gsession, cl.idx, e, digest),
+			needed:    d.keys[cl.idx].K,
+			requested: make(map[int]bool),
+		}
+	}
+	// New collection or top-up: members that committed the epoch since the
+	// last pass are asked for their shares now.
+	d.collectShares(cl, cl.collect)
+}
+
+// collectShares requests a cut share from every eligible member not yet
+// asked: honest, live, and holding the committed entry the cut digests.
+// Cached shares (failover re-collection) are delivered immediately;
+// otherwise the member's CPU is charged a TSSign and the share arrives
+// when the signing completes.
+func (d *mhcDriver) collectShares(cl *mhcCluster, col *cutCollect) {
+	p := d.spec.Topology.PerCluster
+	for i := 0; i < p; i++ {
+		m := cl.members[i]
+		if col.requested[i] || m.byz || m.node.Down() {
+			continue
+		}
+		if len(m.chain.Log()) <= col.epoch || entryDigest(m.chain.Log()[col.epoch]) != col.digest {
+			continue // not committed yet; a later pumpCuts tops the collection up
+		}
+		col.requested[i] = true
+		if sh, ok := m.cutShares[col.epoch]; ok {
+			d.receiveShare(cl, col, sh)
+			continue
+		}
+		d.certs.Signs++
+		d.certs.Busy += m.node.Suite.Cost.TSSign
+		m.node.CPU.Exec(m.node.Suite.Cost.TSSign, func() {
+			if m.node.Down() {
+				return // crashed mid-signing; recovery re-requests
+			}
+			sh, err := m.node.Suite.TSLow.Sign(m.node.Suite.TSLowShare, col.msg, m.node.Rand)
+			if err != nil {
+				return
+			}
+			m.cutShares[col.epoch] = sh
+			d.receiveShare(cl, col, sh)
+		})
+	}
+	d.drainShares(cl, col)
+}
+
+// receiveShare hands one member share to the seat. Shares for a
+// collection that failover has discarded are dropped (they stay in the
+// member's cache for the re-collection).
+func (d *mhcDriver) receiveShare(cl *mhcCluster, col *cutCollect, sh *threshsig.SigShare) {
+	if cl.collect != col {
+		return
+	}
+	col.spare = append(col.spare, sh)
+	d.drainShares(cl, col)
+}
+
+// drainShares keeps exactly as many share verifications in flight as the
+// certificate still needs — the seat pays TSVerifyShare per checked
+// share, so surplus shares beyond f+1 are never verified (they replace
+// failures instead).
+func (d *mhcDriver) drainShares(cl *mhcCluster, col *cutCollect) {
+	for len(col.spare) > 0 && !col.combining && len(col.shares)+col.verifying < col.needed {
+		sh := col.spare[0]
+		col.spare = col.spare[1:]
+		col.verifying++
+		d.certs.ShareVerifies++
+		d.certs.Busy += cl.seat.Suite.Cost.TSVerifyShare
+		cl.seat.CPU.Exec(cl.seat.Suite.Cost.TSVerifyShare, func() {
+			if cl.collect != col {
+				return
+			}
+			col.verifying--
+			if d.keys[cl.idx].VerifyShare(col.msg, sh) != nil {
+				// Only a corrupted share fails; honest members never
+				// produce one. A spare (if any) takes the slot.
+				d.drainShares(cl, col)
+				return
+			}
+			col.shares = append(col.shares, sh)
+			if len(col.shares) >= col.needed {
+				d.combineCut(cl, col)
+				return
+			}
+			d.drainShares(cl, col)
+		})
 	}
 }
 
-// onGlobalCommit tallies seat c's newly committed global entry and has
-// the rotating relay beacon the advanced frontier into the cluster.
+// combineCut charges the seat a TSCombine, assembles the f+1 verified
+// shares into the cut certificate, and submits the certified cut to the
+// global chain, advancing the cluster's cut pipeline.
+func (d *mhcDriver) combineCut(cl *mhcCluster, col *cutCollect) {
+	col.combining = true
+	d.certs.Combines++
+	d.certs.Busy += cl.seat.Suite.Cost.TSCombine
+	cl.seat.CPU.Exec(cl.seat.Suite.Cost.TSCombine, func() {
+		if cl.collect != col {
+			return
+		}
+		cert, err := combineCutCert(d.keys[cl.idx], col.msg, col.shares)
+		cl.collect = nil
+		if err != nil {
+			// Unreachable with verified shares; restart the collection.
+			d.pumpCuts(cl)
+			return
+		}
+		cl.nextCut = col.epoch + 1
+		cl.gchain.Submit(MakeCutTx(cl.idx, col.epoch, col.digest, cert))
+		d.pumpCuts(cl)
+	})
+}
+
+// onGlobalCommit processes seat c's newly committed global entry: every
+// transaction's cut certificate is verified (TSVerify on the seat's CPU)
+// before the cut is counted into the cross-cluster order — forged,
+// unsigned, or malformed records are rejected and never reach the cut
+// tally or the frontier beacons. The beacon for this entry is queued on
+// the same serialized CPU, so it always reflects the entry's accepted
+// cuts.
 func (d *mhcDriver) onGlobalCommit(cl *mhcCluster, g int) {
 	entry := cl.gchain.Log()[g]
 	for _, tx := range entry.Txs {
-		h := sha256.New()
-		h.Write(cl.cutDigest[:])
-		h.Write(tx)
-		h.Sum(cl.cutDigest[:0])
-		cl.cutCount++
-		if c2, e, _, ok := parseCutTx(tx); ok && c2 >= 0 && c2 < len(d.clusters) && e >= 0 && e < d.target {
-			if cl.gotCuts[c2] == nil {
-				cl.gotCuts[c2] = make(map[int]bool)
-			}
-			cl.gotCuts[c2][e] = true
+		tx := tx
+		c2, e, dig, cert, ok := parseCutTx(tx)
+		if !ok || c2 >= len(d.clusters) || e >= d.target {
+			// Malformed or out-of-range: rejected with no crypto spent.
+			d.rejectCut(cl, g)
+			continue
 		}
+		d.certs.Verifies++
+		d.certs.Busy += cl.seat.Suite.Cost.TSVerify
+		cl.seat.CPU.Exec(cl.seat.Suite.Cost.TSVerify, func() {
+			if verifyCutCert(d.keys[c2], d.gsession, c2, e, dig, cert) {
+				d.acceptCut(cl, tx, c2, e)
+			} else {
+				d.rejectCut(cl, g)
+			}
+		})
 	}
-	d.beacon(cl, g)
+	cl.seat.CPU.Exec(0, func() { d.beacon(cl, g) })
+}
+
+// acceptCut folds a certificate-verified cut into the seat's view of the
+// cross-cluster order: the rolling beacon digest, the cut count, and the
+// global-tier barrier.
+func (d *mhcDriver) acceptCut(cl *mhcCluster, tx []byte, c2, e int) {
+	h := sha256.New()
+	h.Write(cl.cutDigest[:])
+	h.Write(tx)
+	h.Sum(cl.cutDigest[:0])
+	cl.cutCount++
+	if cl.gotCuts[c2] == nil {
+		cl.gotCuts[c2] = make(map[int]bool)
+	}
+	cl.gotCuts[c2][e] = true
+}
+
+// rejectCut discards a committed global transaction that failed cut
+// authentication, counting it into the seat transport's Stats.Rejected
+// like every other verification discard.
+func (d *mhcDriver) rejectCut(cl *mhcCluster, g int) {
+	d.certs.RejectedCuts++
+	if tr := cl.seat.Mux().Lookup(uint16(g)); tr != nil {
+		tr.NoteRejected()
+	}
 }
 
 // beacon broadcasts the cluster seat's current global frontier — cut
@@ -333,20 +510,20 @@ func runClusteredChain(spec Spec) (*Report, error) {
 	if taintedClusters > fg {
 		return nil, fmt.Errorf("run: byz events taint %d clusters' uplink seats, global tier tolerates f=%d", taintedClusters, fg)
 	}
-	// Every cluster needs at least one honest member that is not scripted
-	// to stay dead: relay duty and the reference log both come from the
-	// honest live members, and a fully dead (or fully untrusted) cluster
-	// would stall the global barrier until the deadline. Reject upfront.
+	// Every cluster needs f+1 honest members not scripted to stay dead:
+	// relay duty and the reference log come from the honest live members,
+	// and a cut certificate needs f+1 shares — fewer surviving honest
+	// signers would stall the cluster's cuts (and the global barrier)
+	// until the deadline. Reject upfront.
 	for c := 0; c < M; c++ {
-		live := false
+		live := 0
 		for i := 0; i < P; i++ {
 			if flat := c*P + i; !perma[flat] && !byzN[flat] {
-				live = true
-				break
+				live++
 			}
 		}
-		if !live {
-			return nil, fmt.Errorf("run: cluster %d has no honest live member; its cuts could never be relayed", c)
+		if live <= spec.F {
+			return nil, fmt.Errorf("run: cluster %d has %d honest live members; cut certificates need f+1 = %d signers", c, live, spec.F+1)
 		}
 	}
 	target := spec.Workload.Epochs
@@ -357,6 +534,16 @@ func runClusteredChain(spec Spec) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Per-cluster suites are dealt before the global chain is configured:
+	// the cluster keys' signature length sets the certified-cut wire size
+	// the global mempool's batch policy must know.
+	clusterSuites := make([][]*crypto.Suite, M)
+	for c := 0; c < M; c++ {
+		if clusterSuites[c], err = crypto.DealCached(P, spec.F, spec.Crypto, spec.Seed+int64(c)*101); err != nil {
+			return nil, err
+		}
+	}
+	cutTxSize := cutHeaderSize + clusterSuites[0][0].TSLow.SignatureLen()
 
 	ccfg, err := chainConfig(spec)
 	if err != nil {
@@ -372,26 +559,28 @@ func runClusteredChain(spec Spec) (*Report, error) {
 	gccfg.Window = spec.Workload.Window
 	gccfg.GCLag = spec.Workload.GCLag
 	gccfg.MaxEpochs = 0 // runs until every cluster's cuts are ordered
-	gccfg.Mempool = protocol.MempoolConfig{TargetBatchBytes: cutSize, Shards: 1}
+	gccfg.Mempool = protocol.MempoolConfig{TargetBatchBytes: cutTxSize, Shards: 1}
 
-	d := &mhcDriver{spec: spec, target: target, perma: perma}
+	d := &mhcDriver{spec: spec, target: target, perma: perma, keys: make([]*threshsig.PublicKey, M)}
+	for c := 0; c < M; c++ {
+		d.keys[c] = clusterSuites[c][0].TSLow
+	}
 	ncfg := node.Config{Transport: spec.Transport, Batched: spec.Batched, Seed: spec.Seed}
 	gcfg := node.Config{Transport: spec.Transport, Batched: spec.Batched, Seed: spec.Seed ^ 0x61}
 	gcfg.Transport.Session = globalSession(spec.Transport.Session)
+	d.gsession = gcfg.Transport.Session
 
 	maxOpen := 0
 	for c := 0; c < M; c++ {
 		ch := wireless.NewChannel(sched, spec.Net)
-		suites, err := crypto.DealCached(P, spec.F, spec.Crypto, spec.Seed+int64(c)*101)
-		if err != nil {
-			return nil, err
-		}
+		suites := clusterSuites[c]
 		cl := &mhcCluster{idx: c, ch: ch, gotCuts: make([]map[int]bool, M)}
 		for i := 0; i < P; i++ {
 			n := node.NewMux(sched, ch, wireless.NodeID(i), suites[i], ncfg)
 			chain := protocol.NewChain(sched, n.CPU, n.Mux(), suites[i], P, spec.F, i,
 				n.TransportConfig().Session, n.Rand, ccfg)
-			m := &mhcMember{node: n, chain: chain, byz: byzN[c*P+i]}
+			m := &mhcMember{node: n, chain: chain, byz: byzN[c*P+i],
+				cutShares: make(map[int]*threshsig.SigShare)}
 			cl.tainted = cl.tainted || m.byz
 			cl.members = append(cl.members, m)
 		}
@@ -569,10 +758,13 @@ func (d *mhcDriver) finishClusteredChain(spec Spec, sched *sim.Scheduler, global
 	}
 
 	// Cut provenance: walk the longest untainted global order once,
-	// rebuilding the rolling beacon digests, verifying that every cut
-	// claiming an untainted cluster matches that cluster's true committed
-	// entry, and that the true cut of every untainted (cluster, epoch)
-	// appears.
+	// applying the same accept predicate the seats applied in-run — parse,
+	// range-check, verify the threshold certificate — and rebuilding the
+	// rolling beacon digests from the accepted cuts. Every accepted cut
+	// claiming an untainted cluster must match that cluster's true
+	// committed entry (a mismatch here would mean a forgery carried a
+	// valid f+1 certificate — a broken threshold guarantee), and the true
+	// cut of every untainted (cluster, epoch) must appear.
 	seen := make([]map[int]bool, M)
 	for c := range seen {
 		seen[c] = make(map[int]bool)
@@ -581,20 +773,20 @@ func (d *mhcDriver) finishClusteredChain(spec Spec, sched *sim.Scheduler, global
 	digests := make([][32]byte, 1, refSeat.cutCount+1)
 	for _, entry := range refSeat.gchain.Log() {
 		for _, tx := range entry.Txs {
+			c2, e, dig, cert, ok := parseCutTx(tx)
+			if !ok || c2 >= M || e >= d.target || !verifyCutCert(d.keys[c2], d.gsession, c2, e, dig, cert) {
+				continue // rejected at every seat; only a tainted seat submits these
+			}
 			h := sha256.New()
 			h.Write(rolling[:])
 			h.Write(tx)
 			h.Sum(rolling[:0])
 			digests = append(digests, rolling)
-			c2, e, dig, ok := parseCutTx(tx)
-			if !ok || c2 < 0 || c2 >= M || e < 0 || e >= d.target {
-				continue // foreign payload; only a tainted seat can produce one
-			}
 			if d.clusters[c2].tainted {
 				continue
 			}
 			if want := entryDigest(refMember[c2].chain.Log()[e]); dig != want {
-				return nil, fmt.Errorf("run: global order holds a forged cut for cluster %d epoch %d", c2, e)
+				return nil, fmt.Errorf("run: global order holds a forged cut with a valid certificate for cluster %d epoch %d", c2, e)
 			}
 			seen[c2][e] = true
 		}
@@ -659,9 +851,11 @@ func (d *mhcDriver) finishClusteredChain(spec Spec, sched *sim.Scheduler, global
 		cr.ThroughputBps = float64(cr.CommittedBytes) / rep.Duration.Seconds()
 	}
 
+	certs := d.certs
 	rep.Tiers = &TierReport{
 		GlobalEntries: len(refSeat.gchain.Log()),
 		OrderedCuts:   refSeat.cutCount,
+		CutCerts:      &certs,
 		GlobalLogs:    make([][]protocol.LogEntry, M),
 	}
 	var localChs []*wireless.Channel

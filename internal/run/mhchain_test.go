@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/byz"
+	"repro/internal/crypto"
 	"repro/internal/protocol"
 	"repro/internal/scenario"
 )
@@ -134,6 +135,133 @@ func TestClusteredChainByzantineMember(t *testing.T) {
 	}
 	if res.Rejected == 0 {
 		t.Error("garbage adversary ran but no rejections surfaced in Stats")
+	}
+}
+
+// TestClusteredChainForgedCutsRejected is the tentpole's acceptance
+// matrix: a Byzantine relay seat running forgecut — rewriting the cut
+// records in its own global proposals to claim an untainted cluster with
+// an attacker-chosen digest — commits zero forged cuts under both
+// engines, whether armed from the start or mid-run. Run itself re-walks
+// the committed global order and fails on any forgery carrying a valid
+// certificate, so a passing run is the zero-forged-cuts proof; the
+// assertions below check the attack actually fired (rejections counted)
+// and the untainted clusters stayed live.
+func TestClusteredChainForgedCutsRejected(t *testing.T) {
+	cases := []struct {
+		name   string
+		proto  protocol.Kind
+		target int
+		seed   int64
+		armAt  time.Duration // 0 = from the start
+	}{
+		{"acs-start", protocol.HoneyBadger, 3, 6, 0},
+		{"acs-midrun", protocol.HoneyBadger, 3, 7, 8 * time.Minute},
+		{"dumbo-start", protocol.DumboKind, 3, 8, 0},
+		{"dumbo-midrun", protocol.DumboKind, 3, 9, 8 * time.Minute},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			spec := quickMHChainSpec(tc.proto, protocol.CoinSig, tc.target, tc.seed)
+			// Flat node 15 = cluster 3, member 3; arming it also arms
+			// cluster 3's relay seat on the global tier.
+			spec.Scenario = scenario.Plan{}.Then(scenario.ByzAt(tc.armAt, 15, byz.NameForgeCut))
+			res, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The three untainted clusters' cuts must all be ordered.
+			if res.Tiers.OrderedCuts < 3*tc.target {
+				t.Fatalf("cut order holds %d cuts, want >= %d from the untainted clusters",
+					res.Tiers.OrderedCuts, 3*tc.target)
+			}
+			if res.Tiers.GlobalLogs[3] != nil {
+				t.Fatal("forging seat's global log included in the trusted set")
+			}
+			if res.Tiers.CutCerts.RejectedCuts == 0 {
+				t.Error("forgecut adversary ran but no cut was rejected")
+			}
+			if res.Rejected == 0 {
+				t.Error("rejected cuts did not surface in Report.Rejected")
+			}
+		})
+	}
+}
+
+// TestClusteredChainForgeDuringFailover combines the two hard paths: an
+// untainted cluster's designated relay crashes mid-run (share
+// re-collection by the taking-over relay) while a Byzantine seat forges
+// cuts the whole time. The recovered relay must catch up, every
+// untainted cluster's certified cuts must be ordered, and zero forged
+// cuts survive (Run fails otherwise).
+func TestClusteredChainForgeDuringFailover(t *testing.T) {
+	spec := quickMHChainSpec(protocol.HoneyBadger, protocol.CoinSig, 6, 10)
+	spec.Workload.GCLag = spec.Workload.Epochs
+	spec.Scenario = scenario.Byz(byz.NameForgeCut, 15).Then(
+		scenario.CrashAt(20*time.Minute, 0),   // cluster 0, member 0: relay for epoch 4
+		scenario.RecoverAt(80*time.Minute, 0), // back for the tail of the run
+	)
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Chain.Logs[0]); got != spec.Workload.Epochs {
+		t.Fatalf("crashed relay committed %d epochs after recovery, want %d", got, spec.Workload.Epochs)
+	}
+	if res.Tiers.OrderedCuts < 3*spec.Workload.Epochs {
+		t.Fatalf("cut order holds %d cuts, want >= %d despite crash and forgery",
+			res.Tiers.OrderedCuts, 3*spec.Workload.Epochs)
+	}
+	if res.Tiers.CutCerts.RejectedCuts == 0 {
+		t.Error("forgecut adversary ran but no cut was rejected")
+	}
+	if res.Rejected == 0 {
+		t.Error("rejected cuts did not surface in Report.Rejected")
+	}
+}
+
+// TestClusteredChainCertCostPinned pins the simulated time the cut
+// certificates charge: every threshold op the driver schedules (member
+// share signing, seat share verification, combining, per-seat
+// certificate verification) bills the crypto cost model exactly once, so
+// the charged total is a fixed linear function of the op counts. The
+// fault-free 4x4 run also pins the counts themselves: one combine per
+// cut, f+1 share verifications per cut, and every seat verifying every
+// cut.
+func TestClusteredChainCertCostPinned(t *testing.T) {
+	spec := quickMHChainSpec(protocol.HoneyBadger, protocol.CoinSig, 4, 1)
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := res.Tiers.CutCerts
+	if cc == nil {
+		t.Fatal("clustered chain report carries no cut-certificate stats")
+	}
+	const clusters, cuts = 4, 4 * 4 // M x target
+	if cc.Combines != cuts {
+		t.Errorf("combines = %d, want one per cut (%d)", cc.Combines, cuts)
+	}
+	if want := 2 * cuts; cc.ShareVerifies != want { // f+1 = 2 per certificate
+		t.Errorf("share verifies = %d, want f+1 per cut (%d)", cc.ShareVerifies, want)
+	}
+	if want := clusters * cuts; cc.Verifies != want { // every seat, every cut
+		t.Errorf("certificate verifies = %d, want %d (every seat verifies every cut)", cc.Verifies, want)
+	}
+	if cc.Signs < 2*cuts || cc.Signs > 4*cuts {
+		t.Errorf("signs = %d, want between f+1 and P per cut [%d, %d]", cc.Signs, 2*cuts, 4*cuts)
+	}
+	if cc.RejectedCuts != 0 {
+		t.Errorf("fault-free run rejected %d cuts", cc.RejectedCuts)
+	}
+	cost := crypto.CostFor(spec.Crypto.ThresholdSet)
+	want := time.Duration(cc.Signs)*cost.TSSign +
+		time.Duration(cc.ShareVerifies)*cost.TSVerifyShare +
+		time.Duration(cc.Combines)*cost.TSCombine +
+		time.Duration(cc.Verifies)*cost.TSVerify
+	if cc.Busy != want {
+		t.Errorf("charged cut-certificate time %v, want %v (op counts x cost model)", cc.Busy, want)
 	}
 }
 

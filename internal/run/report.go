@@ -107,8 +107,14 @@ type TierReport struct {
 	// GlobalEntries is the reference seat's global log length (epochs of
 	// the global chain).
 	GlobalEntries int `json:"global_entries,omitempty"`
-	// OrderedCuts counts cluster-cut records in the global total order.
+	// OrderedCuts counts certificate-verified cluster-cut records in the
+	// global total order (rejected records are excluded; see CutCerts).
 	OrderedCuts int `json:"ordered_cuts,omitempty"`
+	// CutCerts carries the Clustered × Chain cell's cut-certificate
+	// counters: threshold ops charged for signing/verifying/combining cut
+	// certificates and the committed records rejected as forged or
+	// unsigned.
+	CutCerts *CutCertStats `json:"cut_certs,omitempty"`
 	// GlobalLogs holds each untainted seat's global log, indexed by
 	// cluster (nil for tainted seats). Omitted from JSON.
 	GlobalLogs [][]protocol.LogEntry `json:"-"`

@@ -24,9 +24,9 @@ import (
 //	delay@1h+30m:0.25,10s         ... for 30m starting at t=1h
 //	byz@0s:3:equivocate           node 3 is actively Byzantine from t=0
 //
-// byz behaviors are "equivocate", "withhold", "garbage", and "flipvotes"
-// (internal/byz); Parse accepts any token and the driver validates it
-// against the byz vocabulary before the run starts.
+// byz behaviors are "equivocate", "withhold", "garbage", "flipvotes",
+// and "forgecut" (internal/byz); Parse accepts any token and the driver
+// validates it against the byz vocabulary before the run starts.
 //
 // The empty string and "fault-free" parse to the empty plan.
 func Parse(spec string) (Plan, error) {
