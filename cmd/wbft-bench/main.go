@@ -6,7 +6,8 @@
 //
 //	wbft-bench [-exp all|<name>] [-list] [-parallel N] [-filter SUBSTR]
 //	           [-seed N] [-epochs N] [-batch N] [-reps N] [-chain-epochs N]
-//	           [-json FILE] [-csv FILE] [-v]
+//	           [-json FILE] [-csv FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	           [-v]
 //
 // -list enumerates the registered experiments; an unknown -exp value
 // exits non-zero with the same list. -parallel sets the sweep worker
@@ -15,7 +16,10 @@
 // whose name ("HB-SC/batched/depth=2") contains the substring. -json and
 // -csv write the selected experiment's points as machine-readable files
 // (the BENCH_*.json trajectories; with -exp all they apply to chain).
-// -v streams per-cell progress to stderr.
+// -cpuprofile and -memprofile write pprof profiles covering the selected
+// experiments (the memory profile is a heap snapshot taken after the last
+// experiment finishes, with an up-to-date allocation record). -v streams
+// per-cell progress to stderr.
 package main
 
 import (
@@ -24,6 +28,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -32,6 +38,13 @@ import (
 )
 
 func main() {
+	// The sweeps churn short-lived simulation objects with a tiny live
+	// heap, so the default GC target (100%) collects far too eagerly.
+	// Raise it unless the operator set an explicit GOGC; determinism is
+	// unaffected (GC never changes simulation state, only wall time).
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(400)
+	}
 	exp := flag.String("exp", "all", "experiment to run (see -list)")
 	list := flag.Bool("list", false, "list registered experiments and exit")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker pool size")
@@ -43,12 +56,43 @@ func main() {
 	chainEpochs := flag.Int("chain-epochs", 10, "epochs per run of the chain-workload sweeps")
 	jsonPath := flag.String("json", "", "write the experiment's points to this JSON trajectory file")
 	csvPath := flag.String("csv", "", "write the experiment's points to this CSV file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-run snapshot) to this file")
 	verbose := flag.Bool("v", false, "stream per-cell sweep progress to stderr")
 	flag.Parse()
 
 	if *list {
 		printList(os.Stdout)
 		return
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wbft-bench: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "wbft-bench: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wbft-bench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "wbft-bench: -memprofile:", err)
+			}
+		}()
 	}
 	ctx := &bench.Context{
 		Seed:        *seed,

@@ -53,7 +53,7 @@ type Ctx struct {
 // first one.
 func (c Ctx) InjectAfter(d time.Duration, in core.Intent) {
 	t := c.T
-	c.Sched.After(d, func() { t.Inject(in) })
+	c.Sched.PostAfter(d, func() { t.Inject(in) })
 }
 
 // Interceptor binds a Behavior to a node's randomness and clock,

@@ -258,13 +258,15 @@ func (c *CBC) handleShareData(slot, w int, raw []byte) {
 		c.env.Reject()
 		return
 	}
-	msg := c.shareMessage(slot, HashValue(s.value))
+	// Verifier shares the per-message fixed work across the quorum of
+	// share checks; the virtual TSVerifyShare charge stays per share.
+	ver := c.env.Suite.TSHigh.Verifier(c.shareMessage(slot, HashValue(s.value)))
 	env := c.env
 	env.Exec(env.Suite.Cost.TSVerifyShare, func() {
 		if _, dup := s.shares[w]; dup || s.cert != nil {
 			return
 		}
-		if err := env.Suite.TSHigh.VerifyShare(msg, share); err != nil {
+		if err := ver.Verify(share); err != nil {
 			env.Reject()
 			return
 		}
@@ -421,7 +423,7 @@ func (c *CBC) handleRepairRequest(slot int, have packet.BitSet) {
 			Data:      EncodeFinish(h, cert),
 		})
 	}
-	c.env.Sched.After(delay, func() {
+	c.env.Sched.PostAfter(delay, func() {
 		if c.small {
 			c.env.T.Update(core.Intent{
 				IntentKey: core.IntentKey{Kind: c.kind, Phase: packet.PhaseInitial, Slot: uint8(slot)},

@@ -186,13 +186,16 @@ func (p *PRBC) handleShareData(slot, w int, raw []byte) {
 		p.env.Reject()
 		return
 	}
-	msg := p.doneMessage(slot, s.hash)
+	// The verifier snapshot shares the per-message fixed work (hash and
+	// Delta power) across all N share checks; virtual time still charges a
+	// full TSVerifyShare per share.
+	ver := p.env.Suite.TSLow.Verifier(p.doneMessage(slot, s.hash))
 	env := p.env
 	env.Exec(env.Suite.Cost.TSVerifyShare, func() {
 		if _, dup := s.shares[w]; dup || s.proof != nil {
 			return
 		}
-		if err := env.Suite.TSLow.VerifyShare(msg, share); err != nil {
+		if err := ver.Verify(share); err != nil {
 			env.Reject() // Byzantine share: discard
 			return
 		}

@@ -394,7 +394,7 @@ func (r *RBC) handleRepairRequest(slot int, have packet.BitSet) {
 	}
 	delay := time.Duration(float64(300*time.Millisecond) * (0.5 + r.env.Rand.Float64()))
 	value := s.value
-	r.env.Sched.After(delay, func() {
+	r.env.Sched.PostAfter(delay, func() {
 		if r.small {
 			r.env.T.Update(core.Intent{
 				IntentKey: core.IntentKey{Kind: r.kind, Phase: packet.PhaseInitial, Slot: uint8(slot)},

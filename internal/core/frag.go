@@ -88,7 +88,11 @@ func (r *reassembler) feed(frag []byte) ([]byte, bool) {
 	if len(p.chunks) < int(p.total) {
 		return nil, false
 	}
-	var out []byte
+	n := 0
+	for i := uint8(0); i < p.total; i++ {
+		n += len(p.chunks[i])
+	}
+	out := make([]byte, 0, n)
 	for i := uint8(0); i < p.total; i++ {
 		out = append(out, p.chunks[i]...)
 	}

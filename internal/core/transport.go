@@ -133,13 +133,30 @@ type Transport struct {
 
 	epoch    uint16
 	intents  map[IntentKey]Intent
-	order    []IntentKey // deterministic iteration
+	order    []IntentKey // live keys, maintained in wire (sortKeys) order
 	nacks    map[[2]uint8]packet.BitSet
 	dirty    map[IntentKey]bool // baseline: per-key pending sends
 	handlers map[packet.Kind]Handler
 
-	flushEvt *sim.Event
-	retxEvt  *sim.Event
+	// Flush-time scratch, reused across flushes. Safe because sendLogical
+	// encodes the frame body before returning (the deferred work in the CPU
+	// queue holds only the encoded bytes, never these slices).
+	secScratch   []packet.Section
+	entScratch   []packet.Entry
+	startScratch []int
+	keyScratch   []IntentKey
+
+	// flushArmed tracks whether a flush is already queued. The flush event
+	// carries no cancellation handle — doFlush guards itself with the
+	// stopped flag, so after Stop a queued slot fires as a no-op — which
+	// lets the backpressure poll loop re-arm through the scheduler's
+	// allocation-free lane path.
+	flushArmed bool
+	// flushFn is t.doFlush captured once: scheduling a method value
+	// allocates a fresh closure per call, and the backpressure poll loop
+	// re-arms it every FlushDelay while the radio queue is saturated.
+	flushFn func()
+	retxEvt *sim.Event
 	// seqSrc allocates fragment sequence numbers. Standalone transports own
 	// a private counter; transports opened through a Mux share the mux's, so
 	// one node's frames across pipelined epochs form a single seq space.
@@ -164,7 +181,7 @@ func New(sched *sim.Scheduler, cpu *sim.CPU, station *wireless.Station, auth Aut
 	if cfg.MaxQueue <= 0 {
 		cfg.MaxQueue = 3
 	}
-	return &Transport{
+	t := &Transport{
 		sched:    sched,
 		cpu:      cpu,
 		station:  station,
@@ -177,6 +194,8 @@ func New(sched *sim.Scheduler, cpu *sim.CPU, station *wireless.Station, auth Aut
 		reasm:    newReassembler(),
 		seqSrc:   new(uint32),
 	}
+	t.flushFn = t.doFlush
+	return t
 }
 
 // Register installs the handler for a component kind. Re-registration
@@ -214,10 +233,11 @@ func (t *Transport) SetEpoch(e uint16) {
 	t.dirty = make(map[IntentKey]bool)
 }
 
-// Stop cancels pending timers; the transport sends nothing further.
+// Stop cancels pending timers; the transport sends nothing further. A
+// queued flush slot is not cancellable (it has no handle); it fires as a
+// no-op under the stopped guard.
 func (t *Transport) Stop() {
 	t.stopped = true
-	t.flushEvt.Cancel()
 	t.retxEvt.Cancel()
 }
 
@@ -260,7 +280,12 @@ func (t *Transport) Inject(in Intent) {
 
 func (t *Transport) apply(in Intent) {
 	if _, ok := t.intents[in.IntentKey]; !ok {
-		t.order = append(t.order, in.IntentKey)
+		// Keep order sorted on insert so flushes walk it directly instead
+		// of copying and re-sorting the whole key set every window.
+		i := sort.Search(len(t.order), func(i int) bool { return keyLess(in.IntentKey, t.order[i]) })
+		t.order = append(t.order, IntentKey{})
+		copy(t.order[i+1:], t.order[i:])
+		t.order[i] = in.IntentKey
 	}
 	t.intents[in.IntentKey] = in
 	t.dirty[in.IntentKey] = true
@@ -313,10 +338,11 @@ func (t *Transport) SetNack(kind packet.Kind, phase packet.Phase, bits packet.Bi
 // calls within the window coalesce — this is where channel-contention
 // pressure turns into batching opportunity.
 func (t *Transport) Flush() {
-	if t.stopped || (t.flushEvt != nil && !t.flushEvt.Cancelled()) {
+	if t.stopped || t.flushArmed {
 		return
 	}
-	t.flushEvt = t.sched.After(t.cfg.FlushDelay, t.doFlush)
+	t.flushArmed = true
+	t.sched.PostAfterFixed(t.cfg.FlushDelay, t.flushFn)
 }
 
 func (t *Transport) ensureRetx() {
@@ -346,7 +372,7 @@ func (t *Transport) ensureRetx() {
 }
 
 func (t *Transport) doFlush() {
-	t.flushEvt = nil
+	t.flushArmed = false
 	if t.stopped || len(t.intents) == 0 {
 		return
 	}
@@ -354,7 +380,15 @@ func (t *Transport) doFlush() {
 	// intents keep accumulating, which *increases* the batch size — the
 	// mechanism by which contention feeds batching.
 	if t.station.QueueLen() >= t.cfg.MaxQueue {
-		t.flushEvt = t.sched.After(t.cfg.FlushDelay, t.doFlush)
+		// Dense re-polling is deliberate: skipping ticks that "provably"
+		// cannot observe a dequeue is NOT outcome-preserving, because every
+		// event the poll does or does not schedule shifts sequence numbers,
+		// and with all delays on a quantized lattice, same-timestamp ties
+		// (poll vs. transmit-completion) resolve by sequence order. The
+		// handle-free lane post makes the dense polls cost nothing but the
+		// slot itself.
+		t.flushArmed = true
+		t.sched.PostAfterFixed(t.cfg.FlushDelay, t.flushFn)
 		return
 	}
 	if t.cfg.Batched {
@@ -366,62 +400,81 @@ func (t *Transport) doFlush() {
 
 // flushBatched emits one logical frame carrying the node's entire current
 // state: every (kind, phase) becomes a section (vertical batching), and all
-// sections ride in the same frame (horizontal batching).
+// sections ride in the same frame (horizontal batching). Sections and
+// entries are built in reused scratch; entry spans are attached after the
+// walk because the entries slice may reallocate while growing.
 func (t *Transport) flushBatched() {
 	if len(t.dirty) == 0 {
 		return
 	}
-	keys := make([]IntentKey, 0, len(t.intents))
-	keys = append(keys, t.order...)
-	sortKeys(keys)
-	var sections []packet.Section
-	var cur *packet.Section
-	for _, k := range keys {
+	secs := t.secScratch[:0]
+	ents := t.entScratch[:0]
+	starts := t.startScratch[:0]
+	for _, k := range t.order {
 		in := t.intents[k]
-		if cur == nil || cur.Kind != k.Kind || cur.Phase != k.Phase {
-			sections = append(sections, packet.Section{
+		if n := len(secs); n == 0 || secs[n-1].Kind != k.Kind || secs[n-1].Phase != k.Phase {
+			secs = append(secs, packet.Section{
 				Kind:  k.Kind,
 				Phase: k.Phase,
 				Nack:  t.nacks[[2]uint8{uint8(k.Kind), uint8(k.Phase)}],
 			})
-			cur = &sections[len(sections)-1]
+			starts = append(starts, len(ents))
 		}
-		cur.Entries = append(cur.Entries, packet.Entry{
+		ents = append(ents, packet.Entry{
 			Slot: k.Slot, Sub: k.Sub, Round: k.Round, Flags: in.Flags, Data: in.Data,
 		})
 	}
-	t.dirty = make(map[IntentKey]bool)
-	t.sendLogical(sections)
+	for i := range secs {
+		end := len(ents)
+		if i+1 < len(secs) {
+			end = starts[i+1]
+		}
+		secs[i].Entries = ents[starts[i]:end]
+	}
+	t.secScratch, t.entScratch, t.startScratch = secs, ents, starts
+	clear(t.dirty)
+	t.sendLogical(secs)
 }
 
 // flushBaseline emits one logical frame per dirty intent — the unbatched
 // deployment where every instance-phase event competes for the channel
 // separately.
 func (t *Transport) flushBaseline() {
-	keys := make([]IntentKey, 0, len(t.dirty))
+	keys := t.keyScratch[:0]
 	for k := range t.dirty {
 		if _, live := t.intents[k]; live {
 			keys = append(keys, k)
 		}
 	}
 	sortKeys(keys)
-	t.dirty = make(map[IntentKey]bool)
+	t.keyScratch = keys
+	clear(t.dirty)
 	for _, k := range keys {
 		in := t.intents[k]
-		sec := packet.Section{
-			Kind:  k.Kind,
-			Phase: k.Phase,
-			Nack:  t.nacks[[2]uint8{uint8(k.Kind), uint8(k.Phase)}],
-			Entries: []packet.Entry{{
-				Slot: k.Slot, Sub: k.Sub, Round: k.Round, Flags: in.Flags, Data: in.Data,
-			}},
-		}
-		t.sendLogical([]packet.Section{sec})
+		secs := t.secScratch[:0]
+		ents := t.entScratch[:0]
+		ents = append(ents, packet.Entry{
+			Slot: k.Slot, Sub: k.Sub, Round: k.Round, Flags: in.Flags, Data: in.Data,
+		})
+		secs = append(secs, packet.Section{
+			Kind:    k.Kind,
+			Phase:   k.Phase,
+			Nack:    t.nacks[[2]uint8{uint8(k.Kind), uint8(k.Phase)}],
+			Entries: ents,
+		})
+		t.secScratch, t.entScratch = secs, ents
+		t.sendLogical(secs)
 	}
 }
 
 // sendLogical signs and fragments one logical packet. Signing is charged
-// to the node's CPU before the frame reaches the radio.
+// to the node's CPU before the frame reaches the radio. The body is
+// encoded into a pooled buffer before this returns — required so the
+// caller's section/entry scratch can be reused — and the buffer is
+// recycled once the fragments (which copy out of it) are on the air.
+// Intent data and NACK bitmaps are snapshots that are never mutated in
+// place, so encoding now and signing at the virtual completion time
+// produce the same bytes the deferred encoding did.
 func (t *Transport) sendLogical(sections []packet.Section) {
 	frame := &packet.Frame{
 		Sender:   uint16(t.station.ID()),
@@ -429,22 +482,24 @@ func (t *Transport) sendLogical(sections []packet.Section) {
 		Epoch:    t.epoch,
 		Sections: sections,
 	}
+	body, err := frame.AppendBody(packet.GetBuf())
+	if err != nil {
+		panic(fmt.Sprintf("core: frame encoding: %v", err))
+	}
 	seq := *t.seqSrc
 	*t.seqSrc++
 	t.cpu.Exec(t.auth.SignCost(), func() {
+		raw := body
+		defer func() { packet.PutBuf(raw) }()
 		if t.stopped {
 			return
-		}
-		body, err := frame.AppendBody(nil)
-		if err != nil {
-			panic(fmt.Sprintf("core: frame encoding: %v", err))
 		}
 		sig, err := t.auth.Sign(body)
 		if err != nil {
 			panic(fmt.Sprintf("core: frame signing: %v", err))
 		}
 		t.stats.SignOps++
-		raw := append(body, byte(len(sig)>>8), byte(len(sig)))
+		raw = append(raw, byte(len(sig)>>8), byte(len(sig)))
 		raw = append(raw, sig...)
 		t.stats.LogicalSent++
 		t.stats.BytesSent += uint64(len(raw))
@@ -500,21 +555,24 @@ func (t *Transport) receiveLogical(raw []byte) {
 	})
 }
 
+// keyLess is the wire ordering of intent keys: sections group by
+// (kind, phase), entries order by (slot, sub, round).
+func keyLess(a, b IntentKey) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Phase != b.Phase {
+		return a.Phase < b.Phase
+	}
+	if a.Slot != b.Slot {
+		return a.Slot < b.Slot
+	}
+	if a.Sub != b.Sub {
+		return a.Sub < b.Sub
+	}
+	return a.Round < b.Round
+}
+
 func sortKeys(keys []IntentKey) {
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.Kind != b.Kind {
-			return a.Kind < b.Kind
-		}
-		if a.Phase != b.Phase {
-			return a.Phase < b.Phase
-		}
-		if a.Slot != b.Slot {
-			return a.Slot < b.Slot
-		}
-		if a.Sub != b.Sub {
-			return a.Sub < b.Sub
-		}
-		return a.Round < b.Round
-	})
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
 }

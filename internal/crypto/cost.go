@@ -36,6 +36,21 @@ type CostModel struct {
 	TECombine     time.Duration
 }
 
+// BatchCost returns the virtual time charged for a batch of n operations
+// with the given per-operation cost. The host-side batch verification APIs
+// (threshsig.PublicKey.VerifyShares, threshcoin, threshenc, dleq.VerifyBatch)
+// amortize only *host* wall-clock work — memoized fixed points, shared
+// per-message context. The modeled STM32 has one core and verifies shares
+// serially, so a batch is charged exactly n times the per-op cost: there is
+// no virtual-time discount, and simulated latencies stay comparable with
+// the paper's per-operation measurements.
+func BatchCost(per time.Duration, n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return time.Duration(n) * per
+}
+
 // scale multiplies every field of the base model.
 func (m CostModel) scale(f float64) CostModel {
 	s := func(d time.Duration) time.Duration { return time.Duration(float64(d) * f) }

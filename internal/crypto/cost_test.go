@@ -1,0 +1,22 @@
+package crypto
+
+import "testing"
+
+// TestBatchCostChargesPerOperation pins the honest-charging contract: a
+// batch of n verifications costs exactly n single verifications in virtual
+// time — the host-side batch APIs earn no simulated-latency discount.
+func TestBatchCostChargesPerOperation(t *testing.T) {
+	per := CostFor("TS-512").TSVerifyShare
+	if got := BatchCost(per, 7); got != 7*per {
+		t.Errorf("BatchCost(per, 7) = %v, want %v", got, 7*per)
+	}
+	if got := BatchCost(per, 1); got != per {
+		t.Errorf("BatchCost(per, 1) = %v, want %v", got, per)
+	}
+	if got := BatchCost(per, 0); got != 0 {
+		t.Errorf("BatchCost(per, 0) = %v, want 0", got)
+	}
+	if got := BatchCost(per, -3); got != 0 {
+		t.Errorf("BatchCost(per, -3) = %v, want 0", got)
+	}
+}

@@ -42,11 +42,17 @@ func Prove(g *group.Group, g1, g2, a, b, x *big.Int, rand io.Reader) (*Proof, er
 }
 
 // Verify checks a proof against the claimed pairs (g1, a) and (g2, b).
+//
+// b is membership-checked through the group's verdict memo: in every use
+// here (coin and decryption shares) b is a verification key that recurs
+// across thousands of checks. a is the share value and is checked exactly
+// each time it is first seen — callers that verify the same share many
+// times (one per simulated party) dedup whole verdicts a layer up.
 func Verify(g *group.Group, g1, g2, a, b *big.Int, p *Proof) error {
 	if p == nil || p.C == nil || p.Z == nil {
 		return errors.New("dleq: nil proof")
 	}
-	if !g.IsElement(a) || !g.IsElement(b) {
+	if !g.IsElement(a) || !g.IsElementCached(b) {
 		return errors.New("dleq: claimed values not in group")
 	}
 	// Recompute commitments: t1 = g1^z * a^-c, t2 = g2^z * b^-c.
@@ -58,6 +64,37 @@ func Verify(g *group.Group, g1, g2, a, b *big.Int, p *Proof) error {
 		return errors.New("dleq: proof rejected")
 	}
 	return nil
+}
+
+// Statement is one (claimed pairs, proof) instance for VerifyBatch.
+type Statement struct {
+	G1, G2 *big.Int // bases
+	A, B   *big.Int // claimed powers: A = G1^x, B = G2^x
+	Proof  *Proof
+}
+
+// VerifyBatch checks a batch of proofs and returns one verdict per
+// statement, in order. A statement fails exactly when Verify would fail
+// it — the batch rejects everything per-statement verification rejects.
+//
+// The amortization is the shared fixed-point work (memoized membership of
+// the recurring B values, one pass over the batch); each proof's
+// commitments are still recomputed individually. A randomized-linear-
+// combination shortcut is impossible for Fiat–Shamir Chaum–Pedersen
+// proofs: the verifier must reproduce every proof's exact commitments
+// (t1, t2) to recheck its challenge hash, and a random combination of
+// several statements yields only a blended commitment that validates no
+// individual challenge. (Where the per-item check is a bare group
+// equation — e.g. subgroup membership v^Q = 1 — an RLC is unsound here
+// too: Z_p^* has small-order components outside the subgroup, which a
+// combination detects only with constant probability, and this simulator
+// requires accept/reject decisions to be exact.)
+func VerifyBatch(g *group.Group, stmts []Statement) []error {
+	errs := make([]error, len(stmts))
+	for i, st := range stmts {
+		errs[i] = Verify(g, st.G1, st.G2, st.A, st.B, st.Proof)
+	}
+	return errs
 }
 
 func challenge(g *group.Group, parts ...*big.Int) *big.Int {

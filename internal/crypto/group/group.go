@@ -20,15 +20,23 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/big"
+	"sync"
 )
 
-// Group describes a prime-order subgroup of Z_p^*.
+// Group describes a prime-order subgroup of Z_p^*. The embedded parameter
+// sets are process-wide singletons shared by every concurrently running
+// simulation, so the memo fields below are mutex-guarded. Groups must not
+// be copied by value.
 type Group struct {
 	Name string   // e.g. "SG-1024"
 	Bits int      // modulus size in bits
 	P    *big.Int // modulus (prime)
 	Q    *big.Int // subgroup order (256-bit prime)
 	G    *big.Int // generator of the order-q subgroup
+
+	mu       sync.Mutex
+	cofactor *big.Int        // (P-1)/Q, computed on first HashToGroup
+	members  map[string]bool // memoized IsElement verdicts for recurring values
 }
 
 // ElementLen returns the byte length of a serialized group element.
@@ -76,9 +84,7 @@ func (g *Group) HashToGroup(domain string, msg []byte) *big.Int {
 	x := new(big.Int).SetBytes(buf)
 	x.Mod(x, g.P)
 	// Raise to cofactor (P-1)/Q to land in the order-q subgroup.
-	cofactor := new(big.Int).Sub(g.P, big.NewInt(1))
-	cofactor.Div(cofactor, g.Q)
-	y := g.Exp(x, cofactor)
+	y := g.Exp(x, g.cofactorVal())
 	if y.Sign() == 0 || y.Cmp(big.NewInt(1)) == 0 {
 		// Degenerate with negligible probability; perturb deterministically.
 		return g.HashToGroup(domain+"#", msg)
@@ -107,6 +113,45 @@ func (g *Group) IsElement(v *big.Int) bool {
 		return false
 	}
 	return g.Exp(v, g.Q).Cmp(big.NewInt(1)) == 0
+}
+
+// IsElementCached is IsElement with a per-group verdict memo. Use it for
+// values expected to recur across many checks — verification keys, public
+// commitments — not for attacker-controlled one-shot values, which would
+// only churn the (bounded) memo. The verdict is a pure function of the
+// value, so a hit is exact.
+func (g *Group) IsElementCached(v *big.Int) bool {
+	if v == nil || v.Sign() <= 0 || v.Cmp(g.P) >= 0 {
+		return false
+	}
+	key := string(v.Bytes())
+	g.mu.Lock()
+	ok, hit := g.members[key]
+	g.mu.Unlock()
+	if hit {
+		return ok
+	}
+	ok = g.Exp(v, g.Q).Cmp(big.NewInt(1)) == 0
+	g.mu.Lock()
+	if g.members == nil {
+		g.members = make(map[string]bool)
+	} else if len(g.members) >= 4096 {
+		clear(g.members)
+	}
+	g.members[key] = ok
+	g.mu.Unlock()
+	return ok
+}
+
+// cofactorVal returns (P-1)/Q, computed once per group.
+func (g *Group) cofactorVal() *big.Int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.cofactor == nil {
+		c := new(big.Int).Sub(g.P, big.NewInt(1))
+		g.cofactor = c.Div(c, g.Q)
+	}
+	return g.cofactor
 }
 
 // ByName returns the embedded group with the given name.

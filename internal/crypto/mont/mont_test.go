@@ -1,0 +1,162 @@
+package mont
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// randOdd returns a random odd integer with exactly bits bits.
+func randOdd(rng *rand.Rand, bitLen int) *big.Int {
+	b := make([]byte, (bitLen+7)/8)
+	rng.Read(b)
+	x := new(big.Int).SetBytes(b)
+	x.SetBit(x, bitLen-1, 1)
+	x.SetBit(x, 0, 1)
+	return x
+}
+
+func randBelow(rng *rand.Rand, m *big.Int) *big.Int {
+	return new(big.Int).Rand(rng, m)
+}
+
+// TestExpMatchesBigInt cross-checks Exp against big.Int.Exp on random
+// inputs across the supported width range, including exponents much
+// longer and much shorter than the modulus.
+func TestExpMatchesBigInt(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// 4-word moduli, at and below the top of the word range.
+	for _, bitLen := range []int{200, 225, 256} {
+		m := randOdd(rng, bitLen)
+		mod := NewModulus(m)
+		if mod == nil {
+			t.Fatalf("NewModulus rejected odd %d-bit modulus", bitLen)
+		}
+		for _, ebits := range []int{1, 8, 64, bitLen, 2 * bitLen} {
+			for trial := 0; trial < 10; trial++ {
+				x := randBelow(rng, m)
+				e := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), uint(ebits)))
+				want := new(big.Int).Exp(x, e, m)
+				got := mod.Exp(x, e)
+				if got.Cmp(want) != 0 {
+					t.Fatalf("bits=%d ebits=%d: Exp(%v, %v) = %v, want %v", bitLen, ebits, x, e, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestExpEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randOdd(rng, 256)
+	mod := NewModulus(m)
+	mm1 := new(big.Int).Sub(m, big.NewInt(1))
+	big65537 := big.NewInt(65537)
+	cases := []struct{ x, e *big.Int }{
+		{big.NewInt(0), big.NewInt(0)},
+		{big.NewInt(0), big.NewInt(5)},
+		{big.NewInt(1), big.NewInt(0)},
+		{big.NewInt(1), mm1},
+		{mm1, big.NewInt(1)},
+		{mm1, big.NewInt(2)},
+		{mm1, mm1},
+		{big.NewInt(2), big65537},
+		{new(big.Int).Add(m, big.NewInt(7)), big.NewInt(3)}, // x >= m: reduced first
+		{new(big.Int).Neg(big.NewInt(3)), big.NewInt(3)},    // x < 0: reduced first
+		{new(big.Int).Set(m), big.NewInt(9)},                // x == m
+		{big.NewInt(7), new(big.Int).Neg(big.NewInt(3))},    // e < 0: big.Int fallback
+		{big.NewInt(3), new(big.Int).Lsh(mm1, 512)},         // huge exponent
+	}
+	for _, tc := range cases {
+		want := new(big.Int).Exp(tc.x, tc.e, m)
+		got := mod.Exp(tc.x, tc.e)
+		if got.Cmp(want) != 0 {
+			t.Errorf("Exp(%v, %v) = %v, want %v", tc.x, tc.e, got, want)
+		}
+	}
+}
+
+func TestNewModulusRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if NewModulus(nil) != nil {
+		t.Error("accepted nil")
+	}
+	if NewModulus(big.NewInt(0)) != nil {
+		t.Error("accepted zero")
+	}
+	if NewModulus(big.NewInt(-7)) != nil {
+		t.Error("accepted negative")
+	}
+	if NewModulus(big.NewInt(10)) != nil {
+		t.Error("accepted even")
+	}
+	if NewModulus(big.NewInt(1)) != nil {
+		t.Error("accepted one")
+	}
+	if NewModulus(randOdd(rng, 64*maxWords+1)) != nil {
+		t.Error("accepted modulus wider than maxWords")
+	}
+	if NewModulus(randOdd(rng, 320)) != nil {
+		t.Error("accepted 5-word modulus (no kernel)")
+	}
+	if NewModulus(randOdd(rng, 512)) != nil {
+		t.Error("accepted 8-word modulus (no kernel)")
+	}
+	if NewModulus(randOdd(rng, 64*maxWords)) == nil {
+		t.Error("rejected modulus at exactly maxWords")
+	}
+}
+
+// TestExpConcurrent exercises one Modulus from several goroutines under
+// the race detector: Exp must share no mutable state across calls.
+func TestExpConcurrent(t *testing.T) {
+	m := randOdd(rand.New(rand.NewSource(4)), 256)
+	mod := NewModulus(m)
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				x := randBelow(rng, m)
+				e := randBelow(rng, m)
+				want := new(big.Int).Exp(x, e, m)
+				if got := mod.Exp(x, e); got.Cmp(want) != 0 {
+					done <- errGot
+					return
+				}
+			}
+			done <- nil
+		}(int64(g))
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errGot = errMismatch{}
+
+type errMismatch struct{}
+
+func (errMismatch) Error() string { return "mont: result mismatch under concurrency" }
+
+func benchExp(b *testing.B, bitLen int, useMont bool) {
+	rng := rand.New(rand.NewSource(5))
+	m := randOdd(rng, bitLen)
+	mod := NewModulus(m)
+	x := randBelow(rng, m)
+	e := randBelow(rng, m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if useMont {
+			mod.Exp(x, e)
+		} else {
+			new(big.Int).Exp(x, e, m)
+		}
+	}
+}
+
+func BenchmarkExp256Mont(b *testing.B)   { benchExp(b, 256, true) }
+func BenchmarkExp256BigInt(b *testing.B) { benchExp(b, 256, false) }

@@ -6,10 +6,12 @@
 package shamir
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 )
 
 // Share is one party's point on the dealing polynomial: (X, f(X)).
@@ -110,6 +112,44 @@ func LagrangeCoeff(subset []Share, i int, q *big.Int) *big.Int {
 	num.Mul(num, den)
 	num.Mod(num, q)
 	return num
+}
+
+// lagCache memoizes LagrangeSet results. Interpolation subsets recur
+// constantly in a simulation (every party combines the same handful of
+// k-subsets for every coin flip and decryption), and the coefficients are
+// a pure function of (subset, q). Keyed by the exact X sequence plus q;
+// guarded because dealt keys are shared across concurrent simulations.
+var (
+	lagMu    sync.Mutex
+	lagCache = map[string][]*big.Int{}
+)
+
+// LagrangeSet returns the Lagrange basis coefficients at zero for every
+// share of the subset, mod q, memoized across calls. The returned slice
+// and its elements are shared and must not be mutated.
+func LagrangeSet(subset []Share, q *big.Int) []*big.Int {
+	key := make([]byte, 0, 4*len(subset)+len(q.Bytes()))
+	for _, s := range subset {
+		key = binary.BigEndian.AppendUint32(key, uint32(s.X))
+	}
+	key = append(key, q.Bytes()...)
+	lagMu.Lock()
+	set := lagCache[string(key)]
+	lagMu.Unlock()
+	if set != nil {
+		return set
+	}
+	set = make([]*big.Int, len(subset))
+	for i := range subset {
+		set[i] = LagrangeCoeff(subset, i, q)
+	}
+	lagMu.Lock()
+	if len(lagCache) >= 4096 {
+		clear(lagCache)
+	}
+	lagCache[string(key)] = set
+	lagMu.Unlock()
+	return set
 }
 
 // randInt samples a uniform element of [0, q).

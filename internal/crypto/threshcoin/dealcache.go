@@ -1,0 +1,47 @@
+package threshcoin
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/crypto/group"
+)
+
+// dealKey identifies one dealer invocation; the group is named (the
+// embedded parameter sets are process-wide singletons) and the seed names
+// the deterministic randomness stream, as in crypto.DealCached.
+type dealKey struct {
+	Group string
+	K, L  int
+	Seed  int64
+}
+
+type dealEntry struct {
+	once sync.Once
+	key  *Key
+	err  error
+}
+
+var (
+	dealMu    sync.Mutex
+	dealCache = map[dealKey]*dealEntry{}
+)
+
+// DealCached is Deal memoized by (group, k, l, seed): tests and benchmarks
+// that repeatedly stand up the same coin share one dealer run. Sound
+// because keys are immutable after dealing and share generation draws
+// randomness from a caller-supplied source.
+func DealCached(g *group.Group, k, l int, seed int64) (*Key, error) {
+	dk := dealKey{Group: g.Name, K: k, L: l, Seed: seed}
+	dealMu.Lock()
+	e, ok := dealCache[dk]
+	if !ok {
+		e = &dealEntry{}
+		dealCache[dk] = e
+	}
+	dealMu.Unlock()
+	e.once.Do(func() {
+		e.key, e.err = Deal(g, k, l, rand.New(rand.NewSource(seed)))
+	})
+	return e.key, e.err
+}

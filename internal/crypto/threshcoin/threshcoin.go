@@ -13,10 +13,12 @@ package threshcoin
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 
 	"repro/internal/crypto/dleq"
 	"repro/internal/crypto/group"
@@ -30,7 +32,23 @@ type PublicKey struct {
 	VKs   []*big.Int // g^{s_i}
 	K     int        // shares needed
 	L     int        // total parties
+
+	// cc is attached by Deal: memoized per-coin base elements and
+	// share-verification verdicts. Both are pure functions of public
+	// inputs, so hits are exact; keys built without Deal run the slow
+	// path. Guarded: dealt keys are shared across concurrent simulations.
+	cc *tcCache
 }
+
+type tcCache struct {
+	mu       sync.Mutex
+	bases    map[string]*big.Int // coin name -> HashToGroup base
+	verified map[[32]byte]error  // (name, share) -> verdict
+}
+
+// cacheCap bounds each memo map; overflow clears the map (a safety
+// valve — a sweep cell's working set is far smaller).
+const cacheCap = 4096
 
 // PrivateShare is party i's coin share of the master secret.
 type PrivateShare struct {
@@ -68,14 +86,39 @@ func Deal(g *group.Group, k, l int, rand io.Reader) (*Key, error) {
 		vks[i] = g.ExpG(sh.Y)
 	}
 	return &Key{
-		Public: PublicKey{Group: g, VK: g.ExpG(s), VKs: vks, K: k, L: l},
+		Public: PublicKey{
+			Group: g, VK: g.ExpG(s), VKs: vks, K: k, L: l,
+			cc: &tcCache{
+				bases:    make(map[string]*big.Int),
+				verified: make(map[[32]byte]error),
+			},
+		},
 		Shares: priv,
 	}, nil
 }
 
-// base returns the per-coin base element ĥ = HashToGroup(name).
+// base returns the per-coin base element ĥ = HashToGroup(name), memoized:
+// every party derives the same base for the same coin (one share + up to
+// l verifications + one combine per node), and the hash-to-group cofactor
+// exponentiation is the dominant cost.
 func (pk *PublicKey) base(name []byte) *big.Int {
-	return pk.Group.HashToGroup("threshcoin-base", name)
+	if pk.cc == nil {
+		return pk.Group.HashToGroup("threshcoin-base", name)
+	}
+	pk.cc.mu.Lock()
+	h := pk.cc.bases[string(name)]
+	pk.cc.mu.Unlock()
+	if h != nil {
+		return h
+	}
+	h = pk.Group.HashToGroup("threshcoin-base", name)
+	pk.cc.mu.Lock()
+	if len(pk.cc.bases) >= cacheCap {
+		clear(pk.cc.bases)
+	}
+	pk.cc.bases[string(name)] = h
+	pk.cc.mu.Unlock()
+	return h
 }
 
 // Share produces party i's share of the coin identified by name.
@@ -89,13 +132,71 @@ func (pk *PublicKey) Share(priv PrivateShare, name []byte, rand io.Reader) (*Coi
 	return &CoinShare{Index: priv.Index, Sigma: sigma, Proof: proof}, nil
 }
 
-// VerifyShare checks a coin share for the named coin.
+// VerifyShare checks a coin share for the named coin. Verdicts are
+// memoized per (name, share): every party verifies every other party's
+// share of each coin, and the verdict is a pure function of the inputs.
 func (pk *PublicKey) VerifyShare(name []byte, sh *CoinShare) error {
 	if sh == nil || sh.Index < 1 || sh.Index > pk.L {
 		return errors.New("threshcoin: bad share index")
 	}
-	h := pk.base(name)
-	return dleq.Verify(pk.Group, pk.Group.G, h, pk.VKs[sh.Index-1], sh.Sigma, sh.Proof)
+	if sh.Sigma == nil || sh.Proof == nil || sh.Proof.C == nil || sh.Proof.Z == nil {
+		return errors.New("threshcoin: missing share material")
+	}
+	if pk.cc == nil {
+		return dleq.Verify(pk.Group, pk.Group.G, pk.base(name), pk.VKs[sh.Index-1], sh.Sigma, sh.Proof)
+	}
+	key := shareKey(name, sh)
+	pk.cc.mu.Lock()
+	verdict, hit := pk.cc.verified[key]
+	pk.cc.mu.Unlock()
+	if hit {
+		return verdict
+	}
+	err := dleq.Verify(pk.Group, pk.Group.G, pk.base(name), pk.VKs[sh.Index-1], sh.Sigma, sh.Proof)
+	pk.cc.mu.Lock()
+	if len(pk.cc.verified) >= cacheCap {
+		clear(pk.cc.verified)
+	}
+	pk.cc.verified[key] = err
+	pk.cc.mu.Unlock()
+	return err
+}
+
+// VerifyShares checks a batch of shares of one coin, returning one
+// verdict per share in order. The batch amortizes the per-coin base
+// derivation and replays memoized verdicts through dleq.VerifyBatch's
+// shared fixed-point work; each proof is still checked individually and
+// exactly (see dleq.VerifyBatch for why no randomized-linear-combination
+// shortcut is sound here), so a batch rejects precisely the shares
+// per-share verification rejects.
+func (pk *PublicKey) VerifyShares(name []byte, shares []*CoinShare) []error {
+	errs := make([]error, len(shares))
+	pk.base(name) // derive (and memoize) the base once for the whole batch
+	for i, sh := range shares {
+		errs[i] = pk.VerifyShare(name, sh)
+	}
+	return errs
+}
+
+// shareKey digests a (coin name, share) pair for the verdict memo,
+// covering every byte verification reads.
+func shareKey(name []byte, sh *CoinShare) [32]byte {
+	h := sha256.New()
+	var lb [4]byte
+	binary.BigEndian.PutUint32(lb[:], uint32(len(name)))
+	h.Write(lb[:])
+	h.Write(name)
+	binary.BigEndian.PutUint32(lb[:], uint32(sh.Index))
+	h.Write(lb[:])
+	for _, v := range []*big.Int{sh.Sigma, sh.Proof.C, sh.Proof.Z} {
+		b := v.Bytes()
+		binary.BigEndian.PutUint32(lb[:], uint32(len(b)))
+		h.Write(lb[:])
+		h.Write(b)
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
 }
 
 // Combine interpolates k shares into the coin's group element and returns
@@ -116,10 +217,10 @@ func (pk *PublicKey) Combine(name []byte, shares []*CoinShare) ([32]byte, error)
 		seen[sh.Index] = true
 		pts[i] = shamir.Share{X: sh.Index}
 	}
+	lams := shamir.LagrangeSet(pts, pk.Group.Q)
 	sigma := big.NewInt(1)
 	for i, sh := range use {
-		lam := shamir.LagrangeCoeff(pts, i, pk.Group.Q)
-		sigma = pk.Group.Mul(sigma, pk.Group.Exp(sh.Sigma, lam))
+		sigma = pk.Group.Mul(sigma, pk.Group.Exp(sh.Sigma, lams[i]))
 	}
 	d := sha256.New()
 	d.Write([]byte("threshcoin-out"))

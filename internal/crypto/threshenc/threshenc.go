@@ -13,10 +13,12 @@ import (
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 
 	"repro/internal/crypto/dleq"
 	"repro/internal/crypto/group"
@@ -30,6 +32,16 @@ type PublicKey struct {
 	VKs   []*big.Int // g^{z_i}
 	K     int
 	L     int
+
+	// cc is attached by Deal: memoized decryption-share verdicts. Every
+	// party verifies every other party's share of each ciphertext, and
+	// the verdict is a pure function of public inputs, so hits are exact.
+	cc *teCache
+}
+
+type teCache struct {
+	mu       sync.Mutex
+	verified map[[32]byte]error
 }
 
 // PrivateShare is party i's decryption key share.
@@ -75,7 +87,10 @@ func Deal(g *group.Group, k, l int, rand io.Reader) (*Key, error) {
 		vks[i] = g.ExpG(sh.Y)
 	}
 	return &Key{
-		Public: PublicKey{Group: g, H: g.ExpG(z), VKs: vks, K: k, L: l},
+		Public: PublicKey{
+			Group: g, H: g.ExpG(z), VKs: vks, K: k, L: l,
+			cc: &teCache{verified: make(map[[32]byte]error)},
+		},
 		Shares: priv,
 	}, nil
 }
@@ -108,15 +123,78 @@ func (pk *PublicKey) DecryptShare(priv PrivateShare, ct *Ciphertext, rand io.Rea
 	return &DecShare{Index: priv.Index, D: d, Proof: proof}, nil
 }
 
-// VerifyShare checks a decryption share against ct.
+// VerifyShare checks a decryption share against ct. The ciphertext's
+// binding tag is always rechecked exactly (it is a cheap hash); the DLEQ
+// proof verdict — the expensive part — is memoized per (ciphertext,
+// share), which is sound because a valid tag collision-resistantly binds
+// (C1, Body), so the key below pins every input the proof check reads.
 func (pk *PublicKey) VerifyShare(ct *Ciphertext, sh *DecShare) error {
 	if sh == nil || sh.Index < 1 || sh.Index > pk.L {
 		return errors.New("threshenc: bad share index")
 	}
+	if sh.D == nil || sh.Proof == nil || sh.Proof.C == nil || sh.Proof.Z == nil {
+		return errors.New("threshenc: missing share material")
+	}
 	if err := checkCiphertext(ct); err != nil {
 		return err
 	}
-	return dleq.Verify(pk.Group, pk.Group.G, ct.C1, pk.VKs[sh.Index-1], sh.D, sh.Proof)
+	if pk.cc == nil {
+		return dleq.Verify(pk.Group, pk.Group.G, ct.C1, pk.VKs[sh.Index-1], sh.D, sh.Proof)
+	}
+	key := decShareKey(ct, sh)
+	pk.cc.mu.Lock()
+	verdict, hit := pk.cc.verified[key]
+	pk.cc.mu.Unlock()
+	if hit {
+		return verdict
+	}
+	err := dleq.Verify(pk.Group, pk.Group.G, ct.C1, pk.VKs[sh.Index-1], sh.D, sh.Proof)
+	pk.cc.mu.Lock()
+	if len(pk.cc.verified) >= 4096 {
+		clear(pk.cc.verified)
+	}
+	pk.cc.verified[key] = err
+	pk.cc.mu.Unlock()
+	return err
+}
+
+// VerifyShares checks a batch of decryption shares of one ciphertext,
+// returning one verdict per share in order. The ciphertext tag is checked
+// once for the batch; each share's proof is still checked individually
+// and exactly (see dleq.VerifyBatch), so a batch rejects precisely the
+// shares per-share verification rejects.
+func (pk *PublicKey) VerifyShares(ct *Ciphertext, shares []*DecShare) []error {
+	errs := make([]error, len(shares))
+	if err := checkCiphertext(ct); err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs
+	}
+	for i, sh := range shares {
+		errs[i] = pk.VerifyShare(ct, sh)
+	}
+	return errs
+}
+
+// decShareKey digests a (ciphertext, share) pair for the verdict memo.
+// The tag covers (C1, Body); the share fields cover everything else the
+// proof check reads.
+func decShareKey(ct *Ciphertext, sh *DecShare) [32]byte {
+	h := sha256.New()
+	h.Write(ct.Tag[:])
+	var lb [4]byte
+	binary.BigEndian.PutUint32(lb[:], uint32(sh.Index))
+	h.Write(lb[:])
+	for _, v := range []*big.Int{sh.D, sh.Proof.C, sh.Proof.Z} {
+		b := v.Bytes()
+		binary.BigEndian.PutUint32(lb[:], uint32(len(b)))
+		h.Write(lb[:])
+		h.Write(b)
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
 }
 
 // Combine recovers the plaintext from k decryption shares.
@@ -137,10 +215,10 @@ func (pk *PublicKey) Combine(ct *Ciphertext, shares []*DecShare) ([]byte, error)
 		seen[sh.Index] = true
 		pts[i] = shamir.Share{X: sh.Index}
 	}
+	lams := shamir.LagrangeSet(pts, pk.Group.Q)
 	hr := big.NewInt(1)
 	for i, sh := range use {
-		lam := shamir.LagrangeCoeff(pts, i, pk.Group.Q)
-		hr = pk.Group.Mul(hr, pk.Group.Exp(sh.D, lam))
+		hr = pk.Group.Mul(hr, pk.Group.Exp(sh.D, lams[i]))
 	}
 	out := make([]byte, len(ct.Body))
 	xorStream(kdf(hr), ct.Body, out)

@@ -9,9 +9,11 @@ import (
 	"repro/internal/crypto/group"
 )
 
-func testKey(t *testing.T, k, l int) *Key {
+func testKey(t testing.TB, k, l int) *Key {
 	t.Helper()
-	key, err := Deal(group.Default(), k, l, rand.New(rand.NewSource(21)))
+	// Shared seeded fixture: tests and benchmarks with the same geometry
+	// reuse one dealer run.
+	key, err := DealCached(group.Default(), k, l, 21)
 	if err != nil {
 		t.Fatal(err)
 	}

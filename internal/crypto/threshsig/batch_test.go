@@ -1,0 +1,189 @@
+package threshsig
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// slowKey returns a copy of the public key with the memo cache and CRT
+// accelerator detached: the historical slow path, used as the reference
+// implementation the fast paths must agree with bit for bit.
+func slowKey(pk PublicKey) *PublicKey {
+	pk.acc = nil
+	pk.cc = nil
+	return &pk
+}
+
+// badShareMatrix returns shares exercising every rejection class the
+// fault-injection (byz) tests feed the protocol: tampered value, proof
+// transplanted to another index, garbage proof, missing proof, and
+// out-of-range indices — plus the honest share they were derived from.
+func badShareMatrix(t testing.TB, key *Key, msg []byte) []*SigShare {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	honest := make([]*SigShare, key.Public.L)
+	for i := range honest {
+		sh, err := key.Public.Sign(key.Shares[i], msg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		honest[i] = sh
+	}
+	sh := honest[0]
+	return []*SigShare{
+		honest[0],
+		honest[1],
+		{Index: sh.Index, X: new(big.Int).Add(sh.X, big.NewInt(1)), C: sh.C, Z: sh.Z}, // tampered value
+		{Index: 2, X: sh.X, C: sh.C, Z: sh.Z},                                         // transplanted index
+		{Index: sh.Index, X: sh.X, C: big.NewInt(7), Z: big.NewInt(9)},                // garbage proof
+		{Index: sh.Index, X: sh.X, C: nil, Z: nil},                                    // missing proof
+		{Index: 0, X: sh.X, C: sh.C, Z: sh.Z},                                         // index underflow
+		{Index: key.Public.L + 1, X: sh.X, C: sh.C, Z: sh.Z},                          // index overflow
+		nil, // nil share
+		honest[2],
+	}
+}
+
+// TestVerifySharesMatchesPerShare pins the batch contract: for every share
+// in the adversarial matrix, VerifyShares returns accept/reject exactly as
+// the uncached per-share path does. The batch runs first so its verdicts
+// cannot be replays of the reference run.
+func TestVerifySharesMatchesPerShare(t *testing.T) {
+	key := testKey(t, 2, 4)
+	msg := []byte("batch equivalence")
+	shares := badShareMatrix(t, key, msg)
+
+	batch := key.Public.VerifyShares(msg, shares)
+	if len(batch) != len(shares) {
+		t.Fatalf("got %d verdicts for %d shares", len(batch), len(shares))
+	}
+	ref := slowKey(key.Public)
+	for i, sh := range shares {
+		want := ref.VerifyShare(msg, sh)
+		if (batch[i] == nil) != (want == nil) {
+			t.Errorf("share %d: batch verdict %v, per-share verdict %v", i, batch[i], want)
+		}
+	}
+}
+
+// TestVerifierMatchesVerifyShare pins ShareVerifier against the uncached
+// path on the same matrix, including a second message (contexts must not
+// leak across messages).
+func TestVerifierMatchesVerifyShare(t *testing.T) {
+	key := testKey(t, 2, 4)
+	for _, msg := range [][]byte{[]byte("ctx-a"), []byte("ctx-b")} {
+		shares := badShareMatrix(t, key, msg)
+		v := key.Public.Verifier(msg)
+		ref := slowKey(key.Public)
+		for i, sh := range shares {
+			got, want := v.Verify(sh), ref.VerifyShare(msg, sh)
+			if (got == nil) != (want == nil) {
+				t.Errorf("msg %q share %d: verifier %v, reference %v", msg, i, got, want)
+			}
+		}
+	}
+}
+
+// TestAccelMatchesPlainExp pins the CRT accelerator against math/big across
+// edge exponents (0, 1, e >= p-1) and base values (0, 1, p, multiples of a
+// prime factor).
+func TestAccelMatchesPlainExp(t *testing.T) {
+	fix := Fixtures()[0]
+	acc := newAccel(fix.P, fix.Q)
+	if acc == nil {
+		t.Fatal("accelerator failed to initialize on fixture primes")
+	}
+	n := new(big.Int).Mul(fix.P, fix.Q)
+	bases := []*big.Int{
+		big.NewInt(0), big.NewInt(1), big.NewInt(2),
+		new(big.Int).Set(fix.P),            // ≡ 0 mod p
+		new(big.Int).Lsh(fix.Q, 3),         // ≡ 0 mod q
+		new(big.Int).Sub(n, big.NewInt(1)), // n-1
+		new(big.Int).Rsh(n, 1),             // arbitrary large
+	}
+	exps := []*big.Int{
+		big.NewInt(0), big.NewInt(1), big.NewInt(2), big.NewInt(65537),
+		new(big.Int).Sub(fix.P, big.NewInt(1)), // p-1 exactly
+		new(big.Int).Mul(n, big.NewInt(3)),     // far beyond both p-1, q-1
+	}
+	for _, b := range bases {
+		for _, e := range exps {
+			want := new(big.Int).Exp(b, e, n)
+			if got := acc.exp(b, e); got.Cmp(want) != 0 {
+				t.Errorf("acc.exp(%v, %v) = %v, want %v", b, e, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkVerifyShare measures one full (uncached, unaccelerated)
+// share verification — the per-share cost the simulator paid before the
+// raw-speed pass.
+func BenchmarkVerifyShare(b *testing.B) {
+	key := testKey(b, 2, 4)
+	msg := []byte("bench message")
+	sh, err := key.Public.Sign(key.Shares[0], msg, rand.New(rand.NewSource(41)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref := slowKey(key.Public)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ref.VerifyShare(msg, sh); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVerifyShareAccel is BenchmarkVerifyShare with the CRT
+// accelerator but no verdict memo: the real per-verification cost on the
+// fast path.
+func BenchmarkVerifyShareAccel(b *testing.B) {
+	key := testKey(b, 2, 4)
+	msg := []byte("bench message")
+	sh, err := key.Public.Sign(key.Shares[0], msg, rand.New(rand.NewSource(41)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pk := key.Public // copy; keep acc, drop the memo so every iteration verifies
+	pk.cc = nil
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pk.VerifyShare(msg, sh); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVerifySharesBatch measures verifying all l shares of one
+// message through the batch API with a fresh memo per iteration: the
+// amortization comes from the shared message context and the CRT
+// accelerator, not from cross-iteration verdict replay.
+func BenchmarkVerifySharesBatch(b *testing.B) {
+	key := testKey(b, 2, 4)
+	msg := []byte("bench message")
+	rng := rand.New(rand.NewSource(42))
+	shares := make([]*SigShare, key.Public.L)
+	for i := range shares {
+		sh, err := key.Public.Sign(key.Shares[i], msg, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		shares[i] = sh
+	}
+	pk := key.Public // copy sharing acc; cc swapped per iteration below
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pk.cc = &pkCache{
+			msgs:     make(map[[32]byte]*msgCtx),
+			verified: make(map[[32]byte]error),
+			lag:      make(map[string]*big.Int),
+		}
+		for j, err := range pk.VerifyShares(msg, shares) {
+			if err != nil {
+				b.Fatalf("share %d rejected: %v", j, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package threshsig
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/big"
+	"sync"
+)
+
+// pkCache memoizes the deterministic intermediate values of a dealt key.
+// Keys are shared across concurrently running simulations (crypto.DealCached
+// hands the same Suite to every sweep cell), so every map is guarded.
+//
+// None of this changes observable behaviour: everything cached is a pure
+// function of (public key, inputs), so hits return exactly what a fresh
+// computation would. Virtual-time charges are made by the callers through
+// the cost model and are likewise untouched — the simulated STM32 still
+// pays full price per operation; only the host machine skips repeat work.
+type pkCache struct {
+	mu sync.Mutex
+	// delta = L!, gcdA/gcdB = Bezout coefficients of (e, 4*delta^2):
+	// fixed per key, computed on first use.
+	delta      *big.Int
+	gcdA, gcdB *big.Int
+	// msgs: per-message context (x = H(msg), x4d = x^{4*delta}) shared by
+	// Sign, VerifyShare, Combine, and Verify. One message is touched by
+	// every party of the simulation, so the hit rate is ~(parties-1)/parties.
+	msgs map[[32]byte]*msgCtx
+	// verified: share-verification verdicts keyed by (msg, share). Each
+	// share is verified by every other party; the verdict is a pure
+	// function of the share bytes, so replaying it is exact.
+	verified map[[32]byte]error
+	// lag: integer Lagrange coefficients keyed by (subset, index).
+	lag map[string]*big.Int
+}
+
+// msgCtx is the per-message exponentiation context.
+type msgCtx struct {
+	x   *big.Int // H(msg) in Z_N
+	x4d *big.Int // x^{4*delta} — the share-proof base
+}
+
+// cacheCap bounds each memo map; on overflow the map is cleared (the
+// working set of a sweep cell is tiny compared to this, so eviction is a
+// safety valve, not a tuning knob).
+const cacheCap = 4096
+
+// exp computes base^e mod N through the CRT accelerator when the key was
+// produced by Deal; hand-built keys fall back to plain modexp. Negative
+// exponents always take the slow path (none of the hot call sites use
+// them).
+func (pk *PublicKey) exp(base, e *big.Int) *big.Int {
+	if pk.acc != nil && e.Sign() >= 0 {
+		return pk.acc.exp(base, e)
+	}
+	return new(big.Int).Exp(base, e, pk.N)
+}
+
+// deltaL returns L! (cached when the key carries a cache).
+func (pk *PublicKey) deltaL() *big.Int {
+	if pk.cc == nil {
+		return delta(pk.L)
+	}
+	pk.cc.mu.Lock()
+	defer pk.cc.mu.Unlock()
+	if pk.cc.delta == nil {
+		pk.cc.delta = delta(pk.L)
+	}
+	return pk.cc.delta
+}
+
+// ctxFor returns the per-message context, computing and caching it on
+// first use. Safe under concurrent misses: both goroutines compute the
+// same pure values and one result wins.
+func (pk *PublicKey) ctxFor(msg []byte) *msgCtx {
+	d := pk.deltaL()
+	if pk.cc == nil {
+		x := hashToModulus(pk.N, pk.Salt, msg)
+		return &msgCtx{x: x, x4d: pk.exp(x, new(big.Int).Lsh(d, 2))}
+	}
+	key := sha256.Sum256(msg)
+	pk.cc.mu.Lock()
+	ctx := pk.cc.msgs[key]
+	pk.cc.mu.Unlock()
+	if ctx != nil {
+		return ctx
+	}
+	x := hashToModulus(pk.N, pk.Salt, msg)
+	ctx = &msgCtx{x: x, x4d: pk.exp(x, new(big.Int).Lsh(d, 2))}
+	pk.cc.mu.Lock()
+	if prior := pk.cc.msgs[key]; prior != nil {
+		ctx = prior
+	} else {
+		if len(pk.cc.msgs) >= cacheCap {
+			clear(pk.cc.msgs)
+		}
+		pk.cc.msgs[key] = ctx
+	}
+	pk.cc.mu.Unlock()
+	return ctx
+}
+
+// combineExponents returns the cached Bezout pair (a, b) with
+// a*e + b*4*delta^2 = 1, or ok=false if e and 4*delta^2 are not coprime.
+func (pk *PublicKey) combineExponents() (a, b *big.Int, ok bool) {
+	if pk.cc != nil {
+		pk.cc.mu.Lock()
+		a, b = pk.cc.gcdA, pk.cc.gcdB
+		pk.cc.mu.Unlock()
+		if a != nil {
+			return a, b, true
+		}
+	}
+	d := pk.deltaL()
+	fourD2 := new(big.Int).Mul(d, d)
+	fourD2.Lsh(fourD2, 2)
+	x, y := new(big.Int), new(big.Int)
+	if new(big.Int).GCD(x, y, pk.E, fourD2).Cmp(one) != 0 {
+		return nil, nil, false
+	}
+	if pk.cc != nil {
+		pk.cc.mu.Lock()
+		if pk.cc.gcdA == nil {
+			pk.cc.gcdA, pk.cc.gcdB = x, y
+		} else {
+			x, y = pk.cc.gcdA, pk.cc.gcdB
+		}
+		pk.cc.mu.Unlock()
+	}
+	return x, y, true
+}
+
+// shareKey digests a (message, share) pair for the verdict memo. The key
+// covers every byte the verifier reads, so two shares collide only if
+// they would verify identically anyway.
+func shareKey(msgDigest [32]byte, sh *SigShare) [32]byte {
+	h := sha256.New()
+	h.Write(msgDigest[:])
+	var ib [4]byte
+	binary.BigEndian.PutUint32(ib[:], uint32(sh.Index))
+	h.Write(ib[:])
+	writeLenPrefixed(h, sh.X.Bytes())
+	writeLenPrefixed(h, sh.C.Bytes())
+	writeLenPrefixed(h, sh.Z.Bytes())
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+func writeLenPrefixed(h interface{ Write([]byte) (int, error) }, b []byte) {
+	var lb [4]byte
+	binary.BigEndian.PutUint32(lb[:], uint32(len(b)))
+	h.Write(lb[:])
+	h.Write(b)
+}
+
+// lagrangeFor returns the cached integer Lagrange coefficient for index i
+// over the given subset (delta-scaled, per Shoup). The subset is keyed by
+// its exact index sequence, so distinct share orderings cache separately
+// — correctness never depends on canonicalization.
+func (pk *PublicKey) lagrangeFor(subset []*SigShare, i int, d *big.Int) *big.Int {
+	if pk.cc == nil {
+		return integerLagrange(subset, i, d)
+	}
+	key := make([]byte, 0, 2*len(subset)+2)
+	for _, sh := range subset {
+		key = binary.BigEndian.AppendUint16(key, uint16(sh.Index))
+	}
+	key = binary.BigEndian.AppendUint16(key, uint16(i))
+	pk.cc.mu.Lock()
+	lam := pk.cc.lag[string(key)]
+	pk.cc.mu.Unlock()
+	if lam != nil {
+		return lam
+	}
+	lam = integerLagrange(subset, i, d)
+	pk.cc.mu.Lock()
+	if len(pk.cc.lag) >= cacheCap {
+		clear(pk.cc.lag)
+	}
+	pk.cc.lag[string(key)] = lam
+	pk.cc.mu.Unlock()
+	return lam
+}
+
+// ShareVerifier amortizes share verification for one message: the
+// per-message context (H(msg) and the proof base x^{4*delta}) is computed
+// once, and verdicts are shared with every other verifier of the same
+// shares through the key's dedup memo. Use it when verifying several
+// shares of the same message — cut-certificate collection, the DONE and
+// FINISH phases, coin assembly.
+type ShareVerifier struct {
+	pk     *PublicKey
+	ctx    *msgCtx
+	digest [32]byte
+}
+
+// Verifier returns a ShareVerifier for msg.
+func (pk *PublicKey) Verifier(msg []byte) *ShareVerifier {
+	return &ShareVerifier{pk: pk, ctx: pk.ctxFor(msg), digest: sha256.Sum256(msg)}
+}
+
+// Verify checks one share. Equivalent to PublicKey.VerifyShare — same
+// verdicts on the same inputs, bit for bit.
+func (v *ShareVerifier) Verify(sh *SigShare) error {
+	if err := checkShareShape(v.pk, sh); err != nil {
+		return err
+	}
+	return v.pk.verifyShareWith(v.ctx, v.digest, sh)
+}
+
+// VerifyShares checks a batch of shares of one message and returns one
+// verdict per share, in order. The batch amortizes the message context
+// across the shares and replays memoized verdicts; each share's proof is
+// still checked individually and exactly, so a batch rejects precisely
+// the shares per-share verification rejects.
+//
+// No randomized-linear-combination shortcut is possible here: the shares
+// carry Fiat–Shamir Chaum–Pedersen proofs, whose verification must
+// recompute each proof's commitments (t1, t2) exactly to recheck the
+// challenge hash — an RLC over several proofs yields only a combined
+// commitment, which verifies no individual hash. The honest amortization
+// is the shared base work above.
+func (pk *PublicKey) VerifyShares(msg []byte, shares []*SigShare) []error {
+	v := pk.Verifier(msg)
+	errs := make([]error, len(shares))
+	for i, sh := range shares {
+		errs[i] = v.Verify(sh)
+	}
+	return errs
+}

@@ -1,0 +1,52 @@
+package threshsig
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// dealKey identifies one dealer invocation over the embedded fixtures. The
+// seed names the deterministic randomness stream, exactly as in the
+// suite-level crypto.DealCached: different seeds must never share keys.
+type dealKey struct {
+	Name string
+	K, L int
+	Seed int64
+}
+
+type dealEntry struct {
+	once sync.Once
+	key  *Key
+	err  error
+}
+
+var (
+	dealMu    sync.Mutex
+	dealCache = map[dealKey]*dealEntry{}
+)
+
+// DealCached is Deal over the named embedded fixture, memoized by
+// (name, k, l, seed). The first caller runs the dealer over
+// rand.New(rand.NewSource(seed)); later callers — tests, benchmarks,
+// concurrent sweep cells — share the same *Key. Sharing is sound because
+// keys are immutable after dealing and every signing call draws randomness
+// from a caller-supplied source.
+func DealCached(name string, k, l int, seed int64) (*Key, error) {
+	dk := dealKey{Name: name, K: k, L: l, Seed: seed}
+	dealMu.Lock()
+	e, ok := dealCache[dk]
+	if !ok {
+		e = &dealEntry{}
+		dealCache[dk] = e
+	}
+	dealMu.Unlock()
+	e.once.Do(func() {
+		fix, err := FixtureByName(name)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.key, e.err = Deal(fix.Name, fix.P, fix.Q, k, l, rand.New(rand.NewSource(seed)))
+	})
+	return e.key, e.err
+}

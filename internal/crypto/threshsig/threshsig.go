@@ -43,6 +43,13 @@ type PublicKey struct {
 	// so without a salt a signature on a fixed message — and therefore a
 	// common coin derived from it — would repeat across runs.
 	Salt [16]byte
+
+	// acc and cc are attached by Deal: the CRT exponentiation accelerator
+	// (the dealer knows the fixture primes) and the memo cache for
+	// deterministic intermediate values. Both are bit-exact fast paths;
+	// keys built by hand without Deal simply run the slow path.
+	acc *accel
+	cc  *pkCache
 }
 
 // PrivateShare is party i's signing share.
@@ -128,7 +135,15 @@ func Deal(name string, p, q *big.Int, k, l int, rand io.Reader) (*Key, error) {
 		return nil, fmt.Errorf("threshsig: sampling salt: %w", err)
 	}
 	return &Key{
-		Public: PublicKey{Name: name, N: n, E: e, V: v, VKs: vks, K: k, L: l, Salt: salt},
+		Public: PublicKey{
+			Name: name, N: n, E: e, V: v, VKs: vks, K: k, L: l, Salt: salt,
+			acc: newAccel(p, q),
+			cc: &pkCache{
+				msgs:     make(map[[32]byte]*msgCtx),
+				verified: make(map[[32]byte]error),
+				lag:      make(map[string]*big.Int),
+			},
+		},
 		Shares: shares,
 	}, nil
 }
@@ -168,17 +183,17 @@ func hashToModulus(n *big.Int, salt [16]byte, msg []byte) *big.Int {
 
 // Sign produces party i's signature share on msg, with a validity proof.
 func (pk *PublicKey) Sign(share PrivateShare, msg []byte, rand io.Reader) (*SigShare, error) {
-	x := hashToModulus(pk.N, pk.Salt, msg)
-	d := delta(pk.L)
+	ctx := pk.ctxFor(msg)
+	d := pk.deltaL()
 	// exponent 2*delta*s_i
 	exp := new(big.Int).Lsh(d, 1)
 	exp.Mul(exp, share.S)
-	xi := new(big.Int).Exp(x, exp, pk.N)
+	xi := pk.exp(ctx.x, exp)
 
 	// Proof of log equality: log_{x4d}(xi^2) == log_v(v_i), exponent s_i.
 	// x4d = x^{4*delta}.
-	x4d := new(big.Int).Exp(x, new(big.Int).Lsh(d, 2), pk.N)
-	xi2 := new(big.Int).Exp(xi, two, pk.N)
+	x4d := ctx.x4d
+	xi2 := pk.exp(xi, two)
 	vi := pk.VKs[share.Index-1]
 
 	// Random w of |N| + 2*256 bits.
@@ -187,8 +202,8 @@ func (pk *PublicKey) Sign(share PrivateShare, msg []byte, rand io.Reader) (*SigS
 	if err != nil {
 		return nil, err
 	}
-	t1 := new(big.Int).Exp(x4d, w, pk.N)
-	t2 := new(big.Int).Exp(pk.V, w, pk.N)
+	t1 := pk.exp(x4d, w)
+	t2 := pk.exp(pk.V, w)
 	c := proofChallenge(pk, x4d, xi2, vi, t1, t2)
 	// z = w + c*s_i over the integers.
 	z := new(big.Int).Mul(c, share.S)
@@ -198,28 +213,70 @@ func (pk *PublicKey) Sign(share PrivateShare, msg []byte, rand io.Reader) (*SigS
 
 // VerifyShare checks a signature share against msg.
 func (pk *PublicKey) VerifyShare(msg []byte, sh *SigShare) error {
+	if err := checkShareShape(pk, sh); err != nil {
+		return err
+	}
+	return pk.verifyShareWith(pk.ctxFor(msg), sha256.Sum256(msg), sh)
+}
+
+// checkShareShape performs the cheap structural checks shared by the
+// single and batch verification paths.
+func checkShareShape(pk *PublicKey, sh *SigShare) error {
 	if sh == nil || sh.Index < 1 || sh.Index > pk.L {
 		return errors.New("threshsig: bad share index")
 	}
 	if sh.X == nil || sh.X.Sign() <= 0 || sh.X.Cmp(pk.N) >= 0 {
 		return errors.New("threshsig: share value out of range")
 	}
-	x := hashToModulus(pk.N, pk.Salt, msg)
-	d := delta(pk.L)
-	x4d := new(big.Int).Exp(x, new(big.Int).Lsh(d, 2), pk.N)
-	xi2 := new(big.Int).Exp(sh.X, two, pk.N)
+	if sh.C == nil || sh.Z == nil {
+		return errors.New("threshsig: missing share proof")
+	}
+	return nil
+}
+
+// verifyShareWith checks a structurally sound share against the message
+// context, consulting the dedup memo first: in a simulation every share
+// is verified by each of the other parties, and the verdict is a pure
+// function of (msg, share), so a replayed verdict is exact.
+func (pk *PublicKey) verifyShareWith(ctx *msgCtx, msgDigest [32]byte, sh *SigShare) error {
+	var key [32]byte
+	if pk.cc != nil {
+		key = shareKey(msgDigest, sh)
+		pk.cc.mu.Lock()
+		verdict, hit := pk.cc.verified[key]
+		pk.cc.mu.Unlock()
+		if hit {
+			return verdict
+		}
+	}
+	err := pk.verifyShareFull(ctx, sh)
+	if pk.cc != nil {
+		pk.cc.mu.Lock()
+		if len(pk.cc.verified) >= cacheCap {
+			clear(pk.cc.verified)
+		}
+		pk.cc.verified[key] = err
+		pk.cc.mu.Unlock()
+	}
+	return err
+}
+
+// verifyShareFull recomputes the share's Chaum–Pedersen proof.
+func (pk *PublicKey) verifyShareFull(ctx *msgCtx, sh *SigShare) error {
+	x4d := ctx.x4d
+	xi2 := pk.exp(sh.X, two)
 	vi := pk.VKs[sh.Index-1]
 	// Recompute commitments: t1 = x4d^z * xi2^{-c}, t2 = v^z * vi^{-c}.
-	t1 := new(big.Int).Exp(x4d, sh.Z, pk.N)
-	inv := new(big.Int).Exp(xi2, sh.C, pk.N)
+	t1 := pk.exp(x4d, sh.Z)
+	inv := pk.exp(xi2, sh.C)
 	inv.ModInverse(inv, pk.N)
 	if inv.Sign() == 0 {
 		return errors.New("threshsig: degenerate share")
 	}
 	t1.Mul(t1, inv)
 	t1.Mod(t1, pk.N)
-	t2 := new(big.Int).Exp(pk.V, sh.Z, pk.N)
-	inv2 := new(big.Int).Exp(vi, sh.C, pk.N)
+	t2 := pk.exp(pk.V, sh.Z)
+	inv2 := pk.exp(vi, sh.C)
 	inv2.ModInverse(inv2, pk.N)
 	if inv2.Sign() == 0 {
 		return errors.New("threshsig: degenerate verification key")
@@ -248,20 +305,20 @@ func (pk *PublicKey) Combine(msg []byte, shares []*SigShare) (*Signature, error)
 		}
 		seen[sh.Index] = true
 	}
-	x := hashToModulus(pk.N, pk.Salt, msg)
-	d := delta(pk.L)
+	x := pk.ctxFor(msg).x
+	d := pk.deltaL()
 
 	// w = prod x_i^{2 * lambda_i} where lambda_i are integer Lagrange
 	// coefficients scaled by delta: lambda_i = delta * prod_{j!=i} j'/(j'-i').
 	w := big.NewInt(1)
 	for _, sh := range use {
-		lam := integerLagrange(use, sh.Index, d)
+		lam := pk.lagrangeFor(use, sh.Index, d)
 		exp := new(big.Int).Lsh(lam, 1) // 2 * lambda
 		neg := exp.Sign() < 0
 		if neg {
 			exp.Neg(exp)
 		}
-		t := new(big.Int).Exp(sh.X, exp, pk.N)
+		t := pk.exp(sh.X, exp)
 		if neg {
 			t.ModInverse(t, pk.N)
 			if t.Sign() == 0 {
@@ -274,14 +331,11 @@ func (pk *PublicKey) Combine(msg []byte, shares []*SigShare) (*Signature, error)
 	// w^e = x^{4*delta^2}; since gcd(e, 4*delta^2) = 1 (e prime > l),
 	// extended Euclid gives a, b with a*e + b*4*delta^2 = 1 and
 	// sigma = w^b * x^a satisfies sigma^e = x.
-	fourD2 := new(big.Int).Mul(d, d)
-	fourD2.Lsh(fourD2, 2)
-	a, b := new(big.Int), new(big.Int)
-	g := new(big.Int).GCD(a, b, pk.E, fourD2)
-	if g.Cmp(one) != 0 {
+	a, b, ok := pk.combineExponents()
+	if !ok {
 		return nil, errors.New("threshsig: exponent not coprime to 4*delta^2")
 	}
-	sigma := mulPow(pk.N, x, a, w, b)
+	sigma := pk.mulPow(x, a, w, b)
 	sig := &Signature{S: sigma}
 	if err := pk.Verify(msg, sig); err != nil {
 		return nil, fmt.Errorf("threshsig: combination failed (bad share among inputs): %w", err)
@@ -294,8 +348,8 @@ func (pk *PublicKey) Verify(msg []byte, sig *Signature) error {
 	if sig == nil || sig.S == nil || sig.S.Sign() <= 0 || sig.S.Cmp(pk.N) >= 0 {
 		return errors.New("threshsig: malformed signature")
 	}
-	x := hashToModulus(pk.N, pk.Salt, msg)
-	got := new(big.Int).Exp(sig.S, pk.E, pk.N)
+	x := pk.ctxFor(msg).x
+	got := pk.exp(sig.S, pk.E)
 	if got.Cmp(x) != 0 {
 		return errors.New("threshsig: verification failed")
 	}
@@ -328,20 +382,20 @@ func integerLagrange(subset []*SigShare, i int, d *big.Int) *big.Int {
 	return out
 }
 
-// mulPow computes x^a * w^b mod n handling negative exponents.
-func mulPow(n, x, a, w, b *big.Int) *big.Int {
+// mulPow computes x^a * w^b mod N handling negative exponents.
+func (pk *PublicKey) mulPow(x, a, w, b *big.Int) *big.Int {
 	f := func(base, exp *big.Int) *big.Int {
 		if exp.Sign() >= 0 {
-			return new(big.Int).Exp(base, exp, n)
+			return pk.exp(base, exp)
 		}
 		e := new(big.Int).Neg(exp)
-		t := new(big.Int).Exp(base, e, n)
-		t.ModInverse(t, n)
+		t := pk.exp(base, e)
+		t.ModInverse(t, pk.N)
 		return t
 	}
 	out := f(x, a)
 	out.Mul(out, f(w, b))
-	out.Mod(out, n)
+	out.Mod(out, pk.N)
 	return out
 }
 

@@ -6,10 +6,11 @@ import (
 	"testing"
 )
 
-func testKey(t *testing.T, k, l int) *Key {
+func testKey(t testing.TB, k, l int) *Key {
 	t.Helper()
-	fix := Fixtures()[0] // TS-512: fastest
-	key, err := Deal(fix.Name, fix.P, fix.Q, k, l, rand.New(rand.NewSource(7)))
+	// Shared seeded fixture: every test and benchmark with the same
+	// geometry reuses one dealer run (TS-512: fastest).
+	key, err := DealCached("TS-512", k, l, 7)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,34 @@
+package packet
+
+import "sync"
+
+// bufPool recycles frame-encode buffers. The steady state of a simulation
+// encodes one logical frame per flush per node — hundreds of thousands of
+// short-lived buffers whose size distribution is stable, which is exactly
+// the sync.Pool sweet spot. Buffers are boxed behind a pointer so Put does
+// not allocate a slice header per call.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 2048)
+		return &b
+	},
+}
+
+// GetBuf returns an empty encode buffer from the pool. Pass it to
+// Frame.AppendBody (or use it as any append target) and hand it back with
+// PutBuf when the encoded bytes are no longer referenced.
+func GetBuf() []byte {
+	return (*bufPool.Get().(*[]byte))[:0]
+}
+
+// PutBuf recycles an encode buffer. The caller must not retain any alias
+// of b afterwards: the next GetBuf may hand the same backing array to an
+// unrelated encoder. Decode is safe in this regard — it copies every field
+// out of the raw buffer (see TestDecodeDoesNotAliasPooledBuffer).
+func PutBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}

@@ -1,0 +1,143 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func randomFrame(rng *rand.Rand) *Frame {
+	f := &Frame{
+		Sender:  uint16(rng.Intn(16)),
+		Session: rng.Uint32(),
+		Epoch:   uint16(rng.Intn(100)),
+	}
+	for s := 0; s < 1+rng.Intn(4); s++ {
+		sec := Section{
+			Kind:  Kind(1 + rng.Intn(7)),
+			Phase: Phase(1 + rng.Intn(13)),
+		}
+		if rng.Intn(2) == 0 {
+			sec.Nack = NewBitSet(1 + rng.Intn(16))
+			for i := 0; i < 3; i++ {
+				sec.Nack.Set(rng.Intn(len(sec.Nack) * 8))
+			}
+		}
+		for e := 0; e < rng.Intn(5); e++ {
+			data := make([]byte, rng.Intn(64))
+			rng.Read(data)
+			sec.Entries = append(sec.Entries, Entry{
+				Slot:  uint8(rng.Intn(8)),
+				Sub:   uint8(rng.Intn(8)),
+				Round: uint16(rng.Intn(32)),
+				Flags: uint8(rng.Intn(256)),
+				Data:  data,
+			})
+		}
+		f.Sections = append(f.Sections, sec)
+	}
+	sig := make([]byte, 56)
+	rng.Read(sig)
+	f.Sig = sig
+	return f
+}
+
+// TestDecodeDoesNotAliasPooledBuffer is the pooling-safety property test:
+// a frame decoded out of a pooled buffer must survive the buffer being
+// recycled and scribbled over by an unrelated encoder. If Decode ever
+// returned a view into the raw bytes instead of a copy, this corrupts the
+// decoded frame and the test fails (and -race flags the overlap when the
+// scribbler runs concurrently, as in TestPooledBuffersConcurrent).
+func TestDecodeDoesNotAliasPooledBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		f := randomFrame(rng)
+		buf := GetBuf()
+		body, err := f.AppendBody(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := append(body, byte(len(f.Sig)>>8), byte(len(f.Sig)))
+		raw = append(raw, f.Sig...)
+		want := append([]byte(nil), raw...)
+
+		got, _, err := Decode(raw)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		// Recycle the buffer, then scribble over the backing array the way
+		// the next pool user would.
+		PutBuf(raw)
+		next := GetBuf()
+		next = append(next, bytes.Repeat([]byte{0xA5}, cap(next))...)
+
+		reenc, err := got.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(reenc, want) {
+			t.Fatalf("iteration %d: decoded frame changed after its buffer was recycled", i)
+		}
+		PutBuf(next)
+	}
+}
+
+// TestPooledBuffersConcurrent hammers the get/encode/decode/put cycle from
+// several goroutines. Run under -race: any retained alias between a
+// recycled buffer and a live decoded frame shows up as a data race.
+func TestPooledBuffersConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for i := 0; i < 200; i++ {
+				f := randomFrame(rng)
+				buf := GetBuf()
+				body, err := f.AppendBody(buf)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				raw := append(body, byte(len(f.Sig)>>8), byte(len(f.Sig)))
+				raw = append(raw, f.Sig...)
+				got, _, err := Decode(raw)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				PutBuf(raw)
+				// Keep using the decoded frame after the buffer went back.
+				if _, err := got.Encode(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkFrameEncodeDecode measures one pooled encode + decode cycle of
+// a representative batched frame.
+func BenchmarkFrameEncodeDecode(b *testing.B) {
+	f := sampleFrame()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := GetBuf()
+		body, err := f.AppendBody(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw := append(body, byte(len(f.Sig)>>8), byte(len(f.Sig)))
+		raw = append(raw, f.Sig...)
+		if _, _, err := Decode(raw); err != nil {
+			b.Fatal(err)
+		}
+		PutBuf(raw)
+	}
+}

@@ -174,7 +174,7 @@ const abaRepairGrace = 8 * time.Second
 func (a *ACS) onABADecide(slot int, v bool) {
 	a.decisions[slot] = v
 	if v && !a.delivered[slot] {
-		a.env.Sched.After(abaRepairGrace, func() {
+		a.env.Sched.PostAfter(abaRepairGrace, func() {
 			if !a.delivered[slot] {
 				a.rbc.RequestRepair(slot)
 			}

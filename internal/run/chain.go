@@ -155,9 +155,9 @@ func runChain(spec Spec) (*Report, error) {
 				c.Submit(tx)
 			}
 		}
-		sched.After(spec.Workload.TxInterval, inject)
+		sched.PostAfter(spec.Workload.TxInterval, inject)
 	}
-	sched.After(100*time.Millisecond, inject)
+	sched.PostAfter(100*time.Millisecond, inject)
 	for _, c := range chains {
 		c.Start()
 	}

@@ -59,25 +59,25 @@ func Start(sched *sim.Scheduler, plan Plan, seed int64, life Lifecycle) *Engine 
 		ev := ev
 		switch ev.Kind {
 		case KindCrash:
-			sched.At(ev.At, func() {
+			sched.Post(ev.At, func() {
 				if e.life != nil {
 					e.life.CrashNode(ev.Node)
 				}
 			})
 		case KindRecover:
-			sched.At(ev.At, func() {
+			sched.Post(ev.At, func() {
 				if e.life != nil {
 					e.life.RecoverNode(ev.Node)
 				}
 			})
 		case KindByz:
-			sched.At(ev.At, func() {
+			sched.Post(ev.At, func() {
 				if bl, ok := e.life.(ByzLifecycle); ok {
 					bl.SetByzantine(ev.Node, ev.Behavior)
 				}
 			})
 		case KindPartition:
-			sched.At(ev.At, func() {
+			sched.Post(ev.At, func() {
 				e.group = make(map[int]int)
 				for g, ids := range ev.Groups {
 					for _, nd := range ids {
@@ -86,14 +86,14 @@ func Start(sched *sim.Scheduler, plan Plan, seed int64, life Lifecycle) *Engine 
 				}
 			})
 		case KindHeal:
-			sched.At(ev.At, func() { e.group = nil })
+			sched.Post(ev.At, func() { e.group = nil })
 		case KindLoss, KindJam:
-			sched.At(ev.At, func() {
+			sched.Post(ev.At, func() {
 				e.lossProb = ev.Prob
 				e.lossGen++
 				gen := e.lossGen
 				if ev.Duration > 0 {
-					sched.At(ev.At+ev.Duration, func() {
+					sched.Post(ev.At+ev.Duration, func() {
 						if e.lossGen == gen {
 							e.lossProb = 0
 						}
@@ -101,12 +101,12 @@ func Start(sched *sim.Scheduler, plan Plan, seed int64, life Lifecycle) *Engine 
 				}
 			})
 		case KindDelay:
-			sched.At(ev.At, func() {
+			sched.Post(ev.At, func() {
 				e.delayProb, e.delayMax = ev.Prob, ev.Max
 				e.delayGen++
 				gen := e.delayGen
 				if ev.Duration > 0 {
-					sched.At(ev.At+ev.Duration, func() {
+					sched.Post(ev.At+ev.Duration, func() {
 						if e.delayGen == gen {
 							e.delayProb, e.delayMax = 0, 0
 						}

@@ -23,8 +23,9 @@ func NewCPU(s *Scheduler) *CPU {
 
 // Exec schedules fn to run after cost of serialized compute time. Zero-cost
 // jobs still run asynchronously (on the next scheduler step) to keep event
-// ordering uniform.
-func (c *CPU) Exec(cost time.Duration, fn func()) *Event {
+// ordering uniform. The completion rides the scheduler's allocation-free
+// queue slot; CPU jobs cannot be cancelled once submitted.
+func (c *CPU) Exec(cost time.Duration, fn func()) {
 	if cost < 0 {
 		cost = 0
 	}
@@ -36,10 +37,7 @@ func (c *CPU) Exec(cost time.Duration, fn func()) *Event {
 	c.busyUntil = done
 	c.busyTotal += cost
 	c.queued++
-	return c.sched.At(done, func() {
-		c.queued--
-		fn()
-	})
+	c.sched.postCPU(done, fn, c)
 }
 
 // Busy reports whether the CPU has outstanding work at the current time.

@@ -6,25 +6,43 @@
 package sim
 
 import (
-	"container/heap"
 	"math/rand"
 	"time"
 )
 
-// Event is a scheduled callback. It can be cancelled before it fires.
+// Event is the cancellation handle for a callback scheduled with At or
+// After. Most events are never cancelled; schedule those with Post or
+// PostAfter instead, which skip the handle allocation entirely — the
+// queue slot itself carries the callback.
 type Event struct {
 	at        time.Duration
-	seq       uint64
 	fn        func()
+	s         *Scheduler
 	cancelled bool
-	index     int // heap index, -1 once popped
+	// popped marks that the event's queue slot has been consumed (fired,
+	// skipped, or compacted away), so a late Cancel must not perturb the
+	// scheduler's cancelled-event accounting.
+	popped bool
+	// laned marks that the slot lives in a FIFO lane rather than the heap,
+	// so Cancel charges the right counter (lanes are never heap-compacted).
+	laned bool
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (e *Event) Cancel() {
-	if e != nil {
-		e.cancelled = true
+	if e == nil || e.cancelled {
+		return
+	}
+	e.cancelled = true
+	e.fn = nil // release the closure; it can never run
+	if !e.popped {
+		if e.laned {
+			e.s.nCancelledLane++
+		} else {
+			e.s.nCancelled++
+			e.s.maybeCompact()
+		}
 	}
 }
 
@@ -36,37 +54,18 @@ func (e *Event) Cancelled() bool { return e == nil || e.cancelled }
 // At returns the virtual time at which the event is scheduled to fire.
 func (e *Event) At() time.Duration { return e.at }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// item is one queue slot. The queue stores items by value in a packed
+// 4-ary heap: no per-event heap node, no container/heap interface calls,
+// and — for the Post/PostAfter and CPU.Exec fast paths, which carry the
+// callback inline — no per-event allocation at all. Cancellable events
+// (At/After) carry an *Event handle instead and are skipped lazily at pop
+// time.
+type item struct {
+	at  time.Duration
+	seq uint64
+	fn  func() // inline callback; nil when e carries it
+	e   *Event // cancellation handle; nil on the fast path
+	cpu *CPU   // when set, a CPU completion: decrement cpu.queued at fire
 }
 
 // Scheduler is a single-threaded discrete-event scheduler. It is not safe
@@ -74,14 +73,41 @@ func (h *eventHeap) Pop() any {
 // protocol instances) runs inside one Scheduler. Concurrency across
 // simulations (e.g. parameter sweeps) is achieved by running independent
 // Schedulers in separate goroutines.
+//
+// Pop order is the strict total order (at, seq) — seq is unique — so the
+// firing sequence is independent of the heap's internal layout and
+// identical to the previous container/heap implementation.
 type Scheduler struct {
-	now     time.Duration
-	seq     uint64
-	events  eventHeap
-	rng     *rand.Rand
-	stopped bool
-	fired   uint64
+	now        time.Duration
+	seq        uint64
+	heap       []item
+	nCancelled int // cancelled-but-unpopped heap events still occupying slots
+	rng        *rand.Rand
+	stopped    bool
+	fired      uint64
+
+	// lanes are FIFO fast paths for recurring fixed relative delays
+	// (AfterFixed): a polling interval re-armed millions of times would
+	// otherwise dominate heap traffic. For one fixed d, at = now + d and
+	// seq are both monotone in scheduling order, so append order IS
+	// (at, seq) pop order — O(1) insert and pop, no sifting.
+	lanes          []lane
+	laneN          int // live + cancelled slots across all lanes
+	nCancelledLane int // cancelled-but-unpopped lane slots
 }
+
+// lane is one fixed-delay FIFO: slots between head and len(items) are
+// queued in firing order. The backing array is reset (not reallocated)
+// whenever the lane empties.
+type lane struct {
+	d     time.Duration
+	items []item
+	head  int
+}
+
+// maxLanes bounds the per-pop lane scan. Delays beyond the cap fall back
+// to the heap, which is always correct.
+const maxLanes = 4
 
 // New returns a Scheduler whose random source is seeded with seed.
 // Identical seeds produce identical simulations.
@@ -98,9 +124,16 @@ func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 // Fired returns the total number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
-// Pending returns the number of events waiting in the queue (including
-// cancelled events that have not yet been discarded).
-func (s *Scheduler) Pending() int { return len(s.events) }
+// Pending returns the number of events still eligible to fire. Cancelled
+// events that have not yet been discarded from the queue are excluded.
+func (s *Scheduler) Pending() int {
+	return len(s.heap) + s.laneN - s.nCancelled - s.nCancelledLane
+}
+
+// Cancelled returns the number of cancelled events still occupying queue
+// slots (they are discarded lazily at pop time, or in bulk when they come
+// to dominate the queue).
+func (s *Scheduler) Cancelled() int { return s.nCancelled + s.nCancelledLane }
 
 // After schedules fn to run d from now. Negative d is treated as zero.
 func (s *Scheduler) After(d time.Duration, fn func()) *Event {
@@ -110,29 +143,198 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Event {
 	return s.At(s.now+d, fn)
 }
 
-// At schedules fn at absolute virtual time t. Times in the past are clamped
-// to now.
+// At schedules fn at absolute virtual time t and returns a cancellation
+// handle. Times in the past are clamped to now. Callers that never cancel
+// should prefer Post, which does not allocate a handle.
 func (s *Scheduler) At(t time.Duration, fn func()) *Event {
 	if t < s.now {
 		t = s.now
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn}
+	e := &Event{at: t, fn: fn, s: s}
+	s.push(item{at: t, seq: s.seq, e: e})
 	s.seq++
-	heap.Push(&s.events, e)
 	return e
+}
+
+// Post schedules fn at absolute virtual time t with no cancellation
+// handle. It is the allocation-free fast path for fire-and-forget events
+// (deliveries, CPU completions, injection loops): the callback rides in
+// the queue slot itself. Times in the past are clamped to now.
+func (s *Scheduler) Post(t time.Duration, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.push(item{at: t, seq: s.seq, fn: fn})
+	s.seq++
+}
+
+// PostAfter schedules fn to run d from now with no cancellation handle.
+// Negative d is treated as zero.
+func (s *Scheduler) PostAfter(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.Post(s.now+d, fn)
+}
+
+// AfterFixed is After for a delay that recurs with the same value many
+// times over a run — an aggregation window or polling interval re-armed on
+// every firing. Slots go to a per-delay FIFO lane with O(1) insert and pop
+// instead of the heap; firing order is identical to After (the strict
+// (time, seq) order), because for one fixed delay both the target time and
+// the sequence number are monotone in scheduling order. The first few
+// distinct delays get lanes; later ones silently fall back to After.
+func (s *Scheduler) AfterFixed(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	l := s.laneFor(d)
+	if l == nil {
+		return s.At(s.now+d, fn)
+	}
+	t := s.now + d
+	e := &Event{at: t, fn: fn, s: s, laned: true}
+	l.items = append(l.items, item{at: t, seq: s.seq, e: e})
+	s.seq++
+	s.laneN++
+	return e
+}
+
+// PostAfterFixed is AfterFixed without a cancellation handle: the
+// callback rides in the lane slot itself, so a poll re-armed millions of
+// times allocates nothing at all. Use it for recurring fixed delays whose
+// callbacks guard themselves (a stopped flag, a generation check) instead
+// of cancelling the event.
+func (s *Scheduler) PostAfterFixed(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	l := s.laneFor(d)
+	if l == nil {
+		s.Post(s.now+d, fn)
+		return
+	}
+	l.items = append(l.items, item{at: s.now + d, seq: s.seq, fn: fn})
+	s.seq++
+	s.laneN++
+}
+
+// laneFor returns the lane dedicated to delay d, creating it if the cap
+// allows, or nil when d must use the heap.
+func (s *Scheduler) laneFor(d time.Duration) *lane {
+	for i := range s.lanes {
+		if s.lanes[i].d == d {
+			return &s.lanes[i]
+		}
+	}
+	if len(s.lanes) >= maxLanes {
+		return nil
+	}
+	s.lanes = append(s.lanes, lane{d: d})
+	return &s.lanes[len(s.lanes)-1]
+}
+
+// minLane returns the index of the lane whose head slot fires earliest,
+// or -1 when every lane is empty.
+func (s *Scheduler) minLane() int {
+	best := -1
+	for i := range s.lanes {
+		l := &s.lanes[i]
+		if l.head >= len(l.items) {
+			continue
+		}
+		if best < 0 || less(&l.items[l.head], &s.lanes[best].items[s.lanes[best].head]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// peekAny returns the earliest queued slot across the heap and all lanes
+// (which may be cancelled), or nil when nothing is queued.
+func (s *Scheduler) peekAny() *item {
+	li := s.minLane()
+	if li < 0 {
+		if len(s.heap) == 0 {
+			return nil
+		}
+		return &s.heap[0]
+	}
+	lh := &s.lanes[li].items[s.lanes[li].head]
+	if len(s.heap) == 0 || less(lh, &s.heap[0]) {
+		return lh
+	}
+	return &s.heap[0]
+}
+
+// popAny removes and returns the earliest slot across the heap and all
+// lanes. The caller guarantees at least one slot is queued.
+func (s *Scheduler) popAny() item {
+	li := s.minLane()
+	if li >= 0 {
+		l := &s.lanes[li]
+		lh := &l.items[l.head]
+		if len(s.heap) == 0 || less(lh, &s.heap[0]) {
+			it := *lh
+			*lh = item{} // release the handle for GC
+			l.head++
+			switch {
+			case l.head == len(l.items):
+				l.items = l.items[:0] // reuse the backing array
+				l.head = 0
+			case l.head > 64 && l.head*2 >= len(l.items):
+				// A lane shared by many pollers never fully drains, so
+				// also reclaim the consumed prefix once it dominates:
+				// slide the live tail to the front (amortized O(1) — each
+				// slot moves at most once per lifetime).
+				n := copy(l.items, l.items[l.head:])
+				tail := l.items[n:]
+				for i := range tail {
+					tail[i] = item{}
+				}
+				l.items = l.items[:n]
+				l.head = 0
+			}
+			s.laneN--
+			return it
+		}
+	}
+	return s.popMin()
+}
+
+// postCPU enqueues a CPU completion: fn runs at t, immediately after the
+// owning CPU's queue accounting is decremented. t is never in the past
+// (CPU completion times are >= now by construction).
+func (s *Scheduler) postCPU(t time.Duration, fn func(), c *CPU) {
+	s.push(item{at: t, seq: s.seq, fn: fn, cpu: c})
+	s.seq++
 }
 
 // Step executes the next event, advancing the clock. It returns false when
 // the queue is empty or the scheduler has been stopped.
 func (s *Scheduler) Step() bool {
-	for len(s.events) > 0 && !s.stopped {
-		e := heap.Pop(&s.events).(*Event)
-		if e.cancelled {
-			continue
+	for len(s.heap)+s.laneN > 0 && !s.stopped {
+		it := s.popAny()
+		fn := it.fn
+		if it.e != nil {
+			e := it.e
+			e.popped = true
+			if e.cancelled {
+				if e.laned {
+					s.nCancelledLane--
+				} else {
+					s.nCancelled--
+				}
+				continue
+			}
+			fn = e.fn
 		}
-		s.now = e.at
+		s.now = it.at
 		s.fired++
-		e.fn()
+		if it.cpu != nil {
+			it.cpu.queued--
+		}
+		fn()
 		return true
 	}
 	return false
@@ -147,14 +349,22 @@ func (s *Scheduler) Run() {
 // RunUntil executes events with timestamps <= t, then sets the clock to t.
 // Events scheduled exactly at t do fire.
 func (s *Scheduler) RunUntil(t time.Duration) {
-	for len(s.events) > 0 && !s.stopped {
-		// Peek.
-		next := s.events[0]
-		if next.cancelled {
-			heap.Pop(&s.events)
+	for !s.stopped {
+		head := s.peekAny()
+		if head == nil {
+			break
+		}
+		if head.e != nil && head.e.cancelled {
+			it := s.popAny()
+			it.e.popped = true
+			if it.e.laned {
+				s.nCancelledLane--
+			} else {
+				s.nCancelled--
+			}
 			continue
 		}
-		if next.at > t {
+		if head.at > t {
 			break
 		}
 		s.Step()
@@ -173,3 +383,101 @@ func (s *Scheduler) Stop() { s.stopped = true }
 
 // Stopped reports whether Stop has been called.
 func (s *Scheduler) Stopped() bool { return s.stopped }
+
+// less orders queue slots by (at, seq) — the firing order.
+func less(a, b *item) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts it into the 4-ary heap, sifting up with hole movement (each
+// level costs one copy, not one swap).
+func (s *Scheduler) push(it item) {
+	s.heap = append(s.heap, item{})
+	h := s.heap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if less(&h[p], &it) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = it
+}
+
+// popMin removes and returns the earliest slot. The caller guarantees the
+// heap is non-empty.
+func (s *Scheduler) popMin() item {
+	h := s.heap
+	min := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = item{} // release closures/handles for GC
+	s.heap = h[:n]
+	if n > 1 {
+		s.siftDown(0)
+	}
+	return min
+}
+
+// siftDown restores the heap property below slot i. A 4-ary layout halves
+// tree depth versus binary; the extra comparisons per level stay in one
+// cache line of packed items.
+func (s *Scheduler) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	it := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if less(&h[j], &h[m]) {
+				m = j
+			}
+		}
+		if less(&it, &h[m]) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = it
+}
+
+// maybeCompact discards cancelled slots in bulk once they dominate the
+// queue, so workloads that cancel far more events than they fire (e.g.
+// per-message retransmission timers) keep the heap — and every sift —
+// proportional to the live event count.
+func (s *Scheduler) maybeCompact() {
+	if s.nCancelled <= 64 || s.nCancelled*2 <= len(s.heap) {
+		return
+	}
+	live := s.heap[:0]
+	for _, it := range s.heap {
+		if it.e != nil && it.e.cancelled {
+			it.e.popped = true
+			continue
+		}
+		live = append(live, it)
+	}
+	tail := s.heap[len(live):]
+	for i := range tail {
+		tail[i] = item{}
+	}
+	s.heap = live
+	s.nCancelled = 0
+	for i := (len(live) - 2) >> 2; i >= 0; i-- {
+		s.siftDown(i)
+	}
+}

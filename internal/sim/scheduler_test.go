@@ -231,3 +231,280 @@ func TestEventNilSafety(t *testing.T) {
 		t.Error("cancelled event not reported cancelled")
 	}
 }
+
+func TestSchedulerPendingExcludesCancelled(t *testing.T) {
+	s := New(1)
+	var evts []*Event
+	for i := 0; i < 10; i++ {
+		evts = append(evts, s.After(time.Duration(i+1)*time.Second, func() {}))
+	}
+	if s.Pending() != 10 || s.Cancelled() != 0 {
+		t.Fatalf("Pending=%d Cancelled=%d, want 10/0", s.Pending(), s.Cancelled())
+	}
+	for _, e := range evts[:4] {
+		e.Cancel()
+	}
+	if s.Pending() != 6 {
+		t.Errorf("Pending = %d after 4 cancels, want 6", s.Pending())
+	}
+	if s.Cancelled() != 4 {
+		t.Errorf("Cancelled = %d, want 4", s.Cancelled())
+	}
+	evts[0].Cancel() // double-cancel must not double-count
+	if s.Cancelled() != 4 {
+		t.Errorf("Cancelled = %d after double-cancel, want 4", s.Cancelled())
+	}
+	s.Run()
+	if s.Pending() != 0 || s.Cancelled() != 0 {
+		t.Errorf("after drain: Pending=%d Cancelled=%d, want 0/0", s.Pending(), s.Cancelled())
+	}
+	if s.Fired() != 6 {
+		t.Errorf("Fired = %d, want 6", s.Fired())
+	}
+	// Cancelling an already-fired event must not disturb the accounting.
+	evts[9].Cancel()
+	if s.Cancelled() != 0 {
+		t.Errorf("Cancelled = %d after post-fire cancel, want 0", s.Cancelled())
+	}
+}
+
+func TestSchedulerCompaction(t *testing.T) {
+	s := New(1)
+	fired := 0
+	// Interleave survivors among a large majority of cancelled events so
+	// compaction triggers (cancelled > half the queue) mid-stream.
+	var doomed []*Event
+	for i := 0; i < 1000; i++ {
+		d := time.Duration(i+1) * time.Millisecond
+		if i%10 == 0 {
+			s.After(d, func() { fired++ })
+		} else {
+			doomed = append(doomed, s.After(d, func() { t.Error("cancelled event fired") }))
+		}
+	}
+	for _, e := range doomed {
+		e.Cancel()
+	}
+	if got := s.Pending(); got != 100 {
+		t.Fatalf("Pending = %d after mass cancel, want 100", got)
+	}
+	// Compaction must have discarded the cancelled slots in bulk.
+	if s.Cancelled()*2 > s.Pending()+s.Cancelled() {
+		t.Errorf("compaction did not run: %d cancelled slots remain", s.Cancelled())
+	}
+	s.Run()
+	if fired != 100 {
+		t.Errorf("fired = %d survivors, want 100", fired)
+	}
+	if s.Now() != 991*time.Millisecond {
+		t.Errorf("Now() = %v, want 991ms (last survivor)", s.Now())
+	}
+}
+
+func TestSchedulerPostOrdering(t *testing.T) {
+	// Post/PostAfter events interleave with At/After events in strict
+	// (time, submission) order.
+	s := New(1)
+	var got []int
+	s.Post(2*time.Second, func() { got = append(got, 2) })
+	s.After(time.Second, func() { got = append(got, 1) })
+	s.PostAfter(time.Second, func() { got = append(got, 11) })
+	s.At(2*time.Second, func() { got = append(got, 22) })
+	s.PostAfter(-time.Second, func() { got = append(got, 0) })
+	s.Run()
+	want := []int{0, 1, 11, 2, 22}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func BenchmarkSchedulerChurn(b *testing.B) {
+	// The bench-grid hot path: a rolling horizon of scheduled events, a
+	// fraction of which are cancelled before they fire (retransmission
+	// timers), the rest firing in time order.
+	s := New(1)
+	var timer *Event
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := time.Duration(s.Rand().Intn(1000)) * time.Microsecond
+		s.PostAfter(d, func() {})
+		if i%4 == 0 {
+			timer.Cancel()
+			timer = s.After(d+time.Millisecond, func() { timer = nil })
+		}
+		s.Step()
+	}
+	s.Run()
+}
+
+// TestLaneOrderingMatchesHeap schedules the same mix of delays through
+// the lane paths (AfterFixed/PostAfterFixed) and through the heap
+// (After/Post) and requires identical firing order: lanes are a data
+// structure change, never an ordering change. Same-timestamp ties must
+// resolve by scheduling order (seq) across the lane/heap boundary.
+func TestLaneOrderingMatchesHeap(t *testing.T) {
+	type sched struct {
+		d    time.Duration
+		lane bool
+	}
+	// Interleave two recurring delays with heap events, including exact
+	// timestamp collisions (1ms lane vs 1ms heap).
+	plan := []sched{
+		{1 * time.Millisecond, true},
+		{1 * time.Millisecond, false},
+		{2 * time.Millisecond, true},
+		{1 * time.Millisecond, true},
+		{2 * time.Millisecond, false},
+		{0, true},
+		{0, false},
+		{3 * time.Millisecond, true}, // third distinct lane delay
+	}
+	run := func(useLanes bool) []int {
+		s := New(1)
+		var got []int
+		for i, p := range plan {
+			i := i
+			fn := func() { got = append(got, i) }
+			if p.lane && useLanes {
+				if i%2 == 0 {
+					s.AfterFixed(p.d, fn)
+				} else {
+					s.PostAfterFixed(p.d, fn)
+				}
+			} else {
+				if i%2 == 0 {
+					s.After(p.d, fn)
+				} else {
+					s.PostAfter(p.d, fn)
+				}
+			}
+		}
+		s.Run()
+		return got
+	}
+	want := run(false)
+	got := run(true)
+	if len(got) != len(plan) {
+		t.Fatalf("fired %d of %d events", len(got), len(plan))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing order diverged at %d: lanes %v, heap %v", i, got, want)
+		}
+	}
+}
+
+// TestLaneRecurringFIFO re-arms a fixed delay from its own callback many
+// times — the transport's poll pattern — and checks the virtual clock
+// advances exactly one delay per firing.
+func TestLaneRecurringFIFO(t *testing.T) {
+	s := New(1)
+	const d = 5 * time.Millisecond
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if want := time.Duration(n) * d; s.Now() != want {
+			t.Fatalf("firing %d at %v, want %v", n, s.Now(), want)
+		}
+		if n < 1000 {
+			s.PostAfterFixed(d, tick)
+		}
+	}
+	s.PostAfterFixed(d, tick)
+	s.Run()
+	if n != 1000 {
+		t.Fatalf("fired %d times, want 1000", n)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d after drain", s.Pending())
+	}
+}
+
+// TestLaneCancelAccounting cancels a laned event and checks it neither
+// fires nor lingers in Pending, matching heap-event cancel semantics.
+func TestLaneCancelAccounting(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.AfterFixed(time.Millisecond, func() { fired = true })
+	s.AfterFixed(time.Millisecond, func() {})
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("Pending() = %d, want 2", got)
+	}
+	e.Cancel()
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending() after cancel = %d, want 1", got)
+	}
+	if got := s.Cancelled(); got != 1 {
+		t.Fatalf("Cancelled() = %d, want 1", got)
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled laned event fired")
+	}
+	if got := s.Cancelled(); got != 0 {
+		t.Fatalf("Cancelled() after run = %d, want 0", got)
+	}
+	// Cancelling after the pop must not corrupt the accounting.
+	e.Cancel()
+	if got := s.Cancelled(); got != 0 {
+		t.Fatalf("Cancelled() after late cancel = %d, want 0", got)
+	}
+}
+
+// TestLaneOverflowFallsBack schedules more distinct fixed delays than
+// there are lanes; the excess must still fire, in correct order.
+func TestLaneOverflowFallsBack(t *testing.T) {
+	s := New(1)
+	var got []time.Duration
+	for i := maxLanes + 2; i >= 1; i-- {
+		d := time.Duration(i) * time.Millisecond
+		s.PostAfterFixed(d, func() { got = append(got, s.Now()) })
+	}
+	s.Run()
+	if len(got) != maxLanes+2 {
+		t.Fatalf("fired %d events, want %d", len(got), maxLanes+2)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+// TestLaneSharedByManyPollers has many independent pollers share one
+// delay, so the lane never fully drains and must reclaim its consumed
+// prefix instead of growing without bound.
+func TestLaneSharedByManyPollers(t *testing.T) {
+	s := New(1)
+	const pollers, rounds = 16, 2000
+	total := 0
+	for p := 0; p < pollers; p++ {
+		n := 0
+		var tick func()
+		tick = func() {
+			total++
+			if n++; n < rounds {
+				s.PostAfterFixed(time.Millisecond, tick)
+			}
+		}
+		s.PostAfterFixed(time.Millisecond, tick)
+	}
+	s.Run()
+	if total != pollers*rounds {
+		t.Fatalf("fired %d, want %d", total, pollers*rounds)
+	}
+	// The compaction threshold (head > 64) plus slack for the live tail
+	// bounds the backing array far below the pollers*rounds slots the lane
+	// consumed over its lifetime.
+	for i := range s.lanes {
+		if cap(s.lanes[i].items) > 1024 {
+			t.Fatalf("lane %d backing array grew to %d slots for %d pollers", i, cap(s.lanes[i].items), pollers)
+		}
+	}
+}

@@ -57,6 +57,10 @@ type Channel struct {
 	arbEvt   *sim.Event
 	hook     DeliveryHook
 	stats    Stats
+	// contention-round scratch, reused across arbitrations; never retained
+	// past the arbitrate call that fills it
+	pending []*station
+	winners []*station
 }
 
 // NewChannel creates a channel with the given configuration. It panics on
@@ -149,14 +153,17 @@ func (c *Channel) kick() {
 }
 
 // contenders returns stations with pending frames, in deterministic order.
+// The returned slice is scratch owned by the channel, valid only until the
+// next contention round.
 func (c *Channel) contenders() []*station {
-	var out []*station
+	out := c.pending[:0]
 	for _, id := range c.order {
 		st := c.stations[id]
 		if len(st.queue) > 0 {
 			out = append(out, st)
 		}
 	}
+	c.pending = out
 	return out
 }
 
@@ -174,7 +181,7 @@ func (c *Channel) arbitrate() {
 	}
 	rng := c.sched.Rand()
 	minSlot := -1
-	var winners []*station
+	winners := c.winners[:0]
 	for _, st := range pending {
 		slot := rng.Intn(st.cw)
 		switch {
@@ -186,6 +193,7 @@ func (c *Channel) arbitrate() {
 			winners = append(winners, st)
 		}
 	}
+	c.winners = winners
 	start := c.sched.Now() + c.cfg.DIFS + time.Duration(minSlot)*c.cfg.SlotTime
 	if len(winners) == 1 {
 		c.beginTx(winners[0], start)
@@ -200,7 +208,7 @@ func (c *Channel) beginTx(st *station, start time.Duration) {
 	end := start + c.cfg.Airtime(len(frame))
 	c.busyTill = end
 	st.txUntil = end
-	c.sched.At(end, func() {
+	c.sched.Post(end, func() {
 		// The queue may have been Reset (node crash) while this frame was
 		// on the air; frames queued since then belong to a new generation
 		// and must not be popped by this stale completion.
@@ -232,7 +240,7 @@ func (c *Channel) beginCollision(winners []*station, start time.Duration) {
 			st.cw *= 2
 		}
 	}
-	c.sched.At(end, func() {
+	c.sched.Post(end, func() {
 		c.stats.Collisions++
 		c.stats.AirTime += maxAir
 		c.kick()
@@ -267,7 +275,7 @@ func (c *Channel) deliver(from *station, frame []byte, start, end time.Duration)
 		}
 		c.stats.Frames++
 		recv, fromID := st.recv, from.id
-		c.sched.At(end+extra, func() {
+		c.sched.Post(end+extra, func() {
 			recv.ReceiveFrame(fromID, frame)
 		})
 	}
