@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	wbft [-protocol honeybadger|beat|dumbo] [-coin LC|SC|CP] [-baseline]
+//	wbft [-protocol honeybadger|beat|dumbo|alea] [-coin LC|SC|CP] [-baseline]
 //	     [-topology single|clustered] [-workload oneshot|chain]
 //	     [-epochs N] [-seed N] [-loss P] [-heavy] [-json FILE]
 //	     [-crash 3] [-scenario SPEC]
@@ -65,7 +65,7 @@ func main() {
 
 	fs := flag.NewFlagSet("wbft", flag.ExitOnError)
 	var (
-		proto    = fs.String("protocol", "honeybadger", "honeybadger | beat | dumbo")
+		proto    = fs.String("protocol", "honeybadger", engineList())
 		coin     = fs.String("coin", "SC", "LC (local) | SC (threshold sig) | CP (coin flipping)")
 		baseline = fs.Bool("baseline", false, "disable ConsensusBatcher (per-instance packets)")
 		topology = fs.String("topology", "single", "single (one channel) | clustered (two-tier, per-cluster channels)")
@@ -176,16 +176,27 @@ func buildScenario(spec, crash string) scenario.Plan {
 	return plan
 }
 
+// checkKind resolves -protocol against the engine registry, so newly
+// registered engines are accepted (and listed on error) with no CLI
+// changes.
 func checkKind(proto string) protocol.Kind {
 	kind := protocol.Kind(proto)
-	switch kind {
-	case protocol.HoneyBadger, protocol.BEAT, protocol.DumboKind:
+	if _, ok := protocol.Lookup(kind); ok {
 		return kind
-	default:
-		fmt.Fprintf(os.Stderr, "wbft: unknown protocol %q\n", proto)
-		os.Exit(2)
-		return ""
 	}
+	fmt.Fprintf(os.Stderr, "wbft: unknown protocol %q (engines: %s)\n", proto, engineList())
+	os.Exit(2)
+	return ""
+}
+
+// engineList renders the registry's kinds for flag help and errors.
+func engineList() string {
+	kinds := protocol.Kinds()
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = string(k)
+	}
+	return strings.Join(names, " | ")
 }
 
 // printReport renders the Report: the flat counters plus whichever

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/byz"
+	"repro/internal/protocol"
 	"repro/internal/scenario"
 )
 
@@ -76,6 +77,30 @@ func TestDocsFreshnessScenarioDSL(t *testing.T) {
 		for _, b := range byz.Names() {
 			if !strings.Contains(text, b) {
 				t.Errorf("%s does not mention Byzantine behavior %q", src, b)
+			}
+		}
+	}
+}
+
+// TestDocsFreshnessEngines fails when a registered consensus engine is
+// missing from the user-facing documentation or the wbft usage surface —
+// the drift an engine registry makes possible: adding an engine touches
+// one Go file, and nothing else would notice the docs staying stale.
+func TestDocsFreshnessEngines(t *testing.T) {
+	for _, src := range []string{
+		"README.md",
+		"DESIGN.md",
+		"EXPERIMENTS.md",
+		filepath.Join("cmd", "wbft", "main.go"),
+	} {
+		raw, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(raw)
+		for _, k := range protocol.Kinds() {
+			if !strings.Contains(text, string(k)) {
+				t.Errorf("%s does not mention consensus engine %q", src, k)
 			}
 		}
 	}

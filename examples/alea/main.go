@@ -1,0 +1,56 @@
+// Alea demo: run the same sustained SMR workload through all three
+// consensus engines — HoneyBadgerBFT-SC (N parallel ABAs), Dumbo-SC
+// (serial ABA over CBC candidates), and Alea-BFT (VCBC queues + serial
+// repropose-able ABA) — and compare what the agreement structure costs
+// on the wireless channel.
+//
+//	go run ./examples/alea
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/run"
+)
+
+func runEngine(kind protocol.Kind) *run.Report {
+	spec := run.Defaults(kind, protocol.CoinSig)
+	spec.Workload = run.Chain(8)
+	spec.Workload.TxInterval = time.Second
+	spec.Seed = 42
+	res, err := run.Run(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Println("three engines, one workload: 4 nodes, 2% frame loss, 8 chained epochs")
+	fmt.Println("(signature coin everywhere; HB additionally threshold-encrypts proposals)")
+
+	engines := []struct {
+		kind protocol.Kind
+		note string
+	}{
+		{protocol.HoneyBadger, "N parallel ABA instances per epoch"},
+		{protocol.DumboKind, "serial ABA over CBC-synced candidates, stops at first acceptance"},
+		{protocol.AleaKind, "VCBC priority queues + serial ABA, stops at 2f+1 accepted queues"},
+	}
+
+	fmt.Printf("\n%-12s %7s %6s %10s %12s %10s\n",
+		"engine", "epochs", "txs", "B/s", "latency", "accesses")
+	for _, e := range engines {
+		res := runEngine(e.kind)
+		c := res.Chain
+		fmt.Printf("%-12s %7d %6d %10.2f %12v %10d   (%s)\n",
+			e.kind, c.EpochsCommitted, c.CommittedTxs, c.ThroughputBps,
+			c.MeanCommitLatency.Round(time.Second), res.Accesses, e.note)
+	}
+
+	fmt.Println("\nEvery engine commits the same gap-free total order (checked inside")
+	fmt.Println("run.Run); the differences above are pure agreement-structure cost.")
+}

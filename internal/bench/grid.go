@@ -24,7 +24,7 @@ import (
 func specPoint(name string, kind protocol.Kind, coin protocol.CoinKind) sweep.Point[run.Spec] {
 	return sweep.Point[run.Spec]{Label: name, Apply: func(s *run.Spec) {
 		s.Protocol, s.Coin = kind, coin
-		s.Encrypt = kind != protocol.DumboKind
+		s.Encrypt = protocol.DefaultEncrypt(kind)
 	}}
 }
 

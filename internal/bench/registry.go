@@ -113,6 +113,7 @@ func Experiments() []Experiment {
 		{Name: "faults", Desc: "faults — SMR under scripted fault scenarios (BENCH_faults.json)", Trajectory: true, Run: runFaultsExp},
 		{Name: "byz", Desc: "byz — SMR with f actively Byzantine replicas (BENCH_byz.json)", Trajectory: true, Run: runByzExp},
 		{Name: "mhchain", Desc: "mhchain — clustered chained SMR, cuts ordered globally (BENCH_mhchain.json)", Trajectory: true, Run: runMHChainExp},
+		{Name: "alea", Desc: "alea — three-engine rivalry: Alea-BFT vs HB-ACS vs Dumbo (BENCH_alea.json)", Trajectory: true, Run: runAleaExp},
 	}
 }
 

@@ -1,6 +1,8 @@
 package component
 
 import (
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/packet"
 )
@@ -17,6 +19,7 @@ type CachinABA struct {
 	env        *Env
 	coin       CoinSource
 	sharedCoin bool
+	catchUp    bool
 	slots      []*abaSlot
 	coins      map[coinKey]*coinState
 
@@ -58,6 +61,8 @@ type abaRound struct {
 	auxRecv   map[int]*bool
 	valsReady bool
 	advanced  bool
+	// reservedAt rate-limits reserveRound's pruned-send replay.
+	reservedAt time.Duration
 }
 
 // CachinOptions configures the component.
@@ -66,7 +71,19 @@ type CachinOptions struct {
 	Coin       CoinSource
 	SharedCoin bool // one coin per round across all instances (batched mode)
 	RoundCap   int  // safety bound on rounds (default 64)
-	OnDecide   func(slot int, value bool)
+	// RoundCatchUp replays the round == s.round sends this node skipped
+	// while peers raced ahead (see startRound), and re-serves this node's
+	// pruned sends for rounds a reborn peer is still climbing through
+	// (see reserveRound). Serial-schedule users (Alea's one-at-a-time
+	// agreement loop) need it: a repeated-estimate schedule under a
+	// withholding adversary makes the skew structural and the wedge
+	// permanent, and a full-stop crash-recovery restarts instances at
+	// round 1 with no DECIDED claims to carry them. The parallel engines
+	// predate the option and run with it off — their concurrent instances
+	// keep enough traffic flowing to recover, and enabling it would shift
+	// the frozen BENCH goldens.
+	RoundCatchUp bool
+	OnDecide     func(slot int, value bool)
 }
 
 // NewCachinABA creates the component and registers it on the transport.
@@ -78,6 +95,7 @@ func NewCachinABA(env *Env, opts CachinOptions) *CachinABA {
 		env:        env,
 		coin:       opts.Coin,
 		sharedCoin: opts.SharedCoin,
+		catchUp:    opts.RoundCatchUp,
 		coins:      make(map[coinKey]*coinState),
 		onDecide:   opts.OnDecide,
 		roundCap:   opts.RoundCap,
@@ -143,6 +161,26 @@ func (a *CachinABA) startRound(slot int) {
 		panic("component: cachin ABA exceeded round cap (liveness bug)")
 	}
 	a.sendBval(slot, s.round, s.est)
+	if !a.catchUp {
+		return
+	}
+	// Catch-up (RoundCatchUp): peers racing ahead may have completed this
+	// round's whole exchange while this node was still in the previous
+	// one. Those early bvals and AUX votes were recorded but their
+	// round == s.round sends were skipped, and nothing else replays them —
+	// without this, a node entering a round where the quorums already
+	// formed never emits its AUX vote and the exchange can wedge one vote
+	// short of N-f.
+	rd := a.round(slot, s.round)
+	for _, v := range []bool{false, true} {
+		if !rd.bvalSent[b2i(v)] && len(rd.bvalRecv[b2i(v)]) >= a.env.Weak() {
+			a.sendBval(slot, s.round, v)
+		}
+		if rd.binValues[b2i(v)] && !rd.auxSent {
+			a.sendAux(slot, s.round, v)
+		}
+	}
+	a.checkRound(slot, s.round)
 }
 
 func b2i(v bool) int {
@@ -201,6 +239,7 @@ func (a *CachinABA) HandleSection(from uint16, sec packet.Section) {
 			if e.Data[0]&2 != 0 {
 				a.applyBval(int(e.Slot), e.Round, w, true)
 			}
+			a.reserveRound(int(e.Slot), e.Round)
 		}
 	case packet.PhaseAux:
 		for _, e := range sec.Entries {
@@ -208,6 +247,7 @@ func (a *CachinABA) HandleSection(from uint16, sec packet.Section) {
 				continue
 			}
 			a.applyAux(int(e.Slot), e.Round, w, e.Data[0] == 1)
+			a.reserveRound(int(e.Slot), e.Round)
 		}
 	case packet.PhaseShare:
 		for _, e := range sec.Entries {
@@ -219,6 +259,66 @@ func (a *CachinABA) HandleSection(from uint16, sec packet.Section) {
 				continue
 			}
 			a.applyDecided(int(e.Slot), w, e.Data[0] == 1)
+		}
+	}
+}
+
+// reserveRound re-installs this node's pruned sends for an old round
+// (RoundCatchUp only). pruneRounds assumes a lagging honest peer is at
+// most one coin exchange behind, but a peer reborn from a full-stop crash
+// restarts the instance at round 1 — and if no honest node ever decided
+// the slot (the quorum was down), the DECIDED gadget cannot carry it
+// either. Traffic for a round this node has fully left is the signal:
+// replay the recorded bval/aux/coin-share sends for exactly that round so
+// the reborn peer can climb the schedule the protocol's own way — no
+// estimates are injected, so the round-by-round safety argument is
+// untouched. Rate-limited per round; survivors cannot advance (and
+// re-prune) while the laggard climbs, because they lack the quorum.
+func (a *CachinABA) reserveRound(slot int, round uint16) {
+	if !a.catchUp {
+		return
+	}
+	s := a.slots[slot]
+	// pruneRounds' cutoff is s.round-1: anything at or past it still has
+	// live intents and needs no replay.
+	if s.halted || !s.started || s.round < 2 || round == 0 || round >= s.round-1 {
+		return
+	}
+	rd := s.rounds[round]
+	if rd == nil {
+		return
+	}
+	now := a.env.Sched.Now()
+	if rd.reservedAt != 0 && now-rd.reservedAt < 2*time.Second {
+		return
+	}
+	rd.reservedAt = now
+	if rd.bvalSent[0] || rd.bvalSent[1] {
+		var bits uint8
+		if rd.bvalSent[0] {
+			bits |= 1
+		}
+		if rd.bvalSent[1] {
+			bits |= 2
+		}
+		a.env.T.Update(core.Intent{
+			IntentKey: core.IntentKey{Kind: packet.KindABA, Phase: packet.PhaseBval, Slot: uint8(slot), Round: round},
+			Data:      []byte{bits},
+		})
+	}
+	if rd.auxSent {
+		a.env.T.Update(core.Intent{
+			IntentKey: core.IntentKey{Kind: packet.KindABA, Phase: packet.PhaseAux, Slot: uint8(slot), Round: round},
+			Data:      []byte{uint8(b2i(rd.auxVal))},
+		})
+	}
+	k := a.coinKeyFor(slot, round)
+	if cs := a.coins[k]; cs != nil && cs.released {
+		if data := cs.shares[a.env.Me]; data != nil {
+			a.env.T.Update(core.Intent{
+				IntentKey: core.IntentKey{Kind: packet.KindABA, Phase: packet.PhaseShare, Slot: k.slot, Sub: uint8(a.env.Me), Round: round},
+				Data:      data,
+			})
 		}
 	}
 }

@@ -1,0 +1,124 @@
+package component
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/sim"
+	"repro/internal/wireless"
+)
+
+// vcbcFuzzRig is a real 4-node VCBC run built once per process: node 0
+// broadcasts on slot 0, everyone delivers, and the fuzz target checks
+// arbitrary byte strings against the surviving verifier instance and the
+// genuine proof.
+type vcbcFuzzRig struct {
+	verifier *VCBC  // node 1's instance, used to verify fuzzed proofs
+	genuine  []byte // node 0's transferable proof for slot 0
+	hash     Hash8
+}
+
+var (
+	vcbcRigOnce sync.Once
+	vcbcRig     vcbcFuzzRig
+)
+
+func mustVCBCRig() *vcbcFuzzRig {
+	vcbcRigOnce.Do(func() {
+		const n, f, seed = 4, 1, 99
+		sched := sim.New(seed)
+		ch := wireless.NewChannel(sched, wireless.DefaultConfig())
+		suites, err := crypto.Deal(n, f, crypto.LightConfig(), rand.New(rand.NewSource(seed)))
+		if err != nil {
+			panic(err)
+		}
+		insts := make([]*VCBC, n)
+		for i := 0; i < n; i++ {
+			cpu := sim.NewCPU(sched)
+			auth := &core.SizedAuth{
+				Len:        suites[i].Signer.Scheme().SignatureLen(),
+				CostSign:   suites[i].Cost.PKSign,
+				CostVerify: suites[i].Cost.PKVerify,
+			}
+			tr := core.New(sched, cpu, nil, auth, core.DefaultConfig(true))
+			st := ch.Attach(wireless.NodeID(i), tr)
+			tr.BindStation(st)
+			env := &Env{
+				N: n, F: f, Me: i,
+				Session: 42,
+				Suite:   suites[i],
+				T:       tr,
+				CPU:     cpu,
+				Sched:   sched,
+				Rand:    rand.New(rand.NewSource(seed + int64(i)*1000)),
+			}
+			insts[i] = NewVCBC(env, VCBCOptions{Slots: n})
+		}
+		insts[0].Broadcast(0, []byte("vcbc fuzz rig value"))
+		for sched.Now() < 30*time.Minute {
+			all := true
+			for _, v := range insts {
+				if !v.Delivered(0) {
+					all = false
+					break
+				}
+			}
+			if all || !sched.Step() {
+				break
+			}
+		}
+		proof := insts[0].Proof(0)
+		if proof == nil {
+			panic("vcbc fuzz rig: broadcast never delivered")
+		}
+		if err := insts[1].VerifyProof(0, proof); err != nil {
+			panic(fmt.Sprintf("vcbc fuzz rig: genuine proof rejected: %v", err))
+		}
+		vcbcRig = vcbcFuzzRig{
+			verifier: insts[1],
+			genuine:  proof,
+			hash:     HashValue([]byte("vcbc fuzz rig value")),
+		}
+	})
+	return &vcbcRig
+}
+
+// FuzzVCBCDecode pins the VCBC proof surface: arbitrary bytes never
+// panic the decoder, every accepted encoding is canonical (decode then
+// encode is the identity), and nothing verifies unless it is semantically
+// the genuine certificate — same slot, same value hash, same signature
+// integer (big.Int certs tolerate leading zero bytes, so byte equality
+// is deliberately not the bar).
+func FuzzVCBCDecode(f *testing.F) {
+	rig := mustVCBCRig()
+	f.Add([]byte{})
+	f.Add(rig.genuine)
+	f.Add(rig.genuine[:len(rig.genuine)-1])
+	f.Add(append(append([]byte(nil), rig.genuine...), 0))
+	mut := append([]byte(nil), rig.genuine...)
+	mut[len(mut)/2] ^= 0x20
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		p, err := DecodeVCBCProof(raw)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeVCBCProof(p), raw) {
+			t.Fatalf("accepted non-canonical encoding: %x", raw)
+		}
+		if rig.verifier.VerifyProof(int(p.Slot), raw) != nil {
+			return
+		}
+		genuine, _ := DecodeVCBCProof(rig.genuine)
+		if p.Slot != genuine.Slot || p.Hash != genuine.Hash ||
+			bigFromBytes(p.Cert).Cmp(bigFromBytes(genuine.Cert)) != 0 {
+			t.Fatalf("forged proof verified: %x", raw)
+		}
+	})
+}

@@ -31,6 +31,7 @@ const (
 	KindABA       Kind = 5 // asynchronous Byzantine agreement
 	KindDec       Kind = 6 // threshold-decryption share exchange
 	KindGlobal    Kind = 7 // multi-hop global-tier payloads
+	KindVCBC      Kind = 8 // Alea's verifiable consistent broadcast
 )
 
 // Phase identifies a protocol phase within a component.

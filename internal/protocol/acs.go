@@ -50,8 +50,11 @@ type binaryAgreement interface {
 }
 
 // newABA builds the ABA matching the coin kind. Batched deployments share
-// one coin per round across parallel instances (Sec. V-A).
-func newABA(env *component.Env, slots int, coin CoinKind, shared bool, onDecide func(int, bool)) binaryAgreement {
+// one coin per round across parallel instances (Sec. V-A). catchUp opts
+// into the common-coin ABA's round catch-up replay (see
+// component.CachinOptions.RoundCatchUp) — required by serial one-at-a-time
+// schedules like Alea's, a no-op for Bracha's local-coin ABA.
+func newABA(env *component.Env, slots int, coin CoinKind, shared, catchUp bool, onDecide func(int, bool)) binaryAgreement {
 	switch coin {
 	case CoinLocal:
 		return component.NewBrachaABA(env, component.BrachaOptions{
@@ -60,17 +63,19 @@ func newABA(env *component.Env, slots int, coin CoinKind, shared bool, onDecide 
 		})
 	case CoinSig:
 		return component.NewCachinABA(env, component.CachinOptions{
-			Slots:      slots,
-			SharedCoin: shared,
-			Coin:       &component.SigCoin{PK: env.Suite.TSLow, Share: env.Suite.TSLowShare, Env: env},
-			OnDecide:   onDecide,
+			Slots:        slots,
+			SharedCoin:   shared,
+			RoundCatchUp: catchUp,
+			Coin:         &component.SigCoin{PK: env.Suite.TSLow, Share: env.Suite.TSLowShare, Env: env},
+			OnDecide:     onDecide,
 		})
 	case CoinFlip:
 		return component.NewCachinABA(env, component.CachinOptions{
-			Slots:      slots,
-			SharedCoin: shared,
-			Coin:       &component.FlipCoin{PK: env.Suite.TC, Share: env.Suite.TCShare, Env: env},
-			OnDecide:   onDecide,
+			Slots:        slots,
+			SharedCoin:   shared,
+			RoundCatchUp: catchUp,
+			Coin:         &component.FlipCoin{PK: env.Suite.TC, Share: env.Suite.TCShare, Env: env},
+			OnDecide:     onDecide,
 		})
 	default:
 		panic(fmt.Sprintf("protocol: unknown coin kind %q", coin))
@@ -118,7 +123,7 @@ func NewACS(env *component.Env, opts ACSOptions) *ACS {
 		Slots:     env.N,
 		OnDeliver: a.onRBCDeliver,
 	})
-	a.aba = newABA(env, env.N, opts.Coin, opts.Batched, a.onABADecide)
+	a.aba = newABA(env, env.N, opts.Coin, opts.Batched, false, a.onABADecide)
 	if opts.Encrypt {
 		a.dec = component.NewDecryptor(env, env.N, a.onPlain)
 	}

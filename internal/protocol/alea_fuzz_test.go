@@ -1,0 +1,44 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzQueueStateRoundTrip pins the queue-state codec both ways: any raw
+// bytes the decoder accepts re-encode to the identical string (canonical
+// wire form), and any structured state survives an encode/decode round
+// trip field-for-field.
+func FuzzQueueStateRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint8(0), uint16(0), uint8(0))
+	f.Add(EncodeQueueState(QueueState{Queue: 2, Epoch: 7, Status: QueueAccepted,
+		Proof: []byte{1, 2, 3}}), uint8(3), uint16(9), uint8(QueueDelivered))
+	f.Add([]byte{0, 0, 1, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 5}, uint8(255), uint16(65535), uint8(200))
+	f.Fuzz(func(t *testing.T, raw []byte, queue uint8, epoch uint16, status uint8) {
+		// Direction 1: decoder accepts => canonical.
+		if qs, err := DecodeQueueState(raw); err == nil {
+			if !bytes.Equal(EncodeQueueState(qs), raw) {
+				t.Fatalf("accepted non-canonical encoding: %x", raw)
+			}
+		}
+		// Direction 2: structured round trip, reusing raw as the proof blob
+		// (truncated to the u16 length prefix's range).
+		proof := raw
+		if len(proof) > 65535 {
+			proof = proof[:65535]
+		}
+		in := QueueState{Queue: queue, Epoch: epoch, Status: status}
+		copy(in.Hash[:], raw)
+		if len(proof) > 0 {
+			in.Proof = proof
+		}
+		out, err := DecodeQueueState(EncodeQueueState(in))
+		if err != nil {
+			t.Fatalf("genuine encoding rejected: %v", err)
+		}
+		if out.Queue != in.Queue || out.Epoch != in.Epoch || out.Status != in.Status ||
+			out.Hash != in.Hash || !bytes.Equal(out.Proof, in.Proof) {
+			t.Fatalf("round trip mutated the state: %+v vs %+v", out, in)
+		}
+	})
+}

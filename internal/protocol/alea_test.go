@@ -1,0 +1,252 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/component"
+	"repro/internal/crypto"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/wireless"
+)
+
+// aleaNet runs a 4-node Alea network to completion and returns the
+// instances for inspection.
+func aleaNet(t *testing.T, seed int64, coin CoinKind, loss float64) []*Alea {
+	t.Helper()
+	const n, f = 4, 1
+	net := wireless.DefaultConfig()
+	net.LossProb = loss
+	sched := sim.New(seed)
+	ch := wireless.NewChannel(sched, net)
+	suites, err := crypto.Deal(n, f, crypto.LightConfig(), rand.New(rand.NewSource(seed^0x5eed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncfg := node.Config{Batched: true, Seed: seed}
+	done := make([]bool, n)
+	insts := make([]*Alea, n)
+	for i := 0; i < n; i++ {
+		nd := node.New(sched, ch, wireless.NodeID(i), suites[i], ncfg)
+		nd.Transport().SetEpoch(0)
+		env := &component.Env{
+			N: n, F: f, Me: i, Epoch: 0,
+			Suite: nd.Suite, T: nd.Transport(), CPU: nd.CPU, Sched: sched, Rand: nd.Rand,
+		}
+		i := i
+		insts[i] = NewAlea(env, AleaOptions{Coin: coin, Batched: true,
+			OnDecide: func() { done[i] = true }})
+		insts[i].Start(aleaProposal(i))
+	}
+	allDone := func() bool {
+		for _, d := range done {
+			if !d {
+				return false
+			}
+		}
+		return true
+	}
+	for sched.Now() < 60*time.Minute && !allDone() {
+		if !sched.Step() {
+			break
+		}
+	}
+	if !allDone() {
+		for i, a := range insts {
+			t.Logf("node %d: delivered=%d started=%v round=%d accepted=%d done=%v",
+				i, a.vcbc.DeliveredCount(), a.started, a.round, a.acceptedN, done[i])
+		}
+		t.Fatalf("alea stuck at %v", sched.Now())
+	}
+	return insts
+}
+
+func aleaProposal(i int) []byte {
+	prop := make([]byte, 64)
+	binary.BigEndian.PutUint32(prop, uint32(i))
+	return prop
+}
+
+// TestAleaAgreement pins the engine's core contract: every node decides
+// the same slot-indexed outputs, exactly 2f+1 queues are accepted, and
+// each accepted slot carries the proposer's exact batch (validity).
+func TestAleaAgreement(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		coin CoinKind
+		loss float64
+	}{
+		{"sig-coin", CoinSig, 0},
+		{"flip-coin", CoinFlip, 0},
+		{"lossy", CoinSig, 0.05},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			insts := aleaNet(t, 7, tc.coin, tc.loss)
+			ref := insts[0].Outputs()
+			if len(ref) != 4 {
+				t.Fatalf("want 4 output slots, got %d", len(ref))
+			}
+			accepted := 0
+			for q, out := range ref {
+				if out == nil {
+					continue
+				}
+				accepted++
+				if !bytes.Equal(out, aleaProposal(q)) {
+					t.Errorf("slot %d: output is not proposer %d's batch", q, q)
+				}
+			}
+			if accepted != 3 {
+				t.Errorf("want exactly 2f+1=3 accepted queues, got %d", accepted)
+			}
+			for i, a := range insts[1:] {
+				out := a.Outputs()
+				if len(out) != len(ref) {
+					t.Fatalf("node %d: %d slots vs %d", i+1, len(out), len(ref))
+				}
+				for q := range ref {
+					if !bytes.Equal(out[q], ref[q]) {
+						t.Errorf("node %d disagrees at slot %d", i+1, q)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAleaQueueStates checks the queue snapshots: accepted heads across
+// nodes agree on the value digest, and every delivered head's proof is
+// transferable — it verifies on a different node than the one that
+// produced it.
+func TestAleaQueueStates(t *testing.T) {
+	insts := aleaNet(t, 11, CoinSig, 0)
+	ref := insts[0].QueueStates()
+	for _, a := range insts[1:] {
+		states := a.QueueStates()
+		for q, qs := range states {
+			if qs.Status == QueuePending {
+				continue
+			}
+			if ref[q].Status != QueuePending && qs.Hash != ref[q].Hash {
+				t.Errorf("queue %d: hash disagreement across nodes", q)
+			}
+			// Proof produced on this node, verified against node 0's view.
+			if err := insts[0].VerifyQueueProof(qs); err != nil {
+				t.Errorf("queue %d: transferable proof rejected: %v", q, err)
+			}
+		}
+	}
+	// Tampered proofs must not verify.
+	for _, qs := range ref {
+		if qs.Status == QueuePending {
+			continue
+		}
+		bad := qs
+		bad.Proof = append([]byte(nil), qs.Proof...)
+		bad.Proof[len(bad.Proof)/2] ^= 0x40
+		if insts[1].VerifyQueueProof(bad) == nil {
+			t.Errorf("queue %d: tampered proof verified", qs.Queue)
+		}
+	}
+}
+
+// TestQueueStateRoundTrip pins the canonical codec on handcrafted states.
+func TestQueueStateRoundTrip(t *testing.T) {
+	cases := []QueueState{
+		{},
+		{Queue: 3, Epoch: 9, Status: QueueDelivered, Hash: component.Hash8{1, 2, 3, 4, 5, 6, 7, 8}},
+		{Queue: 255, Epoch: 65535, Status: QueueAccepted, Proof: bytes.Repeat([]byte{0xAB}, 300)},
+	}
+	for i, qs := range cases {
+		raw := EncodeQueueState(qs)
+		got, err := DecodeQueueState(raw)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !bytes.Equal(EncodeQueueState(got), raw) {
+			t.Errorf("case %d: decode∘encode is not the identity", i)
+		}
+	}
+	if _, err := DecodeQueueState(EncodeQueueState(cases[1])[:5]); err == nil {
+		t.Error("truncated state decoded")
+	}
+	if _, err := DecodeQueueState(append(EncodeQueueState(cases[1]), 0)); err == nil {
+		t.Error("over-long state decoded")
+	}
+}
+
+// TestAleaOrder pins the common permutation: deterministic for an epoch
+// identity, a valid permutation, and epoch-rotated.
+func TestAleaOrder(t *testing.T) {
+	a := aleaOrder(42, 3, 7)
+	b := aleaOrder(42, 3, 7)
+	seen := make([]bool, 7)
+	for i, v := range a {
+		if v != b[i] {
+			t.Fatal("order not deterministic")
+		}
+		if v < 0 || v >= 7 || seen[v] {
+			t.Fatalf("not a permutation: %v", a)
+		}
+		seen[v] = true
+	}
+	rotated := false
+	for e := uint16(0); e < 8 && !rotated; e++ {
+		c := aleaOrder(42, e, 7)
+		for i := range a {
+			if c[i] != a[i] {
+				rotated = true
+				break
+			}
+		}
+	}
+	if !rotated {
+		t.Error("order never rotates across epochs")
+	}
+}
+
+// TestEngineRegistry covers the registry surface the drivers and the
+// conformance suite rely on: the builtin set, lookup, encrypt defaults,
+// and Register/restore semantics.
+func TestEngineRegistry(t *testing.T) {
+	kinds := Kinds()
+	want := []Kind{HoneyBadger, BEAT, DumboKind, AleaKind}
+	if len(kinds) != len(want) {
+		t.Fatalf("builtin kinds = %v, want %v", kinds, want)
+	}
+	for i, k := range want {
+		if kinds[i] != k {
+			t.Fatalf("builtin kinds = %v, want %v", kinds, want)
+		}
+	}
+	if !DefaultEncrypt(HoneyBadger) || DefaultEncrypt(AleaKind) || DefaultEncrypt("nope") {
+		t.Error("DefaultEncrypt defaults wrong")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup found an unregistered kind")
+	}
+	restore := Register(Engine{Kind: "stub", DefaultEncrypt: true})
+	if _, ok := Lookup("stub"); !ok {
+		t.Error("registered stub not found")
+	}
+	if len(Kinds()) != len(want)+1 {
+		t.Error("stub did not append")
+	}
+	restore()
+	if _, ok := Lookup("stub"); ok {
+		t.Error("restore did not remove the stub")
+	}
+	// Replacement path: same Kind overrides in place, restore reinstates.
+	restore = Register(Engine{Kind: AleaKind, DefaultEncrypt: true})
+	if !DefaultEncrypt(AleaKind) || len(Kinds()) != len(want) {
+		t.Error("same-kind Register did not replace in place")
+	}
+	restore()
+	if DefaultEncrypt(AleaKind) {
+		t.Error("restore did not reinstate the builtin alea entry")
+	}
+}

@@ -38,18 +38,37 @@ type ChainConfig struct {
 	// MaxEpochs stops the engine from starting epochs >= this (0 = no cap).
 	MaxEpochs int
 	Mempool   MempoolConfig
+	// ProposalWAL makes the proposer's per-epoch cut stable storage: a
+	// recovered node re-proposes the exact batch it first cut for each
+	// still-uncommitted epoch instead of cutting a fresh one. Alea needs
+	// it — VCBC echoes are signature shares over the first value a queue
+	// head carries, so after a full-stop crash (more than f nodes down at
+	// once, no epoch progress possible anywhere) a fresh post-recovery
+	// batch can never certify: survivors are bound to the old hash and the
+	// old broadcast lost its leader's share with the crash. Re-proposing
+	// the recorded batch lets the surviving echo shares complete the
+	// original broadcast — the write-ahead log the Alea-BFT paper requires
+	// of its broadcast component. The replay is signalled to the engine
+	// (see reproposer) so its dissemination layer can pull surviving
+	// broadcast state back. The RBC engines share the value-binding
+	// limitation (HB/BEAT wedge on the same scenario; Dumbo recovers only
+	// on lucky interleavings) but run with the WAL off — they implement no
+	// replay pull, and flipping their proposal path would shift the frozen
+	// BENCH goldens.
+	ProposalWAL bool
 }
 
 // DefaultChainConfig returns a depth-2 pipeline for a protocol variant.
 func DefaultChainConfig(p Kind, coin CoinKind) ChainConfig {
 	return ChainConfig{
-		Protocol: p,
-		Coin:     coin,
-		Batched:  true,
-		Encrypt:  p != DumboKind,
-		Window:   2,
-		GCLag:    4,
-		Mempool:  DefaultMempoolConfig(),
+		Protocol:    p,
+		Coin:        coin,
+		Batched:     true,
+		Encrypt:     DefaultEncrypt(p),
+		Window:      2,
+		GCLag:       4,
+		Mempool:     DefaultMempoolConfig(),
+		ProposalWAL: p == AleaKind,
 	}
 }
 
@@ -82,6 +101,11 @@ type Chain struct {
 
 	mempool *Mempool
 	epochs  map[int]*chainEpoch
+	// proposed is the proposal WAL (ChainConfig.ProposalWAL): epoch -> the
+	// encoded batch this node first cut for it. Crash preserves it, so a
+	// recovered proposer re-broadcasts the value peers may already have
+	// echoed. Entries die with the epoch GC.
+	proposed map[int][]byte
 	// nextStart is the lowest epoch not yet started here; nextCommit the
 	// lowest not yet committed. Invariant: nextCommit <= nextStart <
 	// nextCommit + Window.
@@ -128,16 +152,17 @@ func NewChain(sched *sim.Scheduler, cpu *sim.CPU, mux *core.Mux, suite *crypto.S
 	}
 	c := &Chain{
 		n: n, f: f, me: me,
-		session: session,
-		suite:   suite,
-		sched:   sched,
-		cpu:     cpu,
-		mux:     mux,
-		rand:    rng,
-		cfg:     cfg,
-		mempool: NewMempool(cfg.Mempool),
-		epochs:  make(map[int]*chainEpoch),
-		peerMax: -1,
+		session:  session,
+		suite:    suite,
+		sched:    sched,
+		cpu:      cpu,
+		mux:      mux,
+		rand:     rng,
+		cfg:      cfg,
+		mempool:  NewMempool(cfg.Mempool),
+		epochs:   make(map[int]*chainEpoch),
+		proposed: make(map[int][]byte),
+		peerMax:  -1,
 	}
 	mux.OnUnknownEpoch = c.onPeerEpoch
 	return c
@@ -195,9 +220,10 @@ func (c *Chain) Stop() {
 }
 
 // Crash models a process failure with stable storage: the committed log,
-// the mempool (pending transactions and committed-digest horizon), and the
-// commit frontier survive; every in-flight epoch's protocol state and
-// per-epoch transport are discarded. The node-level crash (radio off,
+// the mempool (pending transactions and committed-digest horizon), the
+// commit frontier, and the proposal WAL (ChainConfig.ProposalWAL) survive;
+// every in-flight epoch's protocol state and per-epoch transport are
+// discarded. The node-level crash (radio off,
 // inbound gated) is the deployment layer's job — see node.Node.Crash.
 func (c *Chain) Crash() {
 	c.ageEvt.Cancel()
@@ -301,8 +327,29 @@ func (c *Chain) startEpoch(e int) {
 	ep := &chainEpoch{tr: tr, startedAt: c.sched.Now()}
 	ep.inst = NewInstance(env, c.cfg.Protocol, c.cfg.Coin, c.cfg.Batched, c.cfg.Encrypt, func() { c.onDecide(e) })
 	c.epochs[e] = ep
-	ep.inst.Start(EncodeBatch(c.mempool.Cut(e, c.sched.Now())))
+	prop := c.proposed[e]
+	replayed := prop != nil
+	if prop == nil {
+		prop = EncodeBatch(c.mempool.Cut(e, c.sched.Now()))
+		if c.cfg.ProposalWAL {
+			c.proposed[e] = prop
+		}
+	}
+	ep.inst.Start(prop)
+	if replayed {
+		if r, ok := ep.inst.(reproposer); ok {
+			r.Reproposed()
+		}
+	}
 }
+
+// reproposer is implemented by engines whose dissemination layer needs to
+// know that a Start carried a WAL replay rather than a fresh cut: the
+// node crashed after first proposing this epoch, so peers may hold
+// broadcast state (echo shares, even a full certificate) that died with
+// the node's transport and must be pulled back rather than waiting for a
+// fresh round of echoes that value-bound peers will never send.
+type reproposer interface{ Reproposed() }
 
 // onDecide records the epoch's local decision and commits every contiguous
 // decided epoch at the frontier, in order — the log never has gaps.
@@ -328,6 +375,7 @@ func (c *Chain) onDecide(e int) {
 		if old := c.nextCommit - 1 - c.cfg.GCLag; old >= 0 {
 			c.mux.Close(uint16(old))
 			delete(c.epochs, old)
+			delete(c.proposed, old)
 		}
 	}
 	c.advance()

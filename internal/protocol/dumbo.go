@@ -76,7 +76,7 @@ func NewDumbo(env *component.Env, opts DumboOptions) *Dumbo {
 	})
 	// Serial ABA: instances execute one at a time in π order, so coins are
 	// per-instance (no cross-instance sharing to leak future coins).
-	d.aba = newABA(env, env.N, opts.Coin, false, d.onABADecide)
+	d.aba = newABA(env, env.N, opts.Coin, false, false, d.onABADecide)
 	return d
 }
 

@@ -3,12 +3,13 @@ package protocol
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"repro/internal/component"
 )
 
 // This file is the protocol-variant surface shared by every deployment
-// driver: the protocol families, the five named variants of the paper's
+// driver: the engine registry, the five named variants of the paper's
 // evaluation, the epoch-instance factory, and the agreement check. The
 // drivers themselves — one-shot, clustered, and chain SMR over both
 // topologies — live in internal/run behind the unified run.Spec API.
@@ -16,30 +17,131 @@ import (
 // Kind names a consensus protocol family.
 type Kind string
 
-// The three protocol families the paper adapts.
+// The registered protocol families: the three the paper adapts plus the
+// beyond-the-paper Alea-BFT pipeline.
 const (
 	HoneyBadger Kind = "honeybadger"
 	BEAT        Kind = "beat"
 	DumboKind   Kind = "dumbo"
+	AleaKind    Kind = "alea"
 )
+
+// Engine is one registry entry: a protocol family and its epoch-instance
+// constructor. Everything downstream — run.Spec validation, the Encrypt
+// default, the bench axes, the wbft CLI vocabulary, and the cross-engine
+// conformance suite — enumerates this registry instead of hardcoding the
+// family list, so adding an engine is one Register (or one slice entry)
+// and zero call-site changes.
+type Engine struct {
+	Kind Kind
+	// DefaultEncrypt is whether run.Defaults turns on the
+	// threshold-encrypted proposal path for this family.
+	DefaultEncrypt bool
+	// New builds one epoch's consensus instance.
+	New func(env *component.Env, coin CoinKind, batched, encrypt bool, onDecide func()) Instance
+}
+
+func builtinEngines() []Engine {
+	return []Engine{
+		{Kind: HoneyBadger, DefaultEncrypt: true,
+			New: func(env *component.Env, coin CoinKind, batched, encrypt bool, onDecide func()) Instance {
+				return NewACS(env, ACSOptions{Coin: coin, Batched: batched, Encrypt: encrypt, OnDecide: onDecide})
+			}},
+		{Kind: BEAT, DefaultEncrypt: true,
+			New: func(env *component.Env, coin CoinKind, batched, encrypt bool, onDecide func()) Instance {
+				if coin == "" {
+					coin = CoinFlip
+				}
+				return NewACS(env, ACSOptions{Coin: coin, Batched: batched, Encrypt: true, OnDecide: onDecide})
+			}},
+		{Kind: DumboKind, DefaultEncrypt: false,
+			New: func(env *component.Env, coin CoinKind, batched, encrypt bool, onDecide func()) Instance {
+				return NewDumbo(env, DumboOptions{Coin: coin, Batched: batched, OnDecide: onDecide})
+			}},
+		{Kind: AleaKind, DefaultEncrypt: false,
+			New: func(env *component.Env, coin CoinKind, batched, encrypt bool, onDecide func()) Instance {
+				return NewAlea(env, AleaOptions{Coin: coin, Batched: batched, OnDecide: onDecide})
+			}},
+	}
+}
+
+var (
+	engineMu sync.RWMutex
+	engines  = builtinEngines()
+)
+
+// Engines returns the registry in registration order.
+func Engines() []Engine {
+	engineMu.RLock()
+	defer engineMu.RUnlock()
+	return append([]Engine(nil), engines...)
+}
+
+// Kinds returns the registered family names in registration order.
+func Kinds() []Kind {
+	engineMu.RLock()
+	defer engineMu.RUnlock()
+	out := make([]Kind, len(engines))
+	for i, e := range engines {
+		out[i] = e.Kind
+	}
+	return out
+}
+
+// Lookup finds a registered engine by family name.
+func Lookup(k Kind) (Engine, bool) {
+	engineMu.RLock()
+	defer engineMu.RUnlock()
+	for _, e := range engines {
+		if e.Kind == k {
+			return e, true
+		}
+	}
+	return Engine{}, false
+}
+
+// DefaultEncrypt reports run.Defaults' Encrypt setting for a family
+// (false for unregistered names).
+func DefaultEncrypt(k Kind) bool {
+	e, ok := Lookup(k)
+	return ok && e.DefaultEncrypt
+}
+
+// Register adds an engine to the registry (replacing any same-Kind entry
+// — latest wins) and returns a restore function that reinstates the
+// prior registry. The conformance suite uses it to run intentionally
+// broken engine stubs through the real drivers.
+func Register(e Engine) (restore func()) {
+	engineMu.Lock()
+	defer engineMu.Unlock()
+	prev := append([]Engine(nil), engines...)
+	replaced := false
+	for i := range engines {
+		if engines[i].Kind == e.Kind {
+			engines[i] = e
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		engines = append(engines, e)
+	}
+	return func() {
+		engineMu.Lock()
+		defer engineMu.Unlock()
+		engines = prev
+	}
+}
 
 // NewInstance builds one epoch's consensus engine for a protocol variant.
 // The one-shot drivers and the Chain SMR engine construct every epoch
 // through this factory.
 func NewInstance(env *component.Env, p Kind, coin CoinKind, batched, encrypt bool, onDecide func()) Instance {
-	switch p {
-	case HoneyBadger:
-		return NewACS(env, ACSOptions{Coin: coin, Batched: batched, Encrypt: encrypt, OnDecide: onDecide})
-	case BEAT:
-		if coin == "" {
-			coin = CoinFlip
-		}
-		return NewACS(env, ACSOptions{Coin: coin, Batched: batched, Encrypt: true, OnDecide: onDecide})
-	case DumboKind:
-		return NewDumbo(env, DumboOptions{Coin: coin, Batched: batched, OnDecide: onDecide})
-	default:
+	e, ok := Lookup(p)
+	if !ok {
 		panic(fmt.Sprintf("protocol: unknown protocol %q", p))
 	}
+	return e.New(env, coin, batched, encrypt, onDecide)
 }
 
 // Variant names one of the paper's five protocol configurations.
@@ -50,6 +152,8 @@ type Variant struct {
 }
 
 // Variants returns the paper's five protocol variants (Fig. 13 legend).
+// Alea is not among them — it is the beyond-the-paper engine and shows up
+// through the registry-driven sweeps instead.
 func Variants() []Variant {
 	return []Variant{
 		{"HB-LC", HoneyBadger, CoinLocal},

@@ -159,7 +159,7 @@ func Defaults(p protocol.Kind, coin protocol.CoinKind) Spec {
 		Protocol: p,
 		Coin:     coin,
 		Batched:  true,
-		Encrypt:  p != protocol.DumboKind,
+		Encrypt:  protocol.DefaultEncrypt(p),
 		N:        4,
 		F:        1,
 		Topology: SingleHop(),
@@ -230,9 +230,7 @@ func (s Spec) normalize() Spec {
 
 // validate rejects malformed axes before any virtual time elapses.
 func (s Spec) validate() error {
-	switch s.Protocol {
-	case protocol.HoneyBadger, protocol.BEAT, protocol.DumboKind:
-	default:
+	if _, ok := protocol.Lookup(s.Protocol); !ok {
 		return fmt.Errorf("run: unknown protocol %q", s.Protocol)
 	}
 	if s.N != 3*s.F+1 {
