@@ -13,6 +13,9 @@
 //	     [-clusters M] [-percluster N]           (clustered topology)
 //	     [-batch N] [-txsize N]                  (oneshot workload)
 //	     [-depth N] [-txsize N] [-txinterval D]  (chain workload)
+//	     [-arrival poisson|onoff] [-rate TPS] [-clients N]
+//	     [-onmean D] [-offmean D] [-mempool-cap BYTES]
+//	                                             (chain open-loop traffic)
 //
 //	wbft chain [flags]   alias for -workload chain
 //
@@ -20,6 +23,14 @@
 // traffic ordered into a replicated log across many epochs. Combined with
 // -topology clustered it runs local chains per cluster and orders cluster
 // cuts on the global tier.
+//
+// -arrival swaps the fixed -txinterval submission loop for the open-loop
+// client traffic generator (internal/traffic, single-hop chain only):
+// "poisson" offers memoryless aggregate arrivals at -rate tx/s; "onoff"
+// spreads the same rate over -clients bursty clients, each alternating
+// exponential on (-onmean) and off (-offmean) phases. -mempool-cap
+// bounds each node's pending+in-flight payload bytes; submissions beyond
+// it are rejected at admission and counted (backpressure, default off).
 //
 // -scenario scripts timed faults in the scenario DSL (see
 // internal/scenario.Parse): ';'-separated events of the form
@@ -35,6 +46,12 @@
 //	byz@0s:3:equivocate      node 3 actively Byzantine: equivocate,
 //	                         withhold, garbage, flipvotes, or forgecut
 //	                         (internal/byz)
+//	mobility@0s+2h:25,800    random-waypoint motion at 25 m/s with 800 m
+//	                         radio range on a 1 km x 1 km field
+//	dutycycle@0s:0.6,90s     radios awake 60% of each 90s cycle, phases
+//	                         staggered per node
+//	churn@10m+2h:20m,5m      every 20m a random node crashes, rejoining
+//	                         5m later over the catch-up path
 //
 // -crash N is shorthand for a crash at t=0 that never recovers. Under the
 // clustered topology, scenario node ids are flat:
@@ -53,6 +70,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/run"
 	"repro/internal/scenario"
+	"repro/internal/traffic"
 )
 
 func main() {
@@ -86,6 +104,13 @@ func main() {
 		depth      = fs.Int("depth", 2, "chain: pipeline depth (concurrent epochs)")
 		txinterval = fs.Duration("txinterval", 4*time.Second, "chain: client submission interval")
 		gclag      = fs.Int("gclag", 0, "chain: epochs kept behind the frontier for repairs (0 = engine default)")
+
+		arrival    = fs.String("arrival", "", "chain: open-loop arrival process, poisson | onoff ('' = fixed -txinterval loop)")
+		rate       = fs.Float64("rate", 0.02, "chain: aggregate offered rate in tx/s (with -arrival)")
+		clients    = fs.Int("clients", 0, "chain: simulated client population (with -arrival; 0 = default 1000)")
+		onmean     = fs.Duration("onmean", 0, "chain: mean on-phase length per client (with -arrival onoff; 0 = default)")
+		offmean    = fs.Duration("offmean", 0, "chain: mean off-phase length per client (with -arrival onoff; 0 = default)")
+		mempoolCap = fs.Int("mempool-cap", 0, "chain: max pending+in-flight mempool payload bytes per node (0 = unbounded)")
 	)
 	fs.Parse(args)
 
@@ -122,6 +147,16 @@ func main() {
 		spec.Workload.TxSize = *txsize
 		spec.Workload.TxInterval = *txinterval
 		spec.Workload.GCLag = *gclag
+		spec.Workload.Mempool.MaxPendingBytes = *mempoolCap
+		if *arrival != "" {
+			spec.Workload.Arrival = traffic.Pattern{
+				Kind:    traffic.Kind(*arrival),
+				Rate:    *rate,
+				Clients: *clients,
+				OnMean:  *onmean,
+				OffMean: *offmean,
+			}
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "wbft: unknown workload %q\n", *workload)
 		os.Exit(2)
@@ -221,6 +256,15 @@ func printReport(res *run.Report) {
 			c.CommittedTxs, c.SubmittedTxs, c.DedupDropped)
 		fmt.Printf("throughput      %.2f committed B/s (%d bytes total)\n", c.ThroughputBps, c.CommittedBytes)
 		fmt.Printf("commit latency  %v mean (epoch start -> commit)\n", c.MeanCommitLatency.Round(time.Millisecond))
+		if lat := c.TxLatency; lat != nil {
+			fmt.Printf("tx latency      p50 %v  p90 %v  p99 %v  max %v (submit -> commit, %d txs)\n",
+				lat.P50.Round(time.Millisecond), lat.P90.Round(time.Millisecond),
+				lat.P99.Round(time.Millisecond), lat.Max.Round(time.Millisecond), lat.Count)
+		}
+		if c.AdmissionRejected > 0 || c.PeakMempoolBytes > 0 {
+			fmt.Printf("mempool         %d bytes peak pooled, %d submissions rejected at admission\n",
+				c.PeakMempoolBytes, c.AdmissionRejected)
+		}
 		fmt.Printf("epoch cadence   %v between commits\n",
 			(res.Duration / time.Duration(c.EpochsCommitted)).Round(time.Millisecond))
 		fmt.Printf("open epochs     %d peak (pipeline + GC lag bound)\n", c.MaxOpenEpochs)

@@ -239,7 +239,7 @@ func TestGoldenByzBitIdentical(t *testing.T) {
 // documented as volatile.
 func TestGoldenSweepsParallelDeterminism(t *testing.T) {
 	if testing.Short() {
-		t.Skip("regenerates all five BENCH trajectories twice")
+		t.Skip("regenerates all six BENCH trajectories twice")
 	}
 	if raceEnabled {
 		t.Skip("full regenerations are ~10x slower under -race; the smoke sweeps cover the same concurrent paths")
@@ -249,7 +249,7 @@ func TestGoldenSweepsParallelDeterminism(t *testing.T) {
 		run  func(seed int64, workers int) (any, error)
 	}{
 		// Epochs per sweep match the regeneration commands in
-		// EXPERIMENTS.md (chain-epochs 10/12/8/4/12).
+		// EXPERIMENTS.md (chain-epochs 10/12/8/4/12/6).
 		{"BENCH_chain.json", func(seed int64, w int) (any, error) {
 			return bench.ChainThroughput(seed, 10, sweep.Options{Workers: w})
 		}},
@@ -264,6 +264,9 @@ func TestGoldenSweepsParallelDeterminism(t *testing.T) {
 		}},
 		{"BENCH_alea.json", func(seed int64, w int) (any, error) {
 			return bench.AleaSweep(seed, 12, sweep.Options{Workers: w})
+		}},
+		{"BENCH_traffic.json", func(seed int64, w int) (any, error) {
+			return bench.TrafficSweep(seed, 6, sweep.Options{Workers: w})
 		}},
 	}
 	for _, tc := range cases {

@@ -90,7 +90,7 @@ type Experiment struct {
 	// -parallel: they measure real wall-clock crypto latency.
 	Serial bool
 	// Trajectory experiments emit machine-readable point files (-json /
-	// -csv); the four committed BENCH_*.json sweeps.
+	// -csv); the committed BENCH_*.json sweeps.
 	Trajectory bool
 	Run        func(*Context) error
 }
@@ -114,6 +114,7 @@ func Experiments() []Experiment {
 		{Name: "byz", Desc: "byz — SMR with f actively Byzantine replicas (BENCH_byz.json)", Trajectory: true, Run: runByzExp},
 		{Name: "mhchain", Desc: "mhchain — clustered chained SMR, cuts ordered globally (BENCH_mhchain.json)", Trajectory: true, Run: runMHChainExp},
 		{Name: "alea", Desc: "alea — three-engine rivalry: Alea-BFT vs HB-ACS vs Dumbo (BENCH_alea.json)", Trajectory: true, Run: runAleaExp},
+		{Name: "traffic", Desc: "traffic — open-loop Poisson/bursty load: saturation and backpressure (BENCH_traffic.json)", Trajectory: true, Run: runTrafficExp},
 	}
 }
 

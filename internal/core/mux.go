@@ -137,6 +137,12 @@ func (m *Mux) DroppedUnknownEpoch() uint64 { return m.dropped }
 // header or a session mismatch (foreign or corrupted traffic).
 func (m *Mux) DroppedSession() uint64 { return m.droppedSess }
 
+// NoteRejected counts one node-level discard of refused inbound state
+// that belongs to no single epoch's transport — the chain layer calls it
+// for mempool admission-control rejections, so backpressure drops surface
+// in the same Stats.Rejected counter Byzantine discards use.
+func (m *Mux) NoteRejected() { m.closedStats.Rejected++ }
+
 // Stats aggregates counters across closed and still-open transports.
 func (m *Mux) Stats() Stats {
 	s := m.closedStats

@@ -124,6 +124,17 @@ type Chain struct {
 	committedBytes uint64
 	dedupDropped   int
 	commitLatency  time.Duration // summed start->commit across committed epochs
+	// submitAt records when each locally admitted transaction was
+	// submitted; commit moves the entry into txLat as a true per-
+	// transaction submit->commit latency sample. MeanCommitLatency is
+	// epoch-granularity (proposal cut -> epoch commit) and under bursty
+	// load wildly understates what a client actually waits — a
+	// transaction can sit pooled across many epochs before any cut takes
+	// it — so the percentile reporting runs off these samples instead.
+	// Bookkeeping only: no scheduler or RNG interaction, so enabling it
+	// cannot shift a simulated outcome.
+	submitAt map[txKey]time.Duration
+	txLat    []time.Duration
 
 	ageEvt *sim.Event
 	// OnCommit, if set, fires after each epoch commits (driver barrier).
@@ -162,6 +173,7 @@ func NewChain(sched *sim.Scheduler, cpu *sim.CPU, mux *core.Mux, suite *crypto.S
 		mempool:  NewMempool(cfg.Mempool),
 		epochs:   make(map[int]*chainEpoch),
 		proposed: make(map[int][]byte),
+		submitAt: make(map[txKey]time.Duration),
 		peerMax:  -1,
 	}
 	mux.OnUnknownEpoch = c.onPeerEpoch
@@ -200,14 +212,28 @@ func (c *Chain) MeanCommitLatency() time.Duration {
 func (c *Chain) OpenEpochs() int { return len(c.epochs) }
 
 // Submit admits one client payload and advances the pipeline if the cut
-// policy is now satisfied.
+// policy is now satisfied. Admission-control rejections (the
+// MempoolConfig.MaxPendingBytes backpressure cap) are surfaced through
+// the mux's Rejected counter, the same place Byzantine discards land.
 func (c *Chain) Submit(tx []byte) bool {
+	full := c.mempool.RejectedFull()
 	ok := c.mempool.Add(tx, c.sched.Now())
-	if ok {
-		c.advance()
+	if !ok {
+		if c.mempool.RejectedFull() != full {
+			c.mux.NoteRejected()
+		}
+		return false
 	}
-	return ok
+	c.submitAt[txDigest(tx)] = c.sched.Now()
+	c.advance()
+	return true
 }
+
+// TxLatencies returns every committed transaction's submit->commit
+// latency sample at this node, in commit order. Only transactions
+// admitted here contribute (a node down at submission time never saw the
+// client's transaction).
+func (c *Chain) TxLatencies() []time.Duration { return c.txLat }
 
 // Start arms the engine. Epochs begin as soon as the mempool's cut policy
 // or a peer's pipeline signal triggers.
@@ -410,7 +436,14 @@ func (c *Chain) commit(e int, ep *chainEpoch) {
 	}
 	c.log = append(c.log, LogEntry{Epoch: e, Txs: txs})
 	c.committedTxs += len(txs)
-	c.commitLatency += c.sched.Now() - ep.startedAt
+	now := c.sched.Now()
+	for _, k := range keys {
+		if at, ok := c.submitAt[k]; ok {
+			c.txLat = append(c.txLat, now-at)
+			delete(c.submitAt, k)
+		}
+	}
+	c.commitLatency += now - ep.startedAt
 	c.mempool.MarkCommitted(keys, e)
 	// Our own proposals that lost the common subset go back in the pool.
 	c.mempool.Requeue(e)

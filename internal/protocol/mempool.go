@@ -41,6 +41,14 @@ type MempoolConfig struct {
 	// node (commit-time dedup absorbs the resulting overlap).
 	Shard, Shards int
 	ReproposeAge  time.Duration
+	// MaxPendingBytes is the admission-control cap on the pool's total
+	// payload bytes, pending plus in-flight: an Add that would push the
+	// pool past it is rejected (and counted, see RejectedFull) instead of
+	// queueing unboundedly — the backpressure open-loop traffic needs to
+	// degrade gracefully under overload. Zero disables the cap, which is
+	// the default: legacy fixed-interval workloads keep their unbounded
+	// pool and their frozen BENCH goldens.
+	MaxPendingBytes int
 }
 
 // DefaultMempoolConfig sizes the policy for the paper's 64-byte
@@ -86,6 +94,11 @@ type Mempool struct {
 	committed map[txKey]int
 	// duplicates counts admissions rejected as already pending/committed.
 	duplicates int
+	// pooled is the pool's total payload bytes, pending plus in flight
+	// (the quantity MaxPendingBytes caps); peakPooled is its high-water
+	// mark and rejectedFull counts admissions the cap refused.
+	pooled, peakPooled int
+	rejectedFull       int
 }
 
 // WithDefaults fills zero-valued fields from DefaultMempoolConfig.
@@ -135,9 +148,17 @@ func (m *Mempool) Add(tx []byte, now time.Duration) bool {
 		m.duplicates++
 		return false
 	}
+	if m.cfg.MaxPendingBytes > 0 && m.pooled+len(tx) > m.cfg.MaxPendingBytes {
+		m.rejectedFull++
+		return false
+	}
 	e := &mtx{data: tx, key: key, enq: now, inflight: -1}
 	m.txs = append(m.txs, e)
 	m.index[key] = e
+	m.pooled += len(tx)
+	if m.pooled > m.peakPooled {
+		m.peakPooled = m.pooled
+	}
 	m.pending += len(tx)
 	if m.assigned(key) {
 		m.pendingMine += len(tx)
@@ -254,6 +275,7 @@ func (m *Mempool) MarkCommitted(keys []txKey, epoch int) {
 	for _, e := range m.txs {
 		if drop[e.key] {
 			delete(m.index, e.key)
+			m.pooled -= len(e.data)
 			if e.inflight < 0 {
 				m.pending -= len(e.data)
 				if m.assigned(e.key) {
@@ -318,3 +340,15 @@ func (m *Mempool) CommittedSize() int { return len(m.committed) }
 
 // Duplicates returns how many admissions were rejected as duplicates.
 func (m *Mempool) Duplicates() int { return m.duplicates }
+
+// PoolBytes returns the pool's total payload bytes, pending plus in
+// flight — the quantity MaxPendingBytes caps.
+func (m *Mempool) PoolBytes() int { return m.pooled }
+
+// PeakPoolBytes returns the pool's byte high-water mark: the proof that
+// backpressure kept mempool growth bounded over a run.
+func (m *Mempool) PeakPoolBytes() int { return m.peakPooled }
+
+// RejectedFull returns how many admissions the MaxPendingBytes cap
+// refused (always zero with the cap disabled).
+func (m *Mempool) RejectedFull() int { return m.rejectedFull }

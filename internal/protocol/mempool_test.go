@@ -103,6 +103,143 @@ func TestMempoolSharding(t *testing.T) {
 	}
 }
 
+func TestMempoolReproposeAgeFallback(t *testing.T) {
+	// A transaction assigned to another shard is untouchable until
+	// ReproposeAge, then becomes proposable by everyone — the crash
+	// fallback that keeps a dead shard's traffic from queueing forever.
+	cfg := MempoolConfig{
+		TargetBatchBytes: 40, MaxBatchBytes: 400,
+		MaxTxAge: 10 * time.Second, ReproposeAge: time.Minute,
+		Shard: 0, Shards: 2,
+	}
+	m := NewMempool(cfg)
+	var other []byte
+	for i := byte(0); ; i++ {
+		tx := []byte{i, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+		if int(txDigest(tx)[0])%2 == 1 {
+			other = tx
+			break
+		}
+	}
+	if !m.Add(other, 0) {
+		t.Fatal("fresh add rejected")
+	}
+	if m.Ready(30 * time.Second) {
+		t.Error("ready on unassigned traffic before ReproposeAge")
+	}
+	if got := m.Cut(0, 30*time.Second); len(got) != 0 {
+		t.Fatalf("cut took %d unassigned txs before ReproposeAge", len(got))
+	}
+	// The age deadline for the unassigned class is enq + ReproposeAge.
+	if at, ok := m.AgeDeadline(); !ok || at != time.Minute {
+		t.Fatalf("AgeDeadline = %v/%v, want 1m0s/true", at, ok)
+	}
+	if !m.Ready(time.Minute) {
+		t.Error("not ready at ReproposeAge")
+	}
+	if got := m.Cut(1, time.Minute); len(got) != 1 {
+		t.Fatalf("fallback cut %d txs, want 1", len(got))
+	}
+}
+
+func TestMempoolShardOverlapCommitDedup(t *testing.T) {
+	// Two shards repropose the same aged transaction; when one copy
+	// commits, the other shard's pool must drop its pooled (even
+	// in-flight) copy and refuse re-admission — the dedup that makes the
+	// ReproposeAge overlap harmless.
+	cfg := MempoolConfig{
+		TargetBatchBytes: 40, MaxBatchBytes: 400,
+		MaxTxAge: 10 * time.Second, ReproposeAge: time.Minute,
+		Shard: 1, Shards: 2,
+	}
+	m := NewMempool(cfg)
+	var other []byte // assigned to shard 0, i.e. NOT ours
+	for i := byte(0); ; i++ {
+		tx := []byte{i, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+		if int(txDigest(tx)[0])%2 == 0 {
+			other = tx
+			break
+		}
+	}
+	m.Add(other, 0)
+	// Our shard reproposes it after the fallback age...
+	if got := m.Cut(5, 2*time.Minute); len(got) != 1 {
+		t.Fatalf("fallback cut %d txs, want 1", len(got))
+	}
+	// ...but shard 0's copy commits first, in epoch 4.
+	m.MarkCommitted([]txKey{txDigest(other)}, 4)
+	if m.Len() != 0 || m.PoolBytes() != 0 {
+		t.Fatalf("in-flight copy survived the commit: len=%d pool=%dB", m.Len(), m.PoolBytes())
+	}
+	// Requeue of our epoch must not resurrect it.
+	m.Requeue(5)
+	if m.PendingBytes() != 0 {
+		t.Fatalf("requeue resurrected a committed tx: %dB pending", m.PendingBytes())
+	}
+	if m.Add(other, 3*time.Minute) {
+		t.Error("committed duplicate re-admitted")
+	}
+}
+
+func TestMempoolAdmissionCap(t *testing.T) {
+	cfg := MempoolConfig{
+		TargetBatchBytes: 40, MaxBatchBytes: 80,
+		MaxTxAge: 10 * time.Second, MaxPendingBytes: 100,
+	}
+	m := NewMempool(cfg)
+	tx := func(b byte) []byte { tx := make([]byte, 40); tx[0] = b; return tx }
+
+	if !m.Add(tx(1), 0) || !m.Add(tx(2), 0) {
+		t.Fatal("adds under the cap rejected")
+	}
+	// 80/100 bytes pooled: a 40-byte add must be refused and counted.
+	if m.Add(tx(3), time.Second) {
+		t.Error("add past MaxPendingBytes accepted")
+	}
+	if m.RejectedFull() != 1 {
+		t.Fatalf("RejectedFull = %d, want 1", m.RejectedFull())
+	}
+	// A duplicate of a pooled tx is a duplicate, not a cap rejection.
+	if m.Add(tx(1), time.Second) || m.RejectedFull() != 1 || m.Duplicates() != 1 {
+		t.Fatalf("duplicate misclassified: rejectedFull=%d duplicates=%d", m.RejectedFull(), m.Duplicates())
+	}
+	// In-flight bytes still count against the cap: cutting frees nothing.
+	if got := m.Cut(0, 2*time.Second); len(got) != 2 {
+		t.Fatalf("cut %d txs, want 2", len(got))
+	}
+	if m.PoolBytes() != 80 {
+		t.Fatalf("PoolBytes = %d after cut, want 80 (in-flight still pooled)", m.PoolBytes())
+	}
+	if m.Add(tx(4), 3*time.Second) {
+		t.Error("cap ignored in-flight bytes")
+	}
+	if m.RejectedFull() != 2 {
+		t.Fatalf("RejectedFull = %d, want 2", m.RejectedFull())
+	}
+	// Commit frees the space; admission resumes.
+	m.MarkCommitted([]txKey{txDigest(tx(1)), txDigest(tx(2))}, 0)
+	m.Requeue(0)
+	if m.PoolBytes() != 0 {
+		t.Fatalf("PoolBytes = %d after commit, want 0", m.PoolBytes())
+	}
+	if !m.Add(tx(5), 4*time.Second) {
+		t.Error("add rejected after commit freed the pool")
+	}
+	if m.PeakPoolBytes() != 80 {
+		t.Fatalf("PeakPoolBytes = %d, want 80", m.PeakPoolBytes())
+	}
+	// The cap is opt-in: a zero-cap pool admits the same sequence freely.
+	free := NewMempool(MempoolConfig{TargetBatchBytes: 40, MaxBatchBytes: 80, MaxTxAge: 10 * time.Second})
+	for i := byte(0); i < 10; i++ {
+		if !free.Add(tx(i), 0) {
+			t.Fatal("unbounded pool refused an admission")
+		}
+	}
+	if free.RejectedFull() != 0 {
+		t.Errorf("unbounded pool counted %d cap rejections", free.RejectedFull())
+	}
+}
+
 func TestMempoolGCHorizon(t *testing.T) {
 	m := NewMempool(MempoolConfig{DedupHorizon: 3})
 	tx := []byte("gc-me")

@@ -10,6 +10,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/traffic"
 	"repro/internal/wireless"
 )
 
@@ -35,6 +36,9 @@ type chainLifecycle struct {
 	nodes  []*node.Node
 	chains []*protocol.Chain
 }
+
+// NodeCount implements scenario.Sizer so churn events can draw victims.
+func (l chainLifecycle) NodeCount() int { return len(l.nodes) }
 
 func (l chainLifecycle) CrashNode(i int) {
 	if i < 0 || i >= len(l.nodes) || l.nodes[i].Down() {
@@ -123,13 +127,15 @@ func runChain(spec Spec) (*Report, error) {
 	eng := scenario.Start(sched, spec.Scenario, spec.Seed, chainLifecycle{nodes: nodes, chains: chains})
 	ch.SetDeliveryHook(eng.Hook())
 
-	// Client workload: one TxSize-byte transaction every TxInterval,
-	// broadcast to every live node's mempool, sustained for the whole
-	// run — this is an offered-load experiment, so injection only ceases
-	// with the run itself. Whatever the chain cannot absorb stays behind
-	// as mempool backlog (SubmittedTxs - CommittedTxs), not loss. A node
-	// that is down misses the submissions of its outage (clients cannot
-	// reach it), which commit-time dedup makes harmless.
+	// Client workload: sustained offered load broadcast to every live
+	// node's mempool — injection only ceases with the run itself.
+	// Whatever the chain cannot absorb stays behind as mempool backlog
+	// (SubmittedTxs - CommittedTxs) or, under a MaxPendingBytes cap, as
+	// counted admission rejections — not silent loss. A node that is down
+	// misses the submissions of its outage (clients cannot reach it),
+	// which commit-time dedup makes harmless. The legacy workload is one
+	// transaction every TxInterval; Workload.Arrival swaps in the
+	// open-loop generator (Poisson or bursty on-off client population).
 	target := spec.Workload.Epochs
 	chainsDone := func() bool {
 		for i, c := range chains {
@@ -143,21 +149,33 @@ func runChain(spec Spec) (*Report, error) {
 		return true
 	}
 	submitted := 0
-	var inject func()
-	inject = func() {
+	submitTx := func(seq int) bool {
 		if chainsDone() {
-			return
+			return false
 		}
-		tx := protocol.MakeClientTx(submitted, spec.Workload.TxSize)
-		submitted++
+		tx := protocol.MakeClientTx(seq, spec.Workload.TxSize)
 		for i, c := range chains {
 			if !nodes[i].Down() {
 				c.Submit(tx)
 			}
 		}
-		sched.PostAfter(spec.Workload.TxInterval, inject)
+		return true
 	}
-	sched.PostAfter(100*time.Millisecond, inject)
+	var gen *traffic.Gen
+	if spec.Workload.Arrival.Enabled() {
+		gen = traffic.New(sched, spec.Workload.Arrival, spec.Seed, submitTx)
+		gen.Start()
+	} else {
+		var inject func()
+		inject = func() {
+			if !submitTx(submitted) {
+				return
+			}
+			submitted++
+			sched.PostAfter(spec.Workload.TxInterval, inject)
+		}
+		sched.PostAfter(100*time.Millisecond, inject)
+	}
 	for _, c := range chains {
 		c.Start()
 	}
@@ -165,6 +183,9 @@ func runChain(spec Spec) (*Report, error) {
 	if err := node.Drive(sched, spec.Deadline, chainsDone); err != nil {
 		return nil, fmt.Errorf("run: chain run (%s %s batched=%v depth=%d) at frontier %v: %w",
 			spec.Protocol, spec.Coin, spec.Batched, spec.Workload.Window, frontiers(chains), err)
+	}
+	if gen != nil {
+		submitted = gen.Submitted()
 	}
 	rep := spec.report()
 	cr := &ChainReport{
@@ -192,12 +213,18 @@ func runChain(spec Spec) (*Report, error) {
 			continue
 		}
 		cr.Logs[i] = c.Log()
+		if peak := c.Mempool().PeakPoolBytes(); peak > cr.PeakMempoolBytes {
+			cr.PeakMempoolBytes = peak
+		}
 		if first {
 			first = false
 			cr.CommittedTxs = c.CommittedTxs()
 			cr.CommittedBytes = c.CommittedBytes()
 			cr.MeanCommitLatency = c.MeanCommitLatency()
 			cr.DedupDropped = c.DedupDropped()
+			cr.TxLatency = NewLatencyStats(c.TxLatencies())
+			cr.TxLatencySample = c.TxLatencies()
+			cr.AdmissionRejected = c.Mempool().RejectedFull()
 		}
 	}
 	if rep.Duration > 0 {

@@ -1,0 +1,105 @@
+package run
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// LatencyStats summarizes a per-transaction submit->commit latency
+// sample: nearest-rank percentiles plus mean and max. It exists because
+// ChainReport.MeanCommitLatency is epoch-granularity (proposal cut ->
+// epoch commit) and says nothing about what a client waits under bursty
+// load, where a transaction can sit pooled across many epochs before any
+// cut takes it. Durations encode as integer nanoseconds (_ns), like every
+// duration in the Report schema.
+type LatencyStats struct {
+	Count int           `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// NewLatencyStats summarizes a sample; nil for an empty one (the
+// omitempty contract of ChainReport.TxLatency).
+func NewLatencyStats(samples []time.Duration) *LatencyStats {
+	if len(samples) == 0 {
+		return nil
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	return &LatencyStats{
+		Count: len(sorted),
+		Mean:  sum / time.Duration(len(sorted)),
+		P50:   Percentile(sorted, 0.50),
+		P90:   Percentile(sorted, 0.90),
+		P99:   Percentile(sorted, 0.99),
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+// Percentile returns the nearest-rank q-quantile (0 < q <= 1) of an
+// ascending-sorted sample: the smallest element with at least q*N of the
+// sample at or below it. Zero for an empty sample.
+func Percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// HistogramBucket is one bin of a latency histogram.
+type HistogramBucket struct {
+	// UpTo is the bucket's inclusive upper latency bound.
+	UpTo  time.Duration `json:"up_to_ns"`
+	Count int           `json:"count"`
+}
+
+// Histogram bins a latency sample into n log-spaced buckets between its
+// min and max — log-spaced because commit latencies under mixed load span
+// orders of magnitude, which linear bins flatten into one bar. A
+// degenerate sample (all values equal, or n < 2) collapses to a single
+// bucket. Bucket counts always sum to len(samples).
+func Histogram(samples []time.Duration, n int) []HistogramBucket {
+	if len(samples) == 0 {
+		return nil
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	if lo <= 0 {
+		lo = 1 // log spacing needs a positive floor
+	}
+	if n < 2 || hi <= lo {
+		return []HistogramBucket{{UpTo: hi, Count: len(sorted)}}
+	}
+	ratio := math.Pow(float64(hi)/float64(lo), 1/float64(n))
+	out := make([]HistogramBucket, n)
+	bound := float64(lo)
+	for i := range out {
+		bound *= ratio
+		out[i].UpTo = time.Duration(bound)
+	}
+	out[n-1].UpTo = hi // kill the rounding drift on the last bound
+	i := 0
+	for _, d := range sorted {
+		for i < n-1 && d > out[i].UpTo {
+			i++
+		}
+		out[i].Count++
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package run
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyStatsPercentiles(t *testing.T) {
+	if NewLatencyStats(nil) != nil {
+		t.Fatal("empty sample must summarize to nil")
+	}
+	// 1s..100s: nearest-rank p50 = 50s, p90 = 90s, p99 = 99s.
+	var samples []time.Duration
+	for i := 100; i >= 1; i-- { // unsorted on purpose
+		samples = append(samples, time.Duration(i)*time.Second)
+	}
+	s := NewLatencyStats(samples)
+	if s.Count != 100 || s.P50 != 50*time.Second || s.P90 != 90*time.Second ||
+		s.P99 != 99*time.Second || s.Max != 100*time.Second {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Mean != 50500*time.Millisecond {
+		t.Fatalf("mean = %v, want 50.5s", s.Mean)
+	}
+	one := NewLatencyStats([]time.Duration{7 * time.Second})
+	if one.P50 != 7*time.Second || one.P99 != 7*time.Second || one.Count != 1 {
+		t.Fatalf("singleton stats = %+v", one)
+	}
+}
+
+func TestHistogramCountsSum(t *testing.T) {
+	var samples []time.Duration
+	for i := 1; i <= 1000; i++ {
+		samples = append(samples, time.Duration(i)*time.Millisecond)
+	}
+	h := Histogram(samples, 8)
+	if len(h) != 8 {
+		t.Fatalf("got %d buckets, want 8", len(h))
+	}
+	total := 0
+	for i, b := range h {
+		total += b.Count
+		if i > 0 && b.UpTo <= h[i-1].UpTo {
+			t.Fatalf("bucket bounds not increasing: %v", h)
+		}
+	}
+	if total != len(samples) {
+		t.Fatalf("bucket counts sum to %d, want %d", total, len(samples))
+	}
+	if h[len(h)-1].UpTo != time.Second {
+		t.Fatalf("last bound %v, want the sample max 1s", h[len(h)-1].UpTo)
+	}
+	// Degenerate sample: one bucket carrying everything.
+	flat := Histogram([]time.Duration{time.Second, time.Second}, 4)
+	if len(flat) != 1 || flat[0].Count != 2 {
+		t.Fatalf("flat histogram = %v", flat)
+	}
+	if Histogram(nil, 4) != nil {
+		t.Fatal("empty sample must yield a nil histogram")
+	}
+}

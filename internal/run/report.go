@@ -82,9 +82,32 @@ type ChainReport struct {
 	DedupDropped      int           `json:"dedup_dropped"`
 	// SubmittedTxs counts client transactions offered over the whole run.
 	// Offered load normally exceeds what the target can order; the
-	// shortfall is mempool backlog at run end, not transaction loss.
+	// shortfall is mempool backlog at run end (or admission rejections
+	// under backpressure), not transaction loss.
 	SubmittedTxs  int `json:"submitted_txs"`
 	MaxOpenEpochs int `json:"max_open_epochs"`
+
+	// TxLatency summarizes true per-transaction submit->commit latency at
+	// the reference node (percentiles over every transaction it admitted
+	// and later committed). MeanCommitLatency above is epoch-granularity
+	// and must not be read as client-visible latency: under bursty load a
+	// transaction can wait in the pool across many epochs before a cut
+	// takes it, and only this sample sees that wait. Nil when the
+	// reference node committed none of its admissions (single-hop chain
+	// runs always populate it).
+	TxLatency *LatencyStats `json:"tx_latency,omitempty"`
+	// TxLatencySample is the raw sample TxLatency summarizes, in commit
+	// order. Omitted from JSON (like Logs): the BENCH files carry
+	// aggregates; callers bin it with Histogram when they want the shape.
+	TxLatencySample []time.Duration `json:"-"`
+	// AdmissionRejected counts client submissions the reference node's
+	// mempool refused under the MempoolConfig.MaxPendingBytes
+	// backpressure cap (zero with the cap disabled, the default).
+	AdmissionRejected int `json:"admission_rejected,omitempty"`
+	// PeakMempoolBytes is the highest pooled payload byte count any
+	// honest node reached — the bounded-mempool-growth evidence under
+	// open-loop overload.
+	PeakMempoolBytes int `json:"peak_mempool_bytes,omitempty"`
 
 	// Logs holds each honest node's committed log, indexed by flat node
 	// id (nil for nodes scripted to stay crashed or to turn Byzantine),

@@ -25,6 +25,7 @@ import (
 	"repro/internal/crypto"
 	"repro/internal/protocol"
 	"repro/internal/scenario"
+	"repro/internal/traffic"
 	"repro/internal/wireless"
 )
 
@@ -84,6 +85,12 @@ type Workload struct {
 	// submissions. Each transaction is broadcast to every live node's
 	// mempool (per cluster, under the clustered topology).
 	TxInterval time.Duration
+	// Arrival selects the open-loop client traffic generator
+	// (internal/traffic: Poisson or bursty on-off arrivals from a
+	// simulated client population) in place of the fixed TxInterval loop.
+	// Chain workload on the single-hop topology only; the zero value
+	// keeps the legacy fixed-interval submission.
+	Arrival traffic.Pattern
 	// Window is the chain pipeline depth (1 = sequential epochs).
 	Window int
 	// GCLag is how many epochs behind the commit frontier per-epoch state
@@ -221,6 +228,7 @@ func (s Spec) normalize() Spec {
 		if s.Workload.TxInterval <= 0 {
 			s.Workload.TxInterval = 4 * time.Second
 		}
+		s.Workload.Arrival = s.Workload.Arrival.WithDefaults()
 		if s.Deadline <= 0 {
 			s.Deadline = 8 * time.Hour
 		}
@@ -252,6 +260,17 @@ func (s Spec) validate() error {
 	case LoadOneShot, LoadChain:
 	default:
 		return fmt.Errorf("run: unknown workload %q", s.Workload.Kind)
+	}
+	if err := s.Workload.Arrival.Validate(); err != nil {
+		return err
+	}
+	if s.Workload.Arrival.Enabled() {
+		if s.Workload.Kind != LoadChain {
+			return fmt.Errorf("run: Arrival traffic requires the chain workload, got %q", s.Workload.Kind)
+		}
+		if s.Topology.Kind != TopoSingleHop {
+			return fmt.Errorf("run: Arrival traffic is single-hop only (the clustered driver keeps the fixed-interval workload)")
+		}
 	}
 	return nil
 }

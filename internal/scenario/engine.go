@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"math"
 	"math/rand"
 	"time"
 
@@ -24,6 +25,22 @@ type ByzLifecycle interface {
 	SetByzantine(i int, behavior string)
 }
 
+// Sizer is the optional extension a Lifecycle implements to support
+// churn events, which draw victims uniformly and so need to know how
+// many nodes exist. Churn events are silently inert without it.
+type Sizer interface {
+	NodeCount() int
+}
+
+// mobilityField is the fixed field edge (metres) mobility events walk
+// nodes across; the DSL parameterizes speed and radio range instead.
+const mobilityField = 1000.0
+
+// mobilityEdgeLoss is the loss probability a pair sees at the very edge
+// of radio range; loss inside the range grades quadratically down to
+// zero at distance zero.
+const mobilityEdgeLoss = 0.5
+
 // Engine compiles one Plan onto a running simulation: timed events fire on
 // the scheduler, network effects apply through delivery hooks installed on
 // one or more channels, and crash/recovery flows through the Lifecycle.
@@ -41,6 +58,17 @@ type Engine struct {
 	delayProb float64
 	delayMax  time.Duration
 	delayGen  int
+
+	mob      *wireless.Waypoint // nil = no mobility window active
+	mobRange float64
+	mobGen   int
+
+	dutyFrac   float64 // 0 = no duty-cycle window active
+	dutyPeriod time.Duration
+	dutyStart  time.Duration
+	dutyGen    int
+
+	churned map[int]bool // nodes currently down to churn (no double-crash)
 }
 
 // Start schedules a plan's events on the scheduler and returns the engine.
@@ -52,8 +80,9 @@ func Start(sched *sim.Scheduler, plan Plan, seed int64, life Lifecycle) *Engine 
 		sched: sched,
 		// Derived from the run seed (not a constant): different seeds must
 		// see different adversary randomness.
-		rng:  rand.New(rand.NewSource(seed ^ 0x05CEA210)),
-		life: life,
+		rng:     rand.New(rand.NewSource(seed ^ 0x05CEA210)),
+		life:    life,
+		churned: make(map[int]bool),
 	}
 	for _, ev := range plan.sorted() {
 		ev := ev
@@ -113,6 +142,59 @@ func Start(sched *sim.Scheduler, plan Plan, seed int64, life Lifecycle) *Engine 
 					})
 				}
 			})
+		case KindMobility:
+			sched.Post(ev.At, func() {
+				e.mob = wireless.NewWaypoint(mobilityField, ev.Speed, e.rng.Int63())
+				e.mobRange = ev.Range
+				e.mobGen++
+				gen := e.mobGen
+				if ev.Duration > 0 {
+					sched.Post(ev.At+ev.Duration, func() {
+						if e.mobGen == gen {
+							e.mob, e.mobRange = nil, 0
+						}
+					})
+				}
+			})
+		case KindDutyCycle:
+			sched.Post(ev.At, func() {
+				e.dutyFrac, e.dutyPeriod, e.dutyStart = ev.Prob, ev.Period, sched.Now()
+				e.dutyGen++
+				gen := e.dutyGen
+				if ev.Duration > 0 {
+					sched.Post(ev.At+ev.Duration, func() {
+						if e.dutyGen == gen {
+							e.dutyFrac, e.dutyPeriod = 0, 0
+						}
+					})
+				}
+			})
+		case KindChurn:
+			until := time.Duration(0) // 0 = whole run
+			if ev.Duration > 0 {
+				until = ev.At + ev.Duration
+			}
+			var tick func()
+			tick = func() {
+				sz, ok := e.life.(Sizer)
+				if !ok {
+					return // driver cannot size the deployment; churn is inert
+				}
+				if until > 0 && sched.Now() >= until {
+					return
+				}
+				victim := e.rng.Intn(sz.NodeCount())
+				if !e.churned[victim] {
+					e.churned[victim] = true
+					e.life.CrashNode(victim)
+					sched.PostAfter(ev.Downtime, func() {
+						delete(e.churned, victim)
+						e.life.RecoverNode(victim)
+					})
+				}
+				sched.PostAfter(ev.Period, tick)
+			}
+			sched.Post(ev.At+ev.Period, tick)
 		}
 	}
 	return e
@@ -135,8 +217,9 @@ func (e *Engine) HookMapped(mapID func(wireless.NodeID) int) wireless.DeliveryHo
 }
 
 // HookNetOnly returns a hook that applies only the network-level effects
-// (loss bursts, jamming, the delay adversary) and ignores partitions —
-// used for tiers whose station IDs do not live in the scenario's node-id
+// (loss bursts, jamming, the delay adversary) and ignores the effects
+// keyed by scenario node id (partitions, mobility, duty-cycling) — used
+// for tiers whose station IDs do not live in the scenario's node-id
 // space, like the multihop global channel.
 func (e *Engine) HookNetOnly() wireless.DeliveryHook {
 	return func(from, to wireless.NodeID, _ []byte) (time.Duration, bool) {
@@ -144,12 +227,31 @@ func (e *Engine) HookNetOnly() wireless.DeliveryHook {
 	}
 }
 
-// apply evaluates the current network state for one delivery.
-func (e *Engine) apply(from, to int, partitions bool) (time.Duration, bool) {
-	if partitions && e.group != nil {
+// apply evaluates the current network state for one delivery. nodeSpace
+// reports whether from/to are scenario node ids; the id-keyed effects
+// (partitions, duty-cycle sleep, mobility range) only fire when they are.
+func (e *Engine) apply(from, to int, nodeSpace bool) (time.Duration, bool) {
+	if nodeSpace && e.group != nil {
 		gf, okf := e.group[from]
 		gt, okt := e.group[to]
 		if !okf || !okt || gf != gt {
+			return 0, true
+		}
+	}
+	if nodeSpace && e.dutyFrac > 0 && e.dutyPeriod > 0 {
+		if e.asleep(from) || e.asleep(to) {
+			return 0, true
+		}
+	}
+	if nodeSpace && e.mob != nil {
+		d := e.mob.Dist(from, to, e.sched.Now())
+		if d >= e.mobRange {
+			return 0, true // out of radio range
+		}
+		// Inside range, loss grades quadratically with distance: near
+		// pairs are clean, edge-of-range pairs lossy.
+		frac := d / e.mobRange
+		if e.rng.Float64() < frac*frac*mobilityEdgeLoss {
 			return 0, true
 		}
 	}
@@ -160,4 +262,20 @@ func (e *Engine) apply(from, to int, partitions bool) (time.Duration, bool) {
 		return time.Duration(e.rng.Int63n(int64(e.delayMax))), false
 	}
 	return 0, false
+}
+
+// asleep reports whether a node's radio is in the off part of its duty
+// cycle. Per-node phases are staggered by the golden ratio so awake
+// windows interleave instead of the whole network sleeping in lockstep.
+func (e *Engine) asleep(nd int) bool {
+	phase := time.Duration(float64(e.dutyPeriod) * goldenFrac(nd))
+	into := (e.sched.Now() - e.dutyStart + phase) % e.dutyPeriod
+	return into >= time.Duration(float64(e.dutyPeriod)*e.dutyFrac)
+}
+
+// goldenFrac returns frac(i * golden ratio), the low-discrepancy phase
+// offset for node i.
+func goldenFrac(i int) float64 {
+	_, f := math.Modf(float64(i) * 0.6180339887498949)
+	return f
 }

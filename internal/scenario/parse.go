@@ -23,6 +23,11 @@ import (
 //	delay:0.25,10s                delay adversary for the whole run
 //	delay@1h+30m:0.25,10s         ... for 30m starting at t=1h
 //	byz@0s:3:equivocate           node 3 is actively Byzantine from t=0
+//	mobility@0s+2h:25,800         random-waypoint motion at 25 m/s,
+//	                              800 m radio range, for 2h
+//	dutycycle@0s:0.6,90s          radios awake 60% of each 90s cycle
+//	churn@10m+2h:20m,5m           every 20m a random node crashes and
+//	                              rejoins 5m later, for 2h
 //
 // byz behaviors are "equivocate", "withhold", "garbage", "flipvotes",
 // and "forgecut" (internal/byz); Parse accepts any token and the driver
@@ -144,6 +149,48 @@ func parseEvent(s string) (Event, error) {
 			return Event{}, fmt.Errorf("bad node id %q", fields[0])
 		}
 		return ByzAt(at, nd, fields[1]), nil
+	case KindMobility:
+		fields := strings.SplitN(args, ",", 2)
+		if len(fields) != 2 {
+			return Event{}, fmt.Errorf("mobility needs speed,range (e.g. 25,800)")
+		}
+		speed, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil || speed <= 0 {
+			return Event{}, fmt.Errorf("bad mobility speed %q", fields[0])
+		}
+		rng, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || rng <= 0 {
+			return Event{}, fmt.Errorf("bad mobility range %q", fields[1])
+		}
+		return MobilityFrom(at, dur, speed, rng), nil
+	case KindDutyCycle:
+		fields := strings.SplitN(args, ",", 2)
+		if len(fields) != 2 {
+			return Event{}, fmt.Errorf("dutycycle needs onFrac,period (e.g. 0.6,90s)")
+		}
+		frac, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil || frac <= 0 || frac > 1 {
+			return Event{}, fmt.Errorf("bad dutycycle on-fraction %q", fields[0])
+		}
+		period, err := time.ParseDuration(fields[1])
+		if err != nil || period <= 0 {
+			return Event{}, fmt.Errorf("bad dutycycle period %q", fields[1])
+		}
+		return DutyCycleFrom(at, dur, frac, period), nil
+	case KindChurn:
+		fields := strings.SplitN(args, ",", 2)
+		if len(fields) != 2 {
+			return Event{}, fmt.Errorf("churn needs period,downtime (e.g. 20m,5m)")
+		}
+		period, err := time.ParseDuration(fields[0])
+		if err != nil || period <= 0 {
+			return Event{}, fmt.Errorf("bad churn period %q", fields[0])
+		}
+		down, err := time.ParseDuration(fields[1])
+		if err != nil || down <= 0 {
+			return Event{}, fmt.Errorf("bad churn downtime %q", fields[1])
+		}
+		return ChurnFrom(at, dur, period, down), nil
 	default:
 		return Event{}, fmt.Errorf("unknown event kind %q", kind)
 	}

@@ -35,13 +35,17 @@ const (
 	KindJam       Kind = "jam"       // total loss for a window (interference burst)
 	KindDelay     Kind = "delay"     // the paper's asynchronous delay adversary
 	KindByz       Kind = "byz"       // node turns actively Byzantine (internal/byz)
+	KindMobility  Kind = "mobility"  // random-waypoint motion re-derives link quality
+	KindDutyCycle Kind = "dutycycle" // radios sleep on staggered on/off schedules
+	KindChurn     Kind = "churn"     // recurring crash-and-rejoin of random nodes
 )
 
 // Kinds lists the full event vocabulary. The DSL docs tests check that
 // every kind is documented in the Parse grammar and EXPERIMENTS.md.
 func Kinds() []Kind {
 	return []Kind{KindCrash, KindRecover, KindPartition, KindHeal,
-		KindLoss, KindJam, KindDelay, KindByz}
+		KindLoss, KindJam, KindDelay, KindByz,
+		KindMobility, KindDutyCycle, KindChurn}
 }
 
 // Event is one timed scripted fault.
@@ -62,6 +66,16 @@ type Event struct {
 	// Behavior names the byz event's active-Byzantine behavior (one of
 	// internal/byz.Names; drivers validate before the run starts).
 	Behavior string
+	// Speed is the mobility event's node speed in metres per second.
+	Speed float64
+	// Range is the mobility event's radio range in metres (on the engine's
+	// fixed 1 km x 1 km field); pairs farther apart cannot hear each other.
+	Range float64
+	// Period is the dutycycle event's full on+off cycle length, and the
+	// churn event's interval between crash draws.
+	Period time.Duration
+	// Downtime is how long each churned node stays down before rejoining.
+	Downtime time.Duration
 }
 
 // Plan is a scripted fault scenario. The zero value is the fault-free run.
@@ -122,6 +136,34 @@ func DelayFrom(at time.Duration, prob float64, max time.Duration, dur time.Durat
 // cover honest nodes only.
 func ByzAt(at time.Duration, nd int, behavior string) Event {
 	return Event{At: at, Kind: KindByz, Node: nd, Behavior: behavior}
+}
+
+// MobilityFrom puts every node in random-waypoint motion from at (for
+// dur; 0 = rest of the run) on a 1 km x 1 km field: each node walks to
+// uniformly drawn waypoints at the given speed (m/s), and a delivery is
+// dropped outright when the pair is out of radio range (metres), with
+// distance-graded loss inside it. Node trajectories derive from the run
+// seed.
+func MobilityFrom(at, dur time.Duration, speed, radioRange float64) Event {
+	return Event{At: at, Kind: KindMobility, Duration: dur, Speed: speed, Range: radioRange}
+}
+
+// DutyCycleFrom puts every radio on an on/off sleep schedule from at (for
+// dur; 0 = rest of the run): each node is awake for onFrac of every
+// period, with per-node phase offsets staggered by the golden ratio so
+// the network never sleeps in lockstep. A delivery is dropped when either
+// endpoint is asleep.
+func DutyCycleFrom(at, dur time.Duration, onFrac float64, period time.Duration) Event {
+	return Event{At: at, Kind: KindDutyCycle, Duration: dur, Prob: onFrac, Period: period}
+}
+
+// ChurnFrom runs recurring churn from at (for dur; 0 = rest of the run):
+// every period one uniformly drawn node crashes and rejoins downtime
+// later through the driver's recovery path (the chain drivers catch the
+// rejoiner up over NACK retransmission — keep downtime within the GCLag
+// horizon or the rejoiner is stranded).
+func ChurnFrom(at, dur time.Duration, period, downtime time.Duration) Event {
+	return Event{At: at, Kind: KindChurn, Duration: dur, Period: period, Downtime: downtime}
 }
 
 // Byz is the static adversary plan: the listed nodes run the behavior
@@ -253,6 +295,12 @@ func (e Event) String() string {
 		fmt.Fprintf(&b, ":%g,%s", e.Prob, e.Max)
 	case KindByz:
 		fmt.Fprintf(&b, ":%d:%s", e.Node, e.Behavior)
+	case KindMobility:
+		fmt.Fprintf(&b, ":%g,%g", e.Speed, e.Range)
+	case KindDutyCycle:
+		fmt.Fprintf(&b, ":%g,%s", e.Prob, e.Period)
+	case KindChurn:
+		fmt.Fprintf(&b, ":%s,%s", e.Period, e.Downtime)
 	}
 	return b.String()
 }

@@ -171,6 +171,95 @@ func TestEngineSeedVariesAdversary(t *testing.T) {
 	}
 }
 
+func TestEngineDutyCycleSleepWindows(t *testing.T) {
+	sched := sim.New(1)
+	eng := Start(sched, Plan{}.Then(
+		DutyCycleFrom(0, 2*time.Minute, 0.5, time.Minute),
+	), 1, nil)
+	hook := eng.Hook()
+	// Node 0 has phase offset 0: awake for the first 30s of each minute.
+	sched.RunUntil(10 * time.Second)
+	if _, drop := hook(0, 0, nil); drop {
+		t.Error("node 0 asleep inside its awake window")
+	}
+	sched.RunUntil(40 * time.Second)
+	if _, drop := hook(0, 0, nil); !drop {
+		t.Error("node 0 awake inside its sleep window")
+	}
+	// Phases are staggered: at any instant some pair must differ.
+	differ := false
+	for nd := wireless.NodeID(1); nd < 8; nd++ {
+		_, d0 := hook(0, 0, nil)
+		_, dn := hook(nd, nd, nil)
+		if d0 != dn {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Error("every node shares node 0's sleep schedule (no phase stagger)")
+	}
+	// The window ends: everyone is reachable again.
+	sched.RunUntil(2*time.Minute + 40*time.Second)
+	if _, drop := hook(0, 0, nil); drop {
+		t.Error("duty cycle persisted past its window")
+	}
+}
+
+func TestEngineMobilityRangeAndWindow(t *testing.T) {
+	sched := sim.New(1)
+	// Tiny radio range: on a 1 km field nearly every pair is out of range,
+	// so deliveries drop while the window is active.
+	eng := Start(sched, Plan{}.Then(
+		MobilityFrom(time.Minute, time.Hour, 20, 1),
+	), 1, nil)
+	hook := eng.Hook()
+	if _, drop := hook(0, 1, nil); drop {
+		t.Error("dropped before the mobility window")
+	}
+	sched.RunUntil(2 * time.Minute)
+	if _, drop := hook(0, 1, nil); !drop {
+		t.Error("1 m radio range let a delivery through")
+	}
+	if _, drop := hook(2, 2, nil); drop {
+		t.Error("self-delivery dropped (distance 0 must always pass)")
+	}
+	sched.RunUntil(time.Minute + 2*time.Hour)
+	if _, drop := hook(0, 1, nil); drop {
+		t.Error("mobility persisted past its window")
+	}
+}
+
+func (r *recorder) NodeCount() int { return 4 }
+
+func TestEngineChurnCrashesAndRejoins(t *testing.T) {
+	sched := sim.New(1)
+	rec := &recorder{sched: sched}
+	Start(sched, Plan{}.Then(
+		ChurnFrom(0, 30*time.Minute, 5*time.Minute, time.Minute),
+	), 1, rec)
+	sched.Run()
+	if len(rec.crashes) == 0 {
+		t.Fatal("churn never crashed a node")
+	}
+	if len(rec.crashes) != len(rec.recovers) {
+		t.Fatalf("%d crashes but %d recoveries", len(rec.crashes), len(rec.recovers))
+	}
+	for i, c := range rec.crashes {
+		r := rec.recovers[i]
+		if r.node != c.node || r.at != c.at+time.Minute {
+			t.Fatalf("crash %+v not matched by recovery %+v", c, r)
+		}
+		if c.node < 0 || c.node >= 4 {
+			t.Fatalf("victim %d outside the deployment", c.node)
+		}
+	}
+	// A Lifecycle without NodeCount leaves churn inert.
+	sched2 := sim.New(1)
+	plain := struct{ Lifecycle }{}
+	Start(sched2, Plan{}.Then(ChurnFrom(0, 0, 5*time.Minute, time.Minute)), 1, plain)
+	sched2.RunUntil(time.Hour)
+}
+
 func TestDownForever(t *testing.T) {
 	p := Plan{}.Then(
 		CrashAt(0, 3),
@@ -197,6 +286,9 @@ func TestParseRoundTrip(t *testing.T) {
 		"delay@1h+30m:0.25,10s",
 		"byz@0s:3:equivocate",
 		"byz@45m:2:flipvotes;crash@1h:2",
+		"mobility@0s+2h:25,800",
+		"dutycycle@0s:0.6,90s",
+		"churn@10m+2h:20m,5m",
 	}
 	// Every Kind in the vocabulary must be exercised by a spec above, so
 	// a new event type cannot ship without round-trip coverage.
@@ -233,7 +325,8 @@ func TestParseRoundTrip(t *testing.T) {
 	if p, err := Parse("fault-free"); err != nil || !p.Empty() {
 		t.Error("fault-free must parse to the empty plan")
 	}
-	for _, bad := range []string{"crash@30m", "explode@1m:2", "delay:oops", "partition@1m", "loss@1m:1.5", "byz@0s:3", "byz@0s:x:garbage"} {
+	for _, bad := range []string{"crash@30m", "explode@1m:2", "delay:oops", "partition@1m", "loss@1m:1.5", "byz@0s:3", "byz@0s:x:garbage",
+		"mobility@0s:25", "mobility@0s:0,800", "dutycycle@0s:1.5,90s", "dutycycle@0s:0.6,0s", "churn@0s:20m", "churn@0s:0s,5m"} {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q) accepted", bad)
 		}

@@ -1,0 +1,224 @@
+// Package traffic is the open-loop client workload layer: a
+// deterministic, seed-derived generator of transaction arrival processes
+// from a population of simulated clients, driven off the internal/sim
+// scheduler. Unlike the chain workload's legacy fixed-interval loop
+// (closed-loop and gentle), an open-loop generator keeps offering load at
+// its own pace regardless of how fast the system commits — which is what
+// exposes saturation behavior: throughput plateaus at capacity, latency
+// percentiles climb with the backlog, and mempool admission control
+// (protocol.MempoolConfig.MaxPendingBytes) starts rejecting what the
+// chain cannot absorb.
+//
+// Two arrival processes cover the load shapes a wireless deployment
+// faces: Poisson (memoryless aggregate arrivals, the superposition of the
+// whole client population) and OnOff (bursty Markov-modulated arrivals:
+// each client alternates exponential ON bursts and OFF silences, emitting
+// only while ON, so the instantaneous rate swings far above and below the
+// long-run average). Both are pure functions of the seed: the same seed
+// reproduces the same arrival times bit-for-bit, which the BENCH golden
+// tests rely on.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Kind names an arrival process.
+type Kind string
+
+// The arrival-process vocabulary.
+const (
+	// Poisson is memoryless aggregate arrivals at Rate tx/s: the
+	// superposition of the client population's independent Poisson
+	// processes, generated exactly as one exponential inter-arrival
+	// stream at the aggregate rate (superposition of Poisson processes
+	// is Poisson with the summed rate, so the population size does not
+	// change the process — only the story).
+	Poisson Kind = "poisson"
+	// OnOff is the bursty pattern: every client alternates exponential ON
+	// bursts (mean OnMean) and OFF silences (mean OffMean), emitting
+	// Poisson arrivals only while ON, scaled so the time-averaged
+	// aggregate stays Rate tx/s. With OffMean >> OnMean the load arrives
+	// in synchronized-looking clumps whenever several clients burst at
+	// once — the tail-latency stressor Poisson hides.
+	OnOff Kind = "onoff"
+)
+
+// Pattern describes one open-loop workload. The zero value is disabled:
+// drivers fall back to their legacy fixed-interval submission loop.
+type Pattern struct {
+	Kind Kind
+	// Clients is the simulated client population size (on-off state
+	// machines; the Poisson aggregate is population-invariant).
+	Clients int
+	// Rate is the aggregate offered load in transactions per second,
+	// time-averaged across the whole population.
+	Rate float64
+	// OnMean and OffMean are the mean per-client burst and silence
+	// lengths (on-off only).
+	OnMean  time.Duration
+	OffMean time.Duration
+}
+
+// Enabled reports whether the pattern selects an open-loop process.
+func (p Pattern) Enabled() bool { return p.Kind != "" }
+
+// WithDefaults fills zero-valued tuning fields: 1000 clients, 2 min
+// bursts, 8 min silences (a 20% duty factor, so on-off bursts run at 5x
+// the average rate).
+func (p Pattern) WithDefaults() Pattern {
+	if !p.Enabled() {
+		return p
+	}
+	if p.Clients <= 0 {
+		p.Clients = 1000
+	}
+	if p.OnMean <= 0 {
+		p.OnMean = 2 * time.Minute
+	}
+	if p.OffMean <= 0 {
+		p.OffMean = 8 * time.Minute
+	}
+	return p
+}
+
+// Validate rejects malformed patterns. The zero (disabled) pattern is
+// valid.
+func (p Pattern) Validate() error {
+	switch p.Kind {
+	case "":
+		return nil
+	case Poisson, OnOff:
+	default:
+		return fmt.Errorf("traffic: unknown arrival kind %q (have %q, %q)", p.Kind, Poisson, OnOff)
+	}
+	if p.Rate <= 0 {
+		return fmt.Errorf("traffic: arrival rate must be positive, got %g tx/s", p.Rate)
+	}
+	return nil
+}
+
+// String renders the pattern for labels and reports.
+func (p Pattern) String() string {
+	if !p.Enabled() {
+		return "fixed-interval"
+	}
+	return fmt.Sprintf("%s(%g tx/s, %d clients)", p.Kind, p.Rate, p.Clients)
+}
+
+// Gen drives one Pattern on a scheduler. Each arrival invokes the submit
+// callback with its global sequence number (monotonic from 0, the
+// provenance contract protocol.MakeClientTx expects); the first false
+// return stops the generator for good.
+type Gen struct {
+	sched  *sim.Scheduler
+	rng    *rand.Rand
+	pat    Pattern
+	submit func(seq int) bool
+	seq    int
+	done   bool
+}
+
+// New builds a generator for a validated pattern. Its randomness is
+// derived from the run seed (not the scheduler's RNG), so the arrival
+// process is independent of protocol-side draw order.
+func New(sched *sim.Scheduler, p Pattern, seed int64, submit func(seq int) bool) *Gen {
+	return &Gen{
+		sched:  sched,
+		rng:    rand.New(rand.NewSource(seed ^ 0x7aff1c)),
+		pat:    p.WithDefaults(),
+		submit: submit,
+	}
+}
+
+// Start arms the arrival process. Poisson schedules the single aggregate
+// stream; on-off spawns one state machine per client.
+func (g *Gen) Start() {
+	switch g.pat.Kind {
+	case Poisson:
+		g.sched.PostAfter(g.expGap(g.pat.Rate), g.poissonArrive)
+	case OnOff:
+		// Scale the per-client ON rate so the population's time average
+		// is Rate: each client is ON for OnMean/(OnMean+OffMean) of the
+		// time.
+		onFrac := float64(g.pat.OnMean) / float64(g.pat.OnMean+g.pat.OffMean)
+		lambda := g.pat.Rate / float64(g.pat.Clients) / onFrac
+		for i := 0; i < g.pat.Clients; i++ {
+			g.startClient(lambda)
+		}
+	}
+}
+
+// Submitted returns how many arrivals have been offered so far.
+func (g *Gen) Submitted() int { return g.seq }
+
+// emit offers one arrival; false means the run refused it and the
+// generator is done.
+func (g *Gen) emit() bool {
+	if g.done {
+		return false
+	}
+	if !g.submit(g.seq) {
+		g.done = true
+		return false
+	}
+	g.seq++
+	return true
+}
+
+func (g *Gen) poissonArrive() {
+	if !g.emit() {
+		return
+	}
+	g.sched.PostAfter(g.expGap(g.pat.Rate), g.poissonArrive)
+}
+
+// startClient runs one on-off state machine: an OFF silence, then an ON
+// burst emitting Poisson arrivals at lambda, repeating. The initial
+// silence doubles as phase desynchronization — clients do not all burst
+// at t=0.
+func (g *Gen) startClient(lambda float64) {
+	var burst func()
+	var onUntil time.Duration
+	// gen invalidates a burst's leftover arrival chain: an arrival drawn
+	// past the burst's end must not leak into the next burst.
+	var gen int
+	var schedArrive func(gap time.Duration)
+	schedArrive = func(gap time.Duration) {
+		myGen := gen
+		g.sched.PostAfter(gap, func() {
+			if g.done || myGen != gen || g.sched.Now() >= onUntil {
+				return
+			}
+			if !g.emit() {
+				return
+			}
+			schedArrive(g.expGap(lambda))
+		})
+	}
+	burst = func() {
+		if g.done {
+			return
+		}
+		gen++
+		on := g.expMean(g.pat.OnMean)
+		onUntil = g.sched.Now() + on
+		schedArrive(g.expGap(lambda))
+		g.sched.PostAfter(on+g.expMean(g.pat.OffMean), burst)
+	}
+	g.sched.PostAfter(g.expMean(g.pat.OffMean), burst)
+}
+
+// expGap draws an exponential inter-arrival gap for rate events/s.
+func (g *Gen) expGap(rate float64) time.Duration {
+	return time.Duration(g.rng.ExpFloat64() / rate * float64(time.Second))
+}
+
+// expMean draws an exponential duration with the given mean.
+func (g *Gen) expMean(mean time.Duration) time.Duration {
+	return time.Duration(g.rng.ExpFloat64() * float64(mean))
+}
